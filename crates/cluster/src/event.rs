@@ -1,0 +1,32 @@
+//! The world's event alphabet.
+
+use dvelm_lb::LbMsg;
+use dvelm_net::NodeId;
+use dvelm_proc::Pid;
+use dvelm_stack::xlate::XlateRule;
+use dvelm_stack::{Segment, SockId};
+
+/// Everything that can happen in the simulated cluster.
+#[derive(Debug)]
+pub enum Event {
+    /// A frame reaches a host's interface.
+    PacketArrival { host: usize, seg: Segment },
+    /// A socket retransmission timer fires.
+    SockTimer { host: usize, sock: SockId, gen: u64 },
+    /// One iteration of an application's real-time loop.
+    AppTick { host: usize, pid: Pid },
+    /// An application consumes readable data from one of its sockets.
+    AppRead { host: usize, pid: Pid, sock: SockId },
+    /// A conductor daemon's periodic tick (monitor + heartbeat + policies).
+    ConductorTick { host: usize },
+    /// A conductor-to-conductor message arrives.
+    LbMessage {
+        host: usize,
+        from: NodeId,
+        msg: LbMsg,
+    },
+    /// The migration engine asked to be stepped.
+    MigrationStep { mig: u64 },
+    /// A translation rule reaches an in-cluster peer (transd, §II-B).
+    InstallXlate { host: usize, rule: XlateRule },
+}

@@ -1,0 +1,904 @@
+//! The event-driven cluster world.
+
+use crate::app::{App, AppCtx};
+use crate::event::Event;
+use crate::host::{Host, HostKind, ProcEntry};
+use dvelm_lb::{Action, Conductor, LbMsg, LoadInfo, PolicyConfig};
+use dvelm_migrate::{CostModel, MigrationComplete, MigrationEngine, StepIo, Strategy};
+use dvelm_net::{BroadcastRouter, ClusterSwitch, Ip, NodeId, Port, SockAddr};
+use dvelm_proc::{Fd, FdEntry, Pid, Process};
+use dvelm_sim::{DetRng, Scheduler, SimTime};
+use dvelm_stack::{HostStack, Segment, SockId, StackEffect};
+use std::collections::HashMap;
+
+/// A migration task identifier.
+pub type MigId = u64;
+
+/// World-level tunables.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    pub seed: u64,
+    pub cost: CostModel,
+    pub lb: PolicyConfig,
+    /// Socket-migration strategy used by conductor-initiated migrations.
+    pub strategy: Strategy,
+    /// Conductor tick period, µs.
+    pub conductor_tick_us: u64,
+    /// Delay between data becoming readable and the app consuming it, µs.
+    pub app_read_delay_us: u64,
+    /// One-way latency of control messages (xlate requests, lb messages), µs.
+    pub ctrl_latency_us: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 0xd0e5,
+            cost: CostModel::default(),
+            lb: PolicyConfig::default(),
+            strategy: Strategy::IncrementalCollective,
+            conductor_tick_us: 500_000,
+            app_read_delay_us: 100,
+            ctrl_latency_us: 75,
+        }
+    }
+}
+
+struct MigTask {
+    engine: MigrationEngine,
+    src: usize,
+    dst: usize,
+    pid: Pid,
+}
+
+/// One transmitted-frame record (the tcpdump of Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketLogEntry {
+    pub at: SimTime,
+    pub from_host: usize,
+    pub src: SockAddr,
+    pub dst: SockAddr,
+    pub bytes: u64,
+}
+
+/// The simulated cluster.
+pub struct World {
+    pub cfg: WorldConfig,
+    pub sched: Scheduler<Event>,
+    pub hosts: Vec<Host>,
+    pub router: BroadcastRouter,
+    pub switch: ClusterSwitch,
+    pub rng: DetRng,
+    migrations: HashMap<MigId, MigTask>,
+    next_mig: MigId,
+    next_pid: u64,
+    /// Completed migration reports.
+    pub reports: Vec<dvelm_migrate::MigrationReport>,
+    /// Transmit log (when a filter is enabled).
+    pub packet_log: Vec<PacketLogEntry>,
+    log_port: Option<Port>,
+}
+
+impl World {
+    /// An empty world.
+    pub fn new(cfg: WorldConfig) -> World {
+        let rng = DetRng::new(cfg.seed);
+        World {
+            cfg,
+            sched: Scheduler::new(),
+            hosts: Vec::new(),
+            router: BroadcastRouter::default_testbed(),
+            switch: ClusterSwitch::gige(),
+            rng,
+            migrations: HashMap::new(),
+            next_mig: 1,
+            next_pid: 1,
+            reports: Vec::new(),
+            packet_log: Vec::new(),
+            log_port: None,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Record every transmitted frame touching this port (Fig. 4 tcpdump).
+    pub fn enable_packet_log(&mut self, port: Port) {
+        self.log_port = Some(port);
+    }
+
+    // ------------------------------------------------------------------
+    // topology construction
+    // ------------------------------------------------------------------
+
+    fn next_node(&self) -> NodeId {
+        NodeId(self.hosts.len() as u32)
+    }
+
+    /// Add a DVE server node (public + local interface, router + switch).
+    pub fn add_server_node(&mut self) -> usize {
+        let node = self.next_node();
+        let jiffies_base = self.rng.fork(node.0 as u64 ^ 0x1ff).next_u64() % 100_000_000;
+        let stack = HostStack::server_node(node, jiffies_base, self.cfg.seed ^ node.0 as u64);
+        self.router.attach_node(node);
+        self.switch.attach(node);
+        self.hosts.push(Host::new(HostKind::Server, stack));
+        self.hosts.len() - 1
+    }
+
+    /// Add a client host on the WAN side.
+    pub fn add_client_host(&mut self) -> usize {
+        let node = self.next_node();
+        let jiffies_base = self.rng.fork(node.0 as u64 ^ 0x2ff).next_u64() % 100_000_000;
+        let stack = HostStack::client_host(node, jiffies_base, self.cfg.seed ^ node.0 as u64);
+        self.router.attach_client(node);
+        self.hosts.push(Host::new(HostKind::Client, stack));
+        self.hosts.len() - 1
+    }
+
+    /// Add a database host (local network only).
+    pub fn add_database_host(&mut self) -> usize {
+        let node = self.next_node();
+        let jiffies_base = self.rng.fork(node.0 as u64 ^ 0x3ff).next_u64() % 100_000_000;
+        let local = Ip::local_of(node);
+        let stack = HostStack::new(
+            node,
+            local,
+            local,
+            jiffies_base,
+            self.cfg.seed ^ node.0 as u64,
+        );
+        self.switch.attach(node);
+        self.hosts.push(Host::new(HostKind::Database, stack));
+        self.hosts.len() - 1
+    }
+
+    /// Enable the load-balancing middleware on every server node: create
+    /// conductors, run discovery and schedule their periodic ticks.
+    pub fn enable_load_balancing(&mut self) {
+        let now = self.now();
+        for h in 0..self.hosts.len() {
+            if self.hosts[h].kind != HostKind::Server {
+                continue;
+            }
+            let node = self.hosts[h].stack.node;
+            let mut cond = Conductor::new(node, self.cfg.lb);
+            let local = self.local_load(h, now);
+            let actions = cond.on_start(local);
+            self.hosts[h].conductor = Some(cond);
+            self.route_lb_actions(h, actions);
+            // Stagger ticks a little so nodes do not broadcast in lockstep.
+            let offset = self.rng.range_u64(0, 50_000);
+            self.sched
+                .schedule_after(offset + 1_000, Event::ConductorTick { host: h });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // processes and sockets
+    // ------------------------------------------------------------------
+
+    /// Spawn a process running `app` on a host.
+    pub fn spawn_process(
+        &mut self,
+        host: usize,
+        name: &str,
+        text_pages: usize,
+        data_pages: usize,
+        app: Box<dyn App>,
+    ) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let process = Process::new(pid, name, text_pages, data_pages);
+        let period = app.tick_period_us();
+        self.hosts[host].procs.insert(
+            pid,
+            ProcEntry {
+                process,
+                app,
+                suspended: false,
+                tick_period_us: period,
+            },
+        );
+        let offset = self.rng.range_u64(0, period.max(1));
+        self.sched
+            .schedule_after(offset, Event::AppTick { host, pid });
+        pid
+    }
+
+    /// Which host currently runs `pid`.
+    pub fn host_of(&self, pid: Pid) -> Option<usize> {
+        self.hosts.iter().position(|h| h.procs.contains_key(&pid))
+    }
+
+    /// Create a TCP listener owned by a process.
+    pub fn app_tcp_listen(&mut self, host: usize, pid: Pid, addr: SockAddr) -> Fd {
+        let sid = self.hosts[host]
+            .stack
+            .tcp_listen(addr)
+            .expect("listen address free");
+        self.attach_fd(host, pid, sid)
+    }
+
+    /// Bind a UDP socket owned by a process.
+    pub fn app_udp_bind(&mut self, host: usize, pid: Pid, addr: SockAddr) -> Fd {
+        let sid = self.hosts[host]
+            .stack
+            .udp_bind(addr)
+            .expect("bind address free");
+        self.attach_fd(host, pid, sid)
+    }
+
+    /// Bind an ephemeral UDP socket owned by a process, optionally with a
+    /// default peer.
+    pub fn app_udp_socket(&mut self, host: usize, pid: Pid, peer: Option<SockAddr>) -> Fd {
+        let sid = self.hosts[host].stack.udp_bind_ephemeral();
+        if let Some(p) = peer {
+            self.hosts[host].stack.udp_connect(sid, p);
+        }
+        self.attach_fd(host, pid, sid)
+    }
+
+    /// Actively open a TCP connection owned by a process. `via_local`
+    /// selects the in-cluster interface (zone server → database); otherwise
+    /// the public/WAN interface is used (clients → cluster).
+    pub fn app_tcp_connect(
+        &mut self,
+        host: usize,
+        pid: Pid,
+        remote: SockAddr,
+        via_local: bool,
+    ) -> Fd {
+        let now = self.now();
+        let (sid, fx) = if via_local {
+            self.hosts[host].stack.tcp_connect_local(remote, now)
+        } else {
+            self.hosts[host].stack.tcp_connect_public(remote, now)
+        };
+        let fd = self.attach_fd(host, pid, sid);
+        self.apply_effects(host, fx);
+        fd
+    }
+
+    fn attach_fd(&mut self, host: usize, pid: Pid, sid: SockId) -> Fd {
+        let h = &mut self.hosts[host];
+        let entry = h.procs.get_mut(&pid).expect("process exists on host");
+        let fd = entry.process.fds.insert(FdEntry::Socket(sid));
+        h.register_sock(sid, pid, fd);
+        fd
+    }
+
+    // ------------------------------------------------------------------
+    // migration
+    // ------------------------------------------------------------------
+
+    /// Begin migrating `pid` to the server node at `dst_host`. Returns the
+    /// migration id, or `None` if the pid is unknown or already migrating.
+    pub fn begin_migration(
+        &mut self,
+        pid: Pid,
+        dst_host: usize,
+        strategy: Strategy,
+    ) -> Option<MigId> {
+        let src_host = self.host_of(pid)?;
+        if src_host == dst_host {
+            return None;
+        }
+        if self.migrations.values().any(|m| m.pid == pid) {
+            return None;
+        }
+        let engine = MigrationEngine::new(
+            pid,
+            self.hosts[src_host].stack.node,
+            self.hosts[dst_host].stack.node,
+            strategy,
+            self.cfg.cost,
+            self.now(),
+        );
+        let mig = self.next_mig;
+        self.next_mig += 1;
+        self.migrations.insert(
+            mig,
+            MigTask {
+                engine,
+                src: src_host,
+                dst: dst_host,
+                pid,
+            },
+        );
+        self.sched.schedule_after(0, Event::MigrationStep { mig });
+        Some(mig)
+    }
+
+    /// Number of migrations in progress.
+    pub fn active_migrations(&self) -> usize {
+        self.migrations.len()
+    }
+
+    /// Gracefully drain a server node ("machines may join and leave at any
+    /// time", §IV): live-migrate every process away, spreading them over the
+    /// least-loaded other server nodes. Returns the migration ids; once they
+    /// complete the node holds nothing and can be detached.
+    pub fn drain_node(&mut self, host: usize, strategy: Strategy) -> Vec<MigId> {
+        assert_eq!(
+            self.hosts[host].kind,
+            HostKind::Server,
+            "only server nodes drain"
+        );
+        let pids = self.hosts[host].pids();
+        let mut migs = Vec::new();
+        // Loads only change once migrations complete, so weight each
+        // candidate by what has already been planned onto it.
+        let mut planned: HashMap<usize, usize> = HashMap::new();
+        for pid in pids {
+            let share = self.hosts[host].procs[&pid].process.cpu_share.max(1.0);
+            let dest = self
+                .hosts
+                .iter()
+                .enumerate()
+                .filter(|(i, h)| *i != host && h.kind == HostKind::Server)
+                .min_by(|(i, a), (j, b)| {
+                    let la = a.cpu_pct() + share * *planned.get(i).unwrap_or(&0) as f64;
+                    let lb = b.cpu_pct() + share * *planned.get(j).unwrap_or(&0) as f64;
+                    la.partial_cmp(&lb).expect("loads are finite")
+                })
+                .map(|(i, _)| i);
+            let Some(dest) = dest else {
+                break; // nowhere to go
+            };
+            if let Some(m) = self.begin_migration(pid, dest, strategy) {
+                *planned.entry(dest).or_insert(0) += 1;
+                migs.push(m);
+            }
+        }
+        migs
+    }
+
+    /// Detach an empty server node from the fabric (it stops receiving
+    /// broadcast copies and leaves the switch). Panics if it still hosts
+    /// processes — drain first.
+    pub fn detach_node(&mut self, host: usize) {
+        assert!(
+            self.hosts[host].procs.is_empty(),
+            "detach of a non-empty node; drain_node first"
+        );
+        let node = self.hosts[host].stack.node;
+        self.router.detach_node(node);
+        self.switch.detach(node);
+        self.hosts[host].conductor = None;
+    }
+
+    // ------------------------------------------------------------------
+    // fault tolerance (checkpoint / crash / cold restart) — the other use
+    // case the paper's conclusion names for connection-preserving C/R
+    // ------------------------------------------------------------------
+
+    /// Take a full (non-live) checkpoint of a process. The image contains
+    /// memory, files, threads and signal handlers — no sockets (BLCR
+    /// semantics); contrast with live migration, which carries them.
+    pub fn checkpoint_process(&self, pid: Pid) -> Option<dvelm_ckpt::CheckpointImage> {
+        let h = self.host_of(pid)?;
+        Some(dvelm_ckpt::full_checkpoint(
+            &self.hosts[h].procs[&pid].process,
+        ))
+    }
+
+    /// Crash a process: the process and all its sockets vanish from its
+    /// host (peers see silence, then retransmission timeouts).
+    pub fn kill_process(&mut self, pid: Pid) -> bool {
+        let Some(h) = self.host_of(pid) else {
+            return false;
+        };
+        let entry = self.hosts[h]
+            .procs
+            .remove(&pid)
+            .expect("host_of said it is here");
+        let socks: Vec<SockId> = entry.process.fds.sockets().map(|(_, s)| s).collect();
+        for s in socks {
+            self.hosts[h].stack.release(s);
+        }
+        self.hosts[h].unindex_proc_sockets(pid);
+        true
+    }
+
+    /// Restart a process from a checkpoint image on `host`, with a fresh
+    /// application object. Memory, files and threads are restored; sockets
+    /// are *not* (clients must reconnect) — exactly the gap live migration
+    /// closes.
+    pub fn cold_restart(
+        &mut self,
+        img: &dvelm_ckpt::CheckpointImage,
+        host: usize,
+        app: Box<dyn App>,
+    ) -> Pid {
+        let mut process = dvelm_ckpt::restore_process(img);
+        process.resume_all();
+        let pid = process.pid;
+        self.next_pid = self.next_pid.max(pid.0 + 1);
+        let period = app.tick_period_us();
+        self.hosts[host].procs.insert(
+            pid,
+            ProcEntry {
+                process,
+                app,
+                suspended: false,
+                tick_period_us: period,
+            },
+        );
+        self.sched.schedule_after(0, Event::AppTick { host, pid });
+        pid
+    }
+
+    // ------------------------------------------------------------------
+    // running
+    // ------------------------------------------------------------------
+
+    /// Run the event loop until `deadline` (events at the deadline are
+    /// processed).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.sched.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (_, event) = self.sched.pop_next().expect("peeked event exists");
+            self.dispatch(event);
+        }
+    }
+
+    /// Run for `us` microseconds of simulated time.
+    pub fn run_for(&mut self, us: u64) {
+        let deadline = self.now() + us;
+        self.run_until(deadline);
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::PacketArrival { host, seg } => {
+                let now = self.now();
+                let fx = self.hosts[host].stack.on_rx(seg, now);
+                self.apply_effects(host, fx);
+            }
+            Event::SockTimer { host, sock, gen } => {
+                let now = self.now();
+                let fx = self.hosts[host].stack.on_timer(sock, gen, now);
+                self.apply_effects(host, fx);
+            }
+            Event::AppTick { host, pid } => self.on_app_tick(host, pid),
+            Event::AppRead { host, pid, sock } => self.on_app_read(host, pid, sock),
+            Event::ConductorTick { host } => self.on_conductor_tick(host),
+            Event::LbMessage { host, from, msg } => self.on_lb_message(host, from, msg),
+            Event::MigrationStep { mig } => self.on_migration_step(mig),
+            Event::InstallXlate { host, rule } => {
+                self.hosts[host].stack.xlate.install(rule);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // application callbacks
+    // ------------------------------------------------------------------
+
+    fn with_app<R>(
+        &mut self,
+        host: usize,
+        pid: Pid,
+        f: impl FnOnce(&mut dyn App, &mut AppCtx<'_>) -> R,
+    ) -> Option<R> {
+        let now = self.now();
+        let h = &mut self.hosts[host];
+        let entry = h.procs.get_mut(&pid)?;
+        if entry.suspended {
+            return None;
+        }
+        let mut effects = Vec::new();
+        let r = {
+            let mut ctx = AppCtx {
+                now,
+                pid,
+                rng: &mut self.rng,
+                proc: &mut entry.process,
+                stack: &mut h.stack,
+                effects: &mut effects,
+            };
+            f(entry.app.as_mut(), &mut ctx)
+        };
+        self.apply_effects(host, effects);
+        Some(r)
+    }
+
+    fn on_app_tick(&mut self, host: usize, pid: Pid) {
+        let Some(entry) = self.hosts[host].procs.get(&pid) else {
+            return; // process moved away or exited; its new host rescheduled
+        };
+        if entry.suspended {
+            return; // frozen: the tick chain resumes after restore
+        }
+        let period = entry.tick_period_us;
+        self.with_app(host, pid, |app, ctx| app.on_tick(ctx));
+        self.sched
+            .schedule_after(period, Event::AppTick { host, pid });
+    }
+
+    fn on_app_read(&mut self, host: usize, pid: Pid, sock: SockId) {
+        // The socket may have moved or closed since the event was scheduled.
+        let Some(&(owner_pid, fd)) = self.hosts[host].sock_owner.get(&sock) else {
+            return;
+        };
+        if owner_pid != pid {
+            return;
+        }
+        let now = self.now();
+        let is_tcp = match self.hosts[host].stack.sock(sock) {
+            Some(s) => s.is_tcp(),
+            None => return,
+        };
+        if is_tcp {
+            let data = self.hosts[host].stack.read_tcp(sock, now);
+            if !data.is_empty() {
+                // §V-C fidelity: while the application processes the data it
+                // holds the socket lock, so segments arriving meanwhile park
+                // on the backlog and are processed at unlock.
+                self.hosts[host].stack.set_user_locked(sock, true, now);
+                self.with_app(host, pid, |app, ctx| app.on_tcp_data(ctx, fd, &data));
+                let fx = self.hosts[host].stack.set_user_locked(sock, false, now);
+                self.apply_effects(host, fx);
+            }
+        } else {
+            let dgrams = self.hosts[host].stack.read_udp(sock);
+            if !dgrams.is_empty() {
+                self.with_app(host, pid, |app, ctx| app.on_udp_data(ctx, fd, &dgrams));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // conductor wiring
+    // ------------------------------------------------------------------
+
+    /// Latest smoothed load indicator for a host (raw CPU if no sample yet).
+    fn local_load(&self, host: usize, now: SimTime) -> LoadInfo {
+        let h = &self.hosts[host];
+        let cpu = h.load_monitor.current().unwrap_or_else(|| h.cpu_pct());
+        LoadInfo::new(h.stack.node, cpu, h.procs.len() as u32, now)
+    }
+
+    fn on_conductor_tick(&mut self, host: usize) {
+        let now = self.now();
+        if self.hosts[host].conductor.is_none() {
+            return;
+        }
+        // Sample the atop-style monitor at every tick.
+        let raw = self.hosts[host].cpu_pct();
+        self.hosts[host].load_monitor.sample(raw);
+        let local = self.local_load(host, now);
+        let procs = self.hosts[host].proc_loads();
+        let actions = self.hosts[host]
+            .conductor
+            .as_mut()
+            .expect("checked above")
+            .on_tick(now, local, &procs);
+        self.route_lb_actions(host, actions);
+        self.sched
+            .schedule_after(self.cfg.conductor_tick_us, Event::ConductorTick { host });
+    }
+
+    fn on_lb_message(&mut self, host: usize, from: NodeId, msg: LbMsg) {
+        let now = self.now();
+        if self.hosts[host].conductor.is_none() {
+            return;
+        }
+        let local = self.local_load(host, now);
+        let actions = self.hosts[host]
+            .conductor
+            .as_mut()
+            .expect("checked above")
+            .on_msg(now, from, msg, local);
+        self.route_lb_actions(host, actions);
+    }
+
+    fn route_lb_actions(&mut self, host: usize, actions: Vec<Action>) {
+        let now = self.now();
+        let node = self.hosts[host].stack.node;
+        for action in actions {
+            match action {
+                Action::Broadcast(msg) => {
+                    let arrivals =
+                        self.switch
+                            .broadcast(now, node, msg.wire_bytes(), &mut self.rng);
+                    for (dest, at) in arrivals {
+                        if let Some(h) = self.host_by_node(dest) {
+                            if self.hosts[h].conductor.is_some() {
+                                self.sched.schedule_at(
+                                    at,
+                                    Event::LbMessage {
+                                        host: h,
+                                        from: node,
+                                        msg,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                Action::Send(dest, msg) => {
+                    if let Some(at) =
+                        self.switch
+                            .unicast(now, node, dest, msg.wire_bytes(), &mut self.rng)
+                    {
+                        if let Some(h) = self.host_by_node(dest) {
+                            self.sched.schedule_at(
+                                at,
+                                Event::LbMessage {
+                                    host: h,
+                                    from: node,
+                                    msg,
+                                },
+                            );
+                        }
+                    }
+                }
+                Action::StartMigration { pid, dest } => {
+                    let Some(dst_host) = self.host_by_node(dest) else {
+                        continue;
+                    };
+                    let strategy = self.cfg.strategy;
+                    if self.begin_migration(pid, dst_host, strategy).is_none() {
+                        // Could not start (pid vanished): release both sides.
+                        if let Some(c) = self.hosts[host].conductor.as_mut() {
+                            let actions = c.on_migration_finished(now, false);
+                            self.route_lb_actions(host, actions);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn host_by_node(&self, node: NodeId) -> Option<usize> {
+        self.hosts.iter().position(|h| h.stack.node == node)
+    }
+
+    // ------------------------------------------------------------------
+    // migration stepping
+    // ------------------------------------------------------------------
+
+    fn on_migration_step(&mut self, mig: MigId) {
+        let now = self.now();
+        let Some(task) = self.migrations.get_mut(&mig) else {
+            return;
+        };
+        let (src, dst, pid) = (task.src, task.dst, task.pid);
+
+        // Split the borrows: engine lives in self.migrations, stacks and the
+        // process in self.hosts.
+        let plan = {
+            let (lo, hi) = if src < dst { (src, dst) } else { (dst, src) };
+            let (left, right) = self.hosts.split_at_mut(hi);
+            let (src_host, dst_host) = if src < dst {
+                (&mut left[lo], &mut right[0])
+            } else {
+                (&mut right[0], &mut left[lo])
+            };
+            let entry = src_host
+                .procs
+                .get_mut(&pid)
+                .expect("migrating process on source");
+            task.engine.step(StepIo {
+                now,
+                src_stack: &mut src_host.stack,
+                dst_stack: &mut dst_host.stack,
+                proc: &mut entry.process,
+            })
+        };
+
+        if plan.suspend_app {
+            self.hosts[src]
+                .procs
+                .get_mut(&pid)
+                .expect("migrating process on source")
+                .suspended = true;
+        }
+        for (peer_node, rule) in plan.xlate_requests {
+            // The peer endpoint may itself have migrated since the
+            // connection was created; deliver the rule to whichever host
+            // currently runs its socket, falling back to the host its
+            // address names.
+            let owner = self.hosts.iter().position(|h| {
+                h.stack.has_established(
+                    rule.peer_local,
+                    dvelm_net::SockAddr {
+                        ip: rule.old_remote_ip,
+                        port: rule.remote_port,
+                    },
+                )
+            });
+            let target = owner.or_else(|| self.host_by_node(peer_node));
+            if let Some(h) = target {
+                self.sched.schedule_after(
+                    self.cfg.ctrl_latency_us,
+                    Event::InstallXlate { host: h, rule },
+                );
+            }
+        }
+        if !plan.src_effects.is_empty() {
+            self.apply_effects(src, plan.src_effects);
+        }
+        if !plan.dst_effects.is_empty() {
+            self.apply_effects(dst, plan.dst_effects);
+        }
+        if let Some(complete) = plan.complete {
+            self.finish_migration(mig, complete);
+        } else if let Some(after) = plan.next_step_after_us {
+            self.sched
+                .schedule_after(after, Event::MigrationStep { mig });
+        }
+    }
+
+    fn finish_migration(&mut self, mig: MigId, complete: MigrationComplete) {
+        let task = self
+            .migrations
+            .remove(&mig)
+            .expect("finishing an active migration");
+        let MigTask { src, dst, pid, .. } = task;
+
+        // Move the application object; replace the process with the restored
+        // one. The source keeps nothing (no residual dependencies).
+        let old = self.hosts[src]
+            .procs
+            .remove(&pid)
+            .expect("process on source");
+        self.hosts[src].unindex_proc_sockets(pid);
+        let tick_period_us = old.tick_period_us;
+        self.hosts[dst].procs.insert(
+            pid,
+            ProcEntry {
+                process: complete.process,
+                app: old.app,
+                suspended: false,
+                tick_period_us,
+            },
+        );
+        self.hosts[dst].reindex_proc_sockets(pid);
+        self.reports.push(complete.report);
+
+        // Resume the real-time loop on the destination and drain anything
+        // that queued up during the freeze.
+        self.sched
+            .schedule_after(0, Event::AppTick { host: dst, pid });
+        let socks: Vec<SockId> = self.hosts[dst].procs[&pid]
+            .process
+            .fds
+            .sockets()
+            .map(|(_, s)| s)
+            .collect();
+        for sock in socks {
+            self.sched.schedule_after(
+                self.cfg.app_read_delay_us,
+                Event::AppRead {
+                    host: dst,
+                    pid,
+                    sock,
+                },
+            );
+        }
+
+        // Tell the sender-side conductor (which releases the receiver via
+        // MigDone).
+        let now = self.now();
+        if let Some(c) = self.hosts[src].conductor.as_mut() {
+            let actions = c.on_migration_finished(now, true);
+            self.route_lb_actions(src, actions);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // effect routing
+    // ------------------------------------------------------------------
+
+    fn apply_effects(&mut self, host: usize, fx: Vec<StackEffect>) {
+        for effect in fx {
+            match effect {
+                StackEffect::Tx { seg, route } => self.transmit(host, seg, route),
+                StackEffect::DataReadable { sock } => {
+                    if let Some(&(pid, _)) = self.hosts[host].sock_owner.get(&sock) {
+                        let suspended =
+                            self.hosts[host].procs.get(&pid).is_none_or(|e| e.suspended);
+                        if !suspended {
+                            self.sched.schedule_after(
+                                self.cfg.app_read_delay_us,
+                                Event::AppRead { host, pid, sock },
+                            );
+                        }
+                    }
+                }
+                StackEffect::ArmTimer { sock, gen, at } => {
+                    self.sched
+                        .schedule_at(at, Event::SockTimer { host, sock, gen });
+                }
+                StackEffect::Established { sock } => {
+                    if let Some(&(pid, fd)) = self.hosts[host].sock_owner.get(&sock) {
+                        self.with_app(host, pid, |app, ctx| app.on_connected(ctx, fd));
+                    }
+                }
+                StackEffect::NewConnection { listener, child } => {
+                    if let Some(&(pid, lfd)) = self.hosts[host].sock_owner.get(&listener) {
+                        let cfd = {
+                            let h = &mut self.hosts[host];
+                            let entry = h.procs.get_mut(&pid).expect("listener owner exists");
+                            let cfd = entry.process.fds.insert(FdEntry::Socket(child));
+                            h.register_sock(child, pid, cfd);
+                            cfd
+                        };
+                        self.with_app(host, pid, |app, ctx| app.on_new_connection(ctx, lfd, cfd));
+                    }
+                }
+                StackEffect::PeerFin { sock } => {
+                    if let Some(&(pid, fd)) = self.hosts[host].sock_owner.get(&sock) {
+                        self.with_app(host, pid, |app, ctx| app.on_conn_closed(ctx, fd));
+                    }
+                }
+                StackEffect::SockClosed { sock } => {
+                    self.hosts[host].sock_owner.remove(&sock);
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, host: usize, seg: Segment, route: Ip) {
+        let now = self.now();
+        let from = self.hosts[host].stack.node;
+        if let Some(port) = self.log_port {
+            if seg.src.port == port || seg.dst.port == port {
+                self.packet_log.push(PacketLogEntry {
+                    at: now,
+                    from_host: host,
+                    src: seg.src,
+                    dst: seg.dst,
+                    bytes: seg.wire_size(),
+                });
+            }
+        }
+        let bytes = seg.wire_size();
+        if route == Ip::CLUSTER_PUBLIC {
+            // Client → cluster: the router broadcasts to every node.
+            let arrivals = self.router.inbound(now, from, bytes, &mut self.rng);
+            for (node, at) in arrivals {
+                if let Some(h) = self.host_by_node(node) {
+                    self.sched.schedule_at(
+                        at,
+                        Event::PacketArrival {
+                            host: h,
+                            seg: seg.clone(),
+                        },
+                    );
+                }
+            }
+        } else if let Some(client) = route.client_host() {
+            // Server → client, unicast through the router.
+            if let Some(at) = self
+                .router
+                .outbound(now, from, client, bytes, &mut self.rng)
+            {
+                if let Some(h) = self.host_by_node(client) {
+                    self.sched
+                        .schedule_at(at, Event::PacketArrival { host: h, seg });
+                }
+            }
+        } else if route.is_local() {
+            if let Some(dest) = route.local_host() {
+                if self.switch.is_attached(dest) {
+                    if let Some(at) = self.switch.unicast(now, from, dest, bytes, &mut self.rng) {
+                        if let Some(h) = self.host_by_node(dest) {
+                            self.sched
+                                .schedule_at(at, Event::PacketArrival { host: h, seg });
+                        }
+                    }
+                }
+            }
+        }
+        // Anything else (unknown destination) vanishes, like a frame to a
+        // dark address.
+    }
+}

@@ -1,0 +1,157 @@
+//! The migration timing model, calibrated to the paper's testbed (§VI-A:
+//! 2.4 GHz dual-core Opterons, Gigabit Ethernet everywhere).
+//!
+//! Every phase of a migration costs simulated time computed from byte
+//! counts: CPU serialization/restoration rates, wire bandwidth, one-way
+//! latency and fixed per-message software overhead. The same constants drive
+//! all three socket-migration strategies, so the Fig. 5b/5c comparisons fall
+//! out of the *protocol structure* (how many messages, how many bytes), not
+//! out of per-strategy fudge factors.
+
+use dvelm_sim::MILLISECOND;
+
+/// Timing/cost parameters of the cluster hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// In-cluster wire bandwidth, bytes/second (GigE payload rate).
+    pub bandwidth: u64,
+    /// One-way in-cluster latency, µs.
+    pub latency_us: u64,
+    /// Fixed software overhead per message (syscalls, kernel traversal), µs.
+    pub msg_overhead_us: u64,
+    /// Checkpoint serialization rate (memcpy-bound), bytes/second.
+    pub serialize_rate: u64,
+    /// Restore/apply rate on the destination, bytes/second.
+    pub restore_rate: u64,
+    /// Installing one capture-table entry, µs.
+    pub capture_entry_us: u64,
+    /// Signal delivery + handler entry per checkpoint request, µs.
+    pub signal_us: u64,
+    /// Thread barrier + leader election in the freeze protocol, µs.
+    pub barrier_us: u64,
+    /// Initial precopy loop timeout, µs (halved per iteration, §III-A).
+    pub initial_loop_timeout_us: u64,
+    /// Freeze threshold: when the loop timeout reaches this, the final
+    /// checkpoint is signalled (20 ms in the prototype).
+    pub freeze_threshold_us: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            bandwidth: 125_000_000,
+            latency_us: 25,
+            msg_overhead_us: 30,
+            serialize_rate: 2_000_000_000,
+            restore_rate: 1_500_000_000,
+            capture_entry_us: 2,
+            signal_us: 80,
+            barrier_us: 150,
+            initial_loop_timeout_us: 320 * MILLISECOND,
+            freeze_threshold_us: 20 * MILLISECOND,
+        }
+    }
+}
+
+impl CostModel {
+    /// CPU time to serialize `bytes` of checkpoint data, µs.
+    pub fn serialize_us(&self, bytes: u64) -> u64 {
+        (bytes.saturating_mul(1_000_000) / self.serialize_rate).max(1)
+    }
+
+    /// CPU time to apply `bytes` of checkpoint data on the destination, µs.
+    pub fn restore_us(&self, bytes: u64) -> u64 {
+        (bytes.saturating_mul(1_000_000) / self.restore_rate).max(1)
+    }
+
+    /// Wall time for one message of `bytes` to reach the destination, µs.
+    pub fn transfer_us(&self, bytes: u64) -> u64 {
+        self.msg_overhead_us + bytes.saturating_mul(1_000_000) / self.bandwidth + self.latency_us
+    }
+
+    /// A control-message round trip, µs.
+    pub fn rtt_us(&self) -> u64 {
+        2 * (self.msg_overhead_us + self.latency_us)
+    }
+
+    /// Time to enable `entries` capture-table entries on the destination,
+    /// including the confirmation round trip (§III-B / §III-C phase one), µs.
+    pub fn capture_setup_us(&self, entries: u64) -> u64 {
+        self.rtt_us() + entries * self.capture_entry_us
+    }
+
+    /// End-to-end cost of shipping one standalone record (serialize,
+    /// transfer, restore) — the per-socket cost of the *iterative* strategy,
+    /// which also pays a capture round trip per socket, µs.
+    pub fn per_socket_iterative_us(&self, record_bytes: u64) -> u64 {
+        self.rtt_us()
+            + self.serialize_us(record_bytes)
+            + self.transfer_us(record_bytes)
+            + self.restore_us(record_bytes)
+    }
+
+    /// Cost of shipping one aggregated buffer (serialize, transfer, restore)
+    /// — the bulk phase of the collective strategies, µs.
+    pub fn bulk_us(&self, bytes: u64) -> u64 {
+        self.serialize_us(bytes) + self.transfer_us(bytes) + self.restore_us(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gige_transfer_rates() {
+        let c = CostModel::default();
+        // 1 MB at 125 MB/s = 8 ms on the wire plus fixed costs.
+        assert_eq!(c.transfer_us(1_000_000), 30 + 8_000 + 25);
+        assert_eq!(c.serialize_us(2_000_000), 1_000);
+        assert_eq!(c.restore_us(1_500_000), 1_000);
+    }
+
+    #[test]
+    fn aggregation_beats_iteration() {
+        // The structural claim behind Fig. 5b: n small transfers cost more
+        // than one big one because fixed per-message costs repeat.
+        let c = CostModel::default();
+        let n = 1024u64;
+        let rec = 3_000u64;
+        let iterative: u64 = (0..n).map(|_| c.per_socket_iterative_us(rec)).sum();
+        let collective = c.capture_setup_us(n) + c.bulk_us(n * rec);
+        assert!(
+            iterative > 3 * collective,
+            "iterative {iterative}µs vs collective {collective}µs"
+        );
+    }
+
+    #[test]
+    fn iterative_cost_matches_paper_scale() {
+        // ~1024 connections → iterative freeze in the 100-300 ms band
+        // (paper: ≈180 ms).
+        let c = CostModel::default();
+        let total: u64 = (0..1024u64).map(|_| c.per_socket_iterative_us(3_000)).sum();
+        assert!((100_000..300_000).contains(&total), "{total}µs");
+    }
+
+    #[test]
+    fn collective_cost_matches_paper_scale() {
+        // ~3 MB aggregate → collective bulk in the 25-80 ms band
+        // (paper: ≈65 ms at 1024 connections including memory).
+        let c = CostModel::default();
+        let total = c.capture_setup_us(1024) + c.bulk_us(3_000_000);
+        assert!((25_000..80_000).contains(&total), "{total}µs");
+    }
+
+    #[test]
+    fn loop_timeout_schedule_reaches_threshold() {
+        let c = CostModel::default();
+        let mut t = c.initial_loop_timeout_us;
+        let mut iters = 0;
+        while t > c.freeze_threshold_us {
+            t = (t / 2).max(c.freeze_threshold_us);
+            iters += 1;
+        }
+        assert_eq!(iters, 4, "320→160→80→40→20 ms");
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-migration measurement record — the numbers behind Fig. 4, 5b and 5c.
+
+use crate::strategy::Strategy;
+use dvelm_proc::Pid;
+use dvelm_sim::SimTime;
+
+/// Everything measured about one migration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationReport {
+    pub pid: Pid,
+    pub strategy: Strategy,
+    /// Migration initiated (precopy begins; application keeps running).
+    pub started_at: SimTime,
+    /// Application suspended (freeze phase begins).
+    pub frozen_at: SimTime,
+    /// Application resumed on the destination.
+    pub resumed_at: SimTime,
+    /// Precopy iterations performed (including the initial full transfer).
+    pub precopy_iterations: u32,
+    /// Bytes shipped while the application was running.
+    pub precopy_bytes: u64,
+    /// of which: socket state shipped during precopy (incremental strategy).
+    pub precopy_socket_bytes: u64,
+    /// Bytes shipped during the freeze phase (memory + freeze records +
+    /// sockets).
+    pub freeze_bytes: u64,
+    /// of which: socket state shipped during the freeze phase — the Fig. 5c
+    /// metric.
+    pub freeze_socket_bytes: u64,
+    /// Sockets migrated.
+    pub sockets_migrated: u32,
+    /// Packets captured on the destination while the sockets were in
+    /// transit, then re-injected.
+    pub packets_reinjected: u64,
+    /// Sockets whose backlog/prequeue were non-empty at detach. Always zero
+    /// with signal-based checkpoint notification (§V-C1: every thread
+    /// returns to userspace first); kernel-initiated checkpointing can catch
+    /// sockets locked, forcing their parked queues into the image.
+    pub parked_nonempty_sockets: u32,
+    /// Protocol-phase entry instants, in order — the Fig. 3 timeline of this
+    /// particular migration.
+    pub phase_log: Vec<(&'static str, SimTime)>,
+}
+
+impl MigrationReport {
+    /// A zeroed report (filled in by the engine).
+    pub fn new(pid: Pid, strategy: Strategy, started_at: SimTime) -> MigrationReport {
+        MigrationReport {
+            pid,
+            strategy,
+            started_at,
+            frozen_at: started_at,
+            resumed_at: started_at,
+            precopy_iterations: 0,
+            precopy_bytes: 0,
+            precopy_socket_bytes: 0,
+            freeze_bytes: 0,
+            freeze_socket_bytes: 0,
+            sockets_migrated: 0,
+            packets_reinjected: 0,
+            parked_nonempty_sockets: 0,
+            phase_log: Vec::new(),
+        }
+    }
+
+    /// Process freeze time — the interval the application was unresponsive
+    /// (the Fig. 5b metric), µs.
+    pub fn freeze_us(&self) -> u64 {
+        self.resumed_at.saturating_since(self.frozen_at)
+    }
+
+    /// Total migration duration (precopy + freeze), µs.
+    pub fn total_us(&self) -> u64 {
+        self.resumed_at.saturating_since(self.started_at)
+    }
+
+    /// All bytes moved for this migration.
+    pub fn total_bytes(&self) -> u64 {
+        self.precopy_bytes + self.freeze_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_intervals() {
+        let mut r = MigrationReport::new(Pid(1), Strategy::Collective, SimTime::from_millis(100));
+        r.frozen_at = SimTime::from_millis(700);
+        r.resumed_at = SimTime::from_micros(727_500);
+        assert_eq!(r.freeze_us(), 27_500);
+        assert_eq!(r.total_us(), 627_500);
+    }
+
+    #[test]
+    fn byte_totals() {
+        let mut r = MigrationReport::new(Pid(1), Strategy::Iterative, SimTime::ZERO);
+        r.precopy_bytes = 1_000;
+        r.freeze_bytes = 234;
+        assert_eq!(r.total_bytes(), 1_234);
+    }
+}

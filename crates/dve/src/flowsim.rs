@@ -1,0 +1,399 @@
+//! The 900-second DVE load-balancing experiment (Fig. 5d/5e/5f) at flow
+//! level.
+//!
+//! The packet-level world is exercised by the migration experiments; for the
+//! 15-minute, 100-process, 10 000-client load-trajectory figures the
+//! simulation runs at one-second steps: client movement updates zone
+//! populations, zone-server CPU follows its client count, and the *real*
+//! conductor state machines from `dvelm-lb` (the same code the packet-level
+//! world wires in) exchange heartbeats and initiate migrations. Migration
+//! durations and overheads come from the calibrated
+//! [`CostModel`].
+
+use crate::clients::{ClientPopulation, MovementConfig};
+use crate::space::{VirtualSpace, ZoneId, NODES, ZONES};
+use dvelm_lb::{Action, Conductor, LoadInfo, PolicyConfig};
+use dvelm_metrics::TimeSeries;
+use dvelm_migrate::{predict_total_us, CostModel, Strategy, WorkloadProfile};
+use dvelm_net::NodeId;
+use dvelm_proc::Pid;
+use dvelm_sim::SimTime;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct FlowSimConfig {
+    /// Total simulated clients.
+    pub clients: usize,
+    /// Experiment duration in seconds (the paper runs ≈15 minutes).
+    pub duration_s: u32,
+    /// Load balancing on or off (Fig. 5f vs Fig. 5e).
+    pub lb_enabled: bool,
+    /// Movement model.
+    pub movement: MovementConfig,
+    /// Conductor policies.
+    pub lb: PolicyConfig,
+    /// Migration cost model.
+    pub cost: CostModel,
+    /// OS + services baseline CPU per node, percent.
+    pub node_base_cpu: f64,
+    /// Zone-server CPU model: share = base + per_client × clients.
+    pub proc_base_cpu: f64,
+    pub proc_per_client_cpu: f64,
+    /// Extra CPU on both ends while a migration is in flight, percent.
+    pub migration_overhead_cpu: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FlowSimConfig {
+    fn default() -> Self {
+        FlowSimConfig {
+            clients: 10_000,
+            duration_s: 900,
+            lb_enabled: true,
+            movement: MovementConfig::default(),
+            lb: PolicyConfig {
+                // Tighter than the packet-level defaults: the paper's run
+                // rebalances ~7 processes off each corner node over 15 min.
+                imbalance_delta: 4.0,
+                receiver_margin: 0.5,
+                calm_down_us: 6_000_000,
+                ..PolicyConfig::default()
+            },
+            cost: CostModel::default(),
+            node_base_cpu: 5.0,
+            proc_base_cpu: 1.5,
+            proc_per_client_cpu: 0.0215,
+            migration_overhead_cpu: 3.0,
+            seed: 20100920, // CLUSTER 2010
+        }
+    }
+}
+
+/// One completed migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigRecord {
+    pub at_s: f64,
+    pub zone: ZoneId,
+    pub from: usize,
+    pub to: usize,
+}
+
+/// Experiment output.
+#[derive(Debug, Clone)]
+pub struct FlowSimResult {
+    /// Per-node CPU consumption over time (Fig. 5e/5f).
+    pub cpu: Vec<TimeSeries>,
+    /// Per-node zone-server process counts over time (Fig. 5d).
+    pub procs: Vec<TimeSeries>,
+    /// Completed migrations.
+    pub migrations: Vec<MigRecord>,
+}
+
+impl FlowSimResult {
+    /// Max-minus-min node CPU at a given second (imbalance measure).
+    pub fn spread_at(&self, t_s: f64) -> f64 {
+        let vals: Vec<f64> = self.cpu.iter().filter_map(|s| s.at(t_s)).collect();
+        let hi = vals.iter().fold(f64::NEG_INFINITY, |a, b| a.max(*b));
+        let lo = vals.iter().fold(f64::INFINITY, |a, b| a.min(*b));
+        hi - lo
+    }
+
+    /// Mean max-minus-min spread over `[from, to)` seconds.
+    pub fn mean_spread(&self, from: f64, to: f64) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0;
+        let mut t = from;
+        while t < to {
+            total += self.spread_at(t);
+            n += 1;
+            t += 10.0;
+        }
+        total / n as f64
+    }
+}
+
+struct ActiveMig {
+    zone: ZoneId,
+    from: usize,
+    to: usize,
+    ends_at_s: f64,
+}
+
+/// Zone id ↔ pid mapping (zone z's server process is pid z+1).
+fn pid_of(zone: ZoneId) -> Pid {
+    Pid(zone.0 as u64 + 1)
+}
+
+fn zone_of(pid: Pid) -> ZoneId {
+    ZoneId((pid.0 - 1) as u32)
+}
+
+/// Run the experiment.
+pub fn run_flow_sim(cfg: &FlowSimConfig) -> FlowSimResult {
+    let mut space = VirtualSpace::new();
+    let mut pop = ClientPopulation::new(cfg.clients, cfg.movement, cfg.seed);
+    let mut conductors: Vec<Conductor> = (0..NODES)
+        .map(|i| Conductor::new(NodeId(i as u32), cfg.lb))
+        .collect();
+    let mut active: Vec<ActiveMig> = Vec::new();
+    let mut result = FlowSimResult {
+        cpu: (0..NODES)
+            .map(|i| TimeSeries::new(format!("node{}", i + 1)))
+            .collect(),
+        procs: (0..NODES)
+            .map(|i| TimeSeries::new(format!("node{}", i + 1)))
+            .collect(),
+        migrations: Vec::new(),
+    };
+
+    // Per-zone client counts and per-node loads for a given instant.
+    let node_loads =
+        |space: &VirtualSpace, counts: &[u32; ZONES], active: &[ActiveMig], cfg: &FlowSimConfig| {
+            let mut cpu = [cfg.node_base_cpu; NODES];
+            for (z, n_clients) in counts.iter().enumerate() {
+                let node = space.node_of(ZoneId(z as u32));
+                cpu[node] += cfg.proc_base_cpu + cfg.proc_per_client_cpu * *n_clients as f64;
+            }
+            for m in active {
+                cpu[m.from] += cfg.migration_overhead_cpu;
+                cpu[m.to] += cfg.migration_overhead_cpu;
+            }
+            cpu.map(|c| c.min(100.0))
+        };
+
+    // Instantaneous conductor message bus (LAN latencies ≪ the 1 s step).
+    fn dispatch(
+        conductors: &mut [Conductor],
+        now: SimTime,
+        loads: &[f64; NODES],
+        from: usize,
+        actions: Vec<Action>,
+        started: &mut Vec<(usize, Pid, usize)>,
+    ) {
+        let mut queue: Vec<(usize, Action)> = actions.into_iter().map(|a| (from, a)).collect();
+        while let Some((src, action)) = queue.pop() {
+            match action {
+                Action::Broadcast(msg) => {
+                    for i in 0..conductors.len() {
+                        if i != src {
+                            let li = LoadInfo::new(NodeId(i as u32), loads[i], 0, now);
+                            let out = conductors[i].on_msg(now, NodeId(src as u32), msg, li);
+                            queue.extend(out.into_iter().map(|a| (i, a)));
+                        }
+                    }
+                }
+                Action::Send(to, msg) => {
+                    let i = to.0 as usize;
+                    let li = LoadInfo::new(to, loads[i], 0, now);
+                    let out = conductors[i].on_msg(now, NodeId(src as u32), msg, li);
+                    queue.extend(out.into_iter().map(|a| (i, a)));
+                }
+                Action::StartMigration { pid, dest } => {
+                    started.push((src, pid, dest.0 as usize));
+                }
+            }
+        }
+    }
+
+    // Discovery round.
+    {
+        let counts = pop.zone_counts(&space);
+        let loads = node_loads(&space, &counts, &active, cfg);
+        let mut started = Vec::new();
+        for i in 0..NODES {
+            let li = LoadInfo::new(NodeId(i as u32), loads[i], 20, SimTime::ZERO);
+            let actions = conductors[i].on_start(li);
+            dispatch(
+                &mut conductors,
+                SimTime::ZERO,
+                &loads,
+                i,
+                actions,
+                &mut started,
+            );
+        }
+    }
+
+    for step in 0..=cfg.duration_s {
+        let t_s = step as f64;
+        let now = SimTime::from_secs(step as u64);
+        pop.advance_to(t_s);
+        let counts = pop.zone_counts(&space);
+
+        // Complete due migrations.
+        let mut still_active = Vec::new();
+        for m in active.drain(..) {
+            if m.ends_at_s <= t_s {
+                space.reassign(m.zone, m.to);
+                result.migrations.push(MigRecord {
+                    at_s: t_s,
+                    zone: m.zone,
+                    from: m.from,
+                    to: m.to,
+                });
+                // Sender-side conductor reports completion; the MigDone it
+                // emits releases the receiver.
+                let loads = node_loads(&space, &counts, &still_active, cfg);
+                let mut started = Vec::new();
+                let actions = conductors[m.from].on_migration_finished(now, true);
+                dispatch(&mut conductors, now, &loads, m.from, actions, &mut started);
+                debug_assert!(started.is_empty());
+            } else {
+                still_active.push(m);
+            }
+        }
+        active = still_active;
+
+        let loads = node_loads(&space, &counts, &active, cfg);
+
+        // Conductor ticks.
+        if cfg.lb_enabled {
+            let mut started = Vec::new();
+            for i in 0..NODES {
+                let li = LoadInfo::new(
+                    NodeId(i as u32),
+                    loads[i],
+                    space.zones_of(i).len() as u32,
+                    now,
+                );
+                let procs: Vec<(Pid, f64)> = space
+                    .zones_of(i)
+                    .iter()
+                    .map(|z| {
+                        (
+                            pid_of(*z),
+                            cfg.proc_base_cpu
+                                + cfg.proc_per_client_cpu * counts[z.0 as usize] as f64,
+                        )
+                    })
+                    .collect();
+                let actions = conductors[i].on_tick(now, li, &procs);
+                dispatch(&mut conductors, now, &loads, i, actions, &mut started);
+            }
+            for (from, pid, to) in started {
+                let zone = zone_of(pid);
+                debug_assert_eq!(space.node_of(zone), from);
+                // Duration from the analytic model (dvelm-migrate::model):
+                // the precopy schedule plus a freeze scaling with the zone's
+                // connection count.
+                let n = counts[zone.0 as usize] as u64;
+                let profile = WorkloadProfile::zone_server(n);
+                let dur_us = predict_total_us(&cfg.cost, &profile, Strategy::IncrementalCollective);
+                let dur_s = dur_us as f64 / 1_000_000.0;
+                active.push(ActiveMig {
+                    zone,
+                    from,
+                    to,
+                    ends_at_s: t_s + dur_s,
+                });
+            }
+        }
+
+        // Record the series.
+        let proc_counts = space.proc_counts();
+        for i in 0..NODES {
+            result.cpu[i].push_at_secs(t_s, loads[i]);
+            result.procs[i].push_at_secs(t_s, proc_counts[i] as f64);
+        }
+    }
+
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg(lb: bool) -> FlowSimConfig {
+        FlowSimConfig {
+            lb_enabled: lb,
+            ..FlowSimConfig::default()
+        }
+    }
+
+    #[test]
+    fn no_lb_reproduces_fig5e_shape() {
+        let r = run_flow_sim(&base_cfg(false));
+        // Initially roughly balanced in the high-70s band.
+        for s in &r.cpu {
+            let v0 = s.at(5.0).unwrap();
+            assert!((70.0..88.0).contains(&v0), "initial load {v0}");
+        }
+        // Corner nodes (node1 = index 0, node5 = index 4) end overloaded…
+        let end = 890.0;
+        assert!(
+            r.cpu[0].at(end).unwrap() > 93.0,
+            "node1 end {}",
+            r.cpu[0].at(end).unwrap()
+        );
+        assert!(
+            r.cpu[4].at(end).unwrap() > 93.0,
+            "node5 end {}",
+            r.cpu[4].at(end).unwrap()
+        );
+        // …while the middle node drains.
+        assert!(
+            r.cpu[2].at(end).unwrap() < 68.0,
+            "node3 end {}",
+            r.cpu[2].at(end).unwrap()
+        );
+        // No migrations without LB; process counts stay at 20.
+        assert!(r.migrations.is_empty());
+        for s in &r.procs {
+            assert_eq!(s.at(end).unwrap(), 20.0);
+        }
+    }
+
+    #[test]
+    fn lb_reproduces_fig5f_and_fig5d_shape() {
+        let off = run_flow_sim(&base_cfg(false));
+        let on = run_flow_sim(&base_cfg(true));
+        assert!(!on.migrations.is_empty(), "the balancer migrated processes");
+
+        // Fig. 5f: the late-experiment imbalance is much smaller with LB.
+        let spread_off = off.mean_spread(600.0, 900.0);
+        let spread_on = on.mean_spread(600.0, 900.0);
+        assert!(
+            spread_on < spread_off * 0.6,
+            "LB spread {spread_on:.1} vs no-LB {spread_off:.1}"
+        );
+
+        // Fig. 5d: overloaded corner nodes shed processes, middle nodes
+        // gained them; total conserved.
+        let end = 890.0;
+        let corner = on.procs[0].at(end).unwrap() + on.procs[4].at(end).unwrap();
+        let middle = on.procs[2].at(end).unwrap() + on.procs[3].at(end).unwrap();
+        assert!(corner < 40.0, "corner nodes shed processes: {corner}");
+        assert!(middle > 40.0, "middle nodes gained processes: {middle}");
+        let total: f64 = on.procs.iter().map(|s| s.at(end).unwrap()).sum();
+        assert_eq!(total, 100.0, "processes conserved");
+    }
+
+    #[test]
+    fn migrations_move_zones_from_hot_to_cold() {
+        let r = run_flow_sim(&base_cfg(true));
+        for m in &r.migrations {
+            assert_ne!(m.from, m.to);
+        }
+        // The majority of migrations leave the corner nodes.
+        let from_corners = r
+            .migrations
+            .iter()
+            .filter(|m| m.from == 0 || m.from == 4)
+            .count();
+        assert!(
+            from_corners * 2 > r.migrations.len(),
+            "{from_corners}/{} from corners",
+            r.migrations.len()
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run_flow_sim(&base_cfg(true));
+        let b = run_flow_sim(&base_cfg(true));
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.cpu[0].points(), b.cpu[0].points());
+    }
+}

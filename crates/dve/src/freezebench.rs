@@ -1,0 +1,174 @@
+//! The Fig. 5b/5c experiment: migrate a zone server that maintains 16…1024
+//! live client TCP connections plus a MySQL session, and measure the
+//! worst-case process freeze time and the socket bytes shipped in the freeze
+//! phase, per strategy.
+
+use crate::apps::{DbServer, SwarmClient, ZoneServer, DB_PORT, ZONE_BASE_PORT};
+use dvelm_cluster::{World, WorldConfig};
+use dvelm_migrate::{MigrationReport, Strategy};
+use dvelm_net::{Ip, SockAddr};
+#[cfg(test)]
+use dvelm_sim::MILLISECOND;
+use dvelm_sim::{SimTime, SECOND};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct FreezeBenchConfig {
+    /// Client TCP connections to the zone server.
+    pub connections: usize,
+    /// Socket-migration strategy.
+    pub strategy: Strategy,
+    /// Independent repetitions (the paper reports the worst case).
+    pub repetitions: usize,
+    /// Base RNG seed (each repetition derives its own).
+    pub seed: u64,
+}
+
+impl Default for FreezeBenchConfig {
+    fn default() -> Self {
+        FreezeBenchConfig {
+            connections: 128,
+            strategy: Strategy::IncrementalCollective,
+            repetitions: 3,
+            seed: 7,
+        }
+    }
+}
+
+/// Worst-case and per-run measurements.
+#[derive(Debug, Clone)]
+pub struct FreezeBenchResult {
+    /// Worst-case process freeze time across repetitions, µs (Fig. 5b).
+    pub worst_freeze_us: u64,
+    /// Mean freeze time, µs.
+    pub mean_freeze_us: f64,
+    /// Worst-case socket bytes shipped during the freeze phase (Fig. 5c).
+    pub worst_freeze_socket_bytes: u64,
+    /// All per-run reports.
+    pub reports: Vec<MigrationReport>,
+}
+
+/// One repetition: build the world, establish the connections, warm up,
+/// migrate, return the report.
+fn one_run(cfg: &FreezeBenchConfig, rep: usize) -> MigrationReport {
+    let wcfg = WorldConfig {
+        seed: cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(rep as u64),
+        strategy: cfg.strategy,
+        ..WorldConfig::default()
+    };
+    let mut w = World::new(wcfg);
+    let n0 = w.add_server_node();
+    let n1 = w.add_server_node();
+    let db_host = w.add_database_host();
+    let client_host = w.add_client_host();
+
+    // Database server.
+    let db_pid = w.spawn_process(db_host, "mysqld", 256, 1024, Box::new(DbServer::new()));
+    let db_addr = SockAddr::new(w.hosts[db_host].stack.local_ip, DB_PORT);
+    w.app_tcp_listen(db_host, db_pid, db_addr);
+
+    // The zone server, with its MySQL session (the app recognizes the db
+    // session in on_connected).
+    let zone_addr = SockAddr::new(Ip::CLUSTER_PUBLIC, ZONE_BASE_PORT);
+    let zone_pid = w.spawn_process(n0, "zone_serv", 256, 4096, Box::new(ZoneServer::new()));
+    w.app_tcp_listen(n0, zone_pid, zone_addr);
+    w.app_tcp_connect(n0, zone_pid, db_addr, true);
+
+    // The client swarm.
+    let swarm_pid = w.spawn_process(client_host, "swarm", 64, 512, Box::new(SwarmClient::new()));
+    for _ in 0..cfg.connections {
+        w.app_tcp_connect(client_host, swarm_pid, zone_addr, false);
+    }
+
+    // Warm up: handshakes + steady-state traffic.
+    w.run_until(SimTime::from_millis(1_200));
+    w.begin_migration(zone_pid, n1, cfg.strategy)
+        .expect("migration starts");
+    // Precopy schedule is ~0.7 s; run well past it.
+    w.run_for(2 * SECOND);
+    assert_eq!(w.active_migrations(), 0, "migration must have completed");
+    assert_eq!(w.host_of(zone_pid), Some(n1));
+    w.reports.pop().expect("one report")
+}
+
+/// Run the experiment.
+pub fn run_freeze_bench(cfg: &FreezeBenchConfig) -> FreezeBenchResult {
+    assert!(cfg.repetitions > 0);
+    let reports: Vec<MigrationReport> = (0..cfg.repetitions).map(|rep| one_run(cfg, rep)).collect();
+    let worst_freeze_us = reports
+        .iter()
+        .map(|r| r.freeze_us())
+        .max()
+        .expect("non-empty");
+    let mean_freeze_us =
+        reports.iter().map(|r| r.freeze_us() as f64).sum::<f64>() / reports.len() as f64;
+    let worst_freeze_socket_bytes = reports
+        .iter()
+        .map(|r| r.freeze_socket_bytes)
+        .max()
+        .expect("non-empty");
+    FreezeBenchResult {
+        worst_freeze_us,
+        mean_freeze_us,
+        worst_freeze_socket_bytes,
+        reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(connections: usize, strategy: Strategy) -> FreezeBenchResult {
+        run_freeze_bench(&FreezeBenchConfig {
+            connections,
+            strategy,
+            repetitions: 1,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn strategies_order_as_in_fig5b() {
+        let it = quick(96, Strategy::Iterative);
+        let co = quick(96, Strategy::Collective);
+        let inc = quick(96, Strategy::IncrementalCollective);
+        assert!(
+            it.worst_freeze_us > co.worst_freeze_us,
+            "iterative {} ≤ collective {}",
+            it.worst_freeze_us,
+            co.worst_freeze_us
+        );
+        assert!(
+            co.worst_freeze_us >= inc.worst_freeze_us,
+            "collective {} < incremental {}",
+            co.worst_freeze_us,
+            inc.worst_freeze_us
+        );
+        // Fig. 5c: incremental ships far fewer socket bytes in the freeze.
+        assert!(inc.worst_freeze_socket_bytes * 3 < co.worst_freeze_socket_bytes);
+        // Iterative and collective ship the same socket payload.
+        let rel = it.worst_freeze_socket_bytes as f64 / co.worst_freeze_socket_bytes as f64;
+        assert!(
+            (0.8..1.25).contains(&rel),
+            "iterative/collective byte ratio {rel}"
+        );
+    }
+
+    #[test]
+    fn freeze_time_is_interactive_grade() {
+        let r = quick(64, Strategy::IncrementalCollective);
+        assert!(
+            r.worst_freeze_us < 40 * MILLISECOND,
+            "{}µs exceeds the paper's 40 ms bound",
+            r.worst_freeze_us
+        );
+        let report = &r.reports[0];
+        assert_eq!(
+            report.sockets_migrated as usize,
+            64 + 1 + 1,
+            "clients + listener + db"
+        );
+        assert!(report.packets_reinjected > 0 || report.freeze_us() < 25_000);
+    }
+}

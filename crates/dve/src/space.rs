@@ -1,0 +1,135 @@
+//! The virtual space: a 10×10 zone grid with the paper's initial
+//! node assignment (Fig. 5a: each of the five nodes manages two full rows,
+//! 20 zones).
+
+/// Grid side length.
+pub const GRID: usize = 10;
+/// Total zones.
+pub const ZONES: usize = GRID * GRID;
+/// Server nodes in the testbed.
+pub const NODES: usize = 5;
+
+/// A zone index in row-major order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ZoneId(pub u32);
+
+impl ZoneId {
+    /// Zone containing grid cell (row, col).
+    pub fn at(row: usize, col: usize) -> ZoneId {
+        assert!(row < GRID && col < GRID);
+        ZoneId((row * GRID + col) as u32)
+    }
+
+    /// Grid row.
+    pub fn row(self) -> usize {
+        self.0 as usize / GRID
+    }
+
+    /// Grid column.
+    pub fn col(self) -> usize {
+        self.0 as usize % GRID
+    }
+}
+
+/// The partitioned virtual space.
+#[derive(Debug, Clone)]
+pub struct VirtualSpace {
+    /// zone → hosting node index (mutated by migrations).
+    assignment: Vec<usize>,
+}
+
+impl Default for VirtualSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VirtualSpace {
+    /// The initial Fig. 5a assignment: node `i` gets rows `2i` and `2i+1`.
+    pub fn new() -> VirtualSpace {
+        let assignment = (0..ZONES).map(|z| (z / GRID) / 2).collect();
+        VirtualSpace { assignment }
+    }
+
+    /// The zone containing a continuous position (x right, y down, both in
+    /// `[0, 10)`).
+    pub fn zone_of(&self, x: f64, y: f64) -> ZoneId {
+        let col = (x.clamp(0.0, 9.999) as usize).min(GRID - 1);
+        let row = (y.clamp(0.0, 9.999) as usize).min(GRID - 1);
+        ZoneId::at(row, col)
+    }
+
+    /// Which node hosts a zone's server process.
+    pub fn node_of(&self, zone: ZoneId) -> usize {
+        self.assignment[zone.0 as usize]
+    }
+
+    /// Reassign a zone (the effect of migrating its server process).
+    pub fn reassign(&mut self, zone: ZoneId, node: usize) {
+        assert!(node < NODES);
+        self.assignment[zone.0 as usize] = node;
+    }
+
+    /// Zones hosted by a node, ascending.
+    pub fn zones_of(&self, node: usize) -> Vec<ZoneId> {
+        (0..ZONES)
+            .filter(|z| self.assignment[*z] == node)
+            .map(|z| ZoneId(z as u32))
+            .collect()
+    }
+
+    /// Process count per node.
+    pub fn proc_counts(&self) -> [usize; NODES] {
+        let mut counts = [0; NODES];
+        for n in &self.assignment {
+            counts[*n] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_assignment_matches_fig5a() {
+        let s = VirtualSpace::new();
+        assert_eq!(s.proc_counts(), [20; 5]);
+        // node0 = rows 0-1, node4 = rows 8-9.
+        assert_eq!(s.node_of(ZoneId::at(0, 0)), 0);
+        assert_eq!(s.node_of(ZoneId::at(1, 9)), 0);
+        assert_eq!(s.node_of(ZoneId::at(2, 0)), 1);
+        assert_eq!(s.node_of(ZoneId::at(5, 5)), 2);
+        assert_eq!(s.node_of(ZoneId::at(9, 9)), 4);
+    }
+
+    #[test]
+    fn zone_of_position() {
+        let s = VirtualSpace::new();
+        assert_eq!(s.zone_of(0.5, 0.5), ZoneId::at(0, 0));
+        assert_eq!(s.zone_of(9.99, 9.99), ZoneId::at(9, 9));
+        assert_eq!(s.zone_of(3.2, 7.8), ZoneId::at(7, 3));
+        // Clamped outside the space.
+        assert_eq!(s.zone_of(-1.0, 12.0), ZoneId::at(9, 0));
+    }
+
+    #[test]
+    fn reassign_moves_a_zone() {
+        let mut s = VirtualSpace::new();
+        s.reassign(ZoneId::at(0, 0), 3);
+        assert_eq!(s.node_of(ZoneId::at(0, 0)), 3);
+        assert_eq!(s.proc_counts(), [19, 20, 20, 21, 20]);
+        assert_eq!(s.zones_of(3).len(), 21);
+    }
+
+    #[test]
+    fn zone_row_col_roundtrip() {
+        for r in 0..GRID {
+            for c in 0..GRID {
+                let z = ZoneId::at(r, c);
+                assert_eq!((z.row(), z.col()), (r, c));
+            }
+        }
+    }
+}

@@ -1,0 +1,564 @@
+//! The conductor daemon state machine (`cond` in Fig. 2).
+//!
+//! Responsibilities per §II-B and §IV: discover peers on the local network,
+//! answer discovery messages, broadcast the node's load periodically, track
+//! every peer's latest load, decide when to initiate a migration (transfer +
+//! location + selection policies), run the receiver side of the two-phase
+//! commit, and instrument the migration daemon (`migd`) — here represented
+//! by the [`Action::StartMigration`] output.
+
+use crate::info::{LoadInfo, LOAD_INFO_BYTES};
+use crate::peers::PeerDb;
+use crate::policy::PolicyConfig;
+use crate::spanning::{tree_children, Dissemination};
+use dvelm_net::NodeId;
+use dvelm_proc::Pid;
+use dvelm_sim::SimTime;
+
+/// Conductor-to-conductor messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LbMsg {
+    /// Discovery probe broadcast at startup.
+    Hello(LoadInfo),
+    /// Answer to a discovery probe.
+    HelloReply(LoadInfo),
+    /// Periodic load broadcast (information policy + liveness).
+    Heartbeat(LoadInfo),
+    /// Two-phase commit, phase one: "may I migrate this process to you?"
+    MigRequest {
+        pid: Pid,
+        share: f64,
+        sender_load: f64,
+    },
+    /// Accept (reserves the receiver).
+    MigAccept,
+    /// Reject.
+    MigReject,
+    /// Migration finished (releases the receiver into calm-down).
+    MigDone { success: bool },
+    /// Graceful leave.
+    Leave,
+}
+
+impl LbMsg {
+    /// On-wire size for network accounting.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            LbMsg::Hello(_) | LbMsg::HelloReply(_) | LbMsg::Heartbeat(_) => LOAD_INFO_BYTES,
+            LbMsg::MigRequest { .. } => 40,
+            LbMsg::MigAccept | LbMsg::MigReject | LbMsg::MigDone { .. } | LbMsg::Leave => 16,
+        }
+    }
+}
+
+/// What the runtime must do for the conductor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Broadcast on the local network to all peers.
+    Broadcast(LbMsg),
+    /// Unicast to one peer.
+    Send(NodeId, LbMsg),
+    /// Hand the process to the migration daemon, destination decided.
+    StartMigration { pid: Pid, dest: NodeId },
+}
+
+/// Migration-protocol state of a conductor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConductorPhase {
+    /// Not involved in any migration.
+    Idle,
+    /// Sent a MigRequest, waiting for the answer.
+    AwaitingAccept {
+        dest: NodeId,
+        pid: Pid,
+        since: SimTime,
+    },
+    /// Sender side of a running migration.
+    Sending {
+        dest: NodeId,
+        pid: Pid,
+        since: SimTime,
+    },
+    /// Receiver side of a running migration (reserved by the 2-phase
+    /// commit; accepts no second migration).
+    Receiving { from: NodeId, since: SimTime },
+    /// Stabilizing after a migration; initiates and accepts nothing.
+    CalmDown { until: SimTime },
+}
+
+/// Counters for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LbStats {
+    pub heartbeats_sent: u64,
+    pub requests_sent: u64,
+    pub requests_accepted: u64,
+    pub requests_rejected: u64,
+    pub migrations_completed: u64,
+    pub migrations_failed: u64,
+}
+
+/// The conductor daemon of one node.
+#[derive(Debug)]
+pub struct Conductor {
+    pub node: NodeId,
+    pub cfg: PolicyConfig,
+    pub peers: PeerDb,
+    /// Heartbeat dissemination strategy (§IV information policy; the
+    /// spanning tree is the scalable option the paper cites as out of
+    /// scope).
+    pub dissemination: Dissemination,
+    phase: ConductorPhase,
+    last_heartbeat: Option<SimTime>,
+    stats: LbStats,
+}
+
+impl Conductor {
+    /// A conductor for `node`.
+    pub fn new(node: NodeId, cfg: PolicyConfig) -> Conductor {
+        Conductor {
+            node,
+            cfg,
+            peers: PeerDb::new(),
+            dissemination: Dissemination::FlatBroadcast,
+            phase: ConductorPhase::Idle,
+            last_heartbeat: None,
+            stats: LbStats::default(),
+        }
+    }
+
+    /// Current protocol phase.
+    pub fn phase(&self) -> ConductorPhase {
+        self.phase
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> LbStats {
+        self.stats
+    }
+
+    /// The known membership (self + peers), for tree construction.
+    fn members(&self) -> Vec<NodeId> {
+        let mut m: Vec<NodeId> = self.peers.iter().map(|li| li.node).collect();
+        m.push(self.node);
+        m
+    }
+
+    /// Node start: scan the local network for other conductors (§IV).
+    pub fn on_start(&mut self, local: LoadInfo) -> Vec<Action> {
+        vec![Action::Broadcast(LbMsg::Hello(local))]
+    }
+
+    /// Periodic tick (the runtime calls this at least once per heartbeat
+    /// period, with a fresh local load sample and the process list).
+    pub fn on_tick(&mut self, now: SimTime, local: LoadInfo, procs: &[(Pid, f64)]) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.peers.expire(now, self.cfg.peer_stale_us);
+
+        // Information policy: periodic broadcast, doubling as heartbeat.
+        let due = match self.last_heartbeat {
+            None => true,
+            Some(t) => now.saturating_since(t) >= self.cfg.heartbeat_period_us,
+        };
+        if due {
+            self.last_heartbeat = Some(now);
+            self.stats.heartbeats_sent += 1;
+            match self.dissemination {
+                Dissemination::FlatBroadcast => {
+                    actions.push(Action::Broadcast(LbMsg::Heartbeat(local)));
+                }
+                Dissemination::SpanningTree => {
+                    // Root of the tree: send only to our children; they
+                    // relay on reception.
+                    for child in tree_children(&self.members(), self.node, self.node) {
+                        actions.push(Action::Send(child, LbMsg::Heartbeat(local)));
+                    }
+                }
+            }
+        }
+
+        // Phase timeouts / expiry.
+        match self.phase {
+            ConductorPhase::AwaitingAccept { since, .. }
+                if now.saturating_since(since) > self.cfg.negotiation_timeout_us =>
+            {
+                self.phase = ConductorPhase::Idle;
+            }
+            ConductorPhase::Sending { since, .. } | ConductorPhase::Receiving { since, .. }
+                if now.saturating_since(since) > self.cfg.migration_timeout_us =>
+            {
+                self.phase = ConductorPhase::Idle;
+            }
+            ConductorPhase::CalmDown { until } if now >= until => {
+                self.phase = ConductorPhase::Idle;
+            }
+            _ => {}
+        }
+
+        // Transfer policy, sender side.
+        if self.phase == ConductorPhase::Idle {
+            let avg = self.peers.cluster_average(local.cpu_pct);
+            if self.cfg.should_initiate(local.cpu_pct, avg) {
+                if let Some(dest) = self.cfg.choose_destination(local.cpu_pct, avg, &self.peers) {
+                    if let Some(pid) = self.cfg.choose_process(local.cpu_pct, avg, procs) {
+                        let share = procs
+                            .iter()
+                            .find(|(p, _)| *p == pid)
+                            .map(|(_, s)| *s)
+                            .expect("selected pid comes from procs");
+                        self.phase = ConductorPhase::AwaitingAccept {
+                            dest,
+                            pid,
+                            since: now,
+                        };
+                        self.stats.requests_sent += 1;
+                        actions.push(Action::Send(
+                            dest,
+                            LbMsg::MigRequest {
+                                pid,
+                                share,
+                                sender_load: local.cpu_pct,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        actions
+    }
+
+    /// A message arrived from a peer conductor.
+    pub fn on_msg(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        msg: LbMsg,
+        local: LoadInfo,
+    ) -> Vec<Action> {
+        // An expired calm-down ends at the next event, whichever comes
+        // first — a tick or an incoming request.
+        if let ConductorPhase::CalmDown { until } = self.phase {
+            if now >= until {
+                self.phase = ConductorPhase::Idle;
+            }
+        }
+        match msg {
+            LbMsg::Hello(info) => {
+                self.peers.update(info);
+                vec![Action::Send(from, LbMsg::HelloReply(local))]
+            }
+            LbMsg::HelloReply(info) => {
+                self.peers.update(info);
+                Vec::new()
+            }
+            LbMsg::Heartbeat(info) => {
+                self.peers.update(info);
+                match self.dissemination {
+                    Dissemination::FlatBroadcast => Vec::new(),
+                    Dissemination::SpanningTree => {
+                        // Relay down the tree rooted at the heartbeat's
+                        // origin.
+                        tree_children(&self.members(), info.node, self.node)
+                            .into_iter()
+                            .map(|child| Action::Send(child, LbMsg::Heartbeat(info)))
+                            .collect()
+                    }
+                }
+            }
+            LbMsg::MigRequest { .. } => {
+                // Receiver transfer policy: one migration at a time, not in
+                // calm-down, and genuinely below the cluster average.
+                let avg = self.peers.cluster_average(local.cpu_pct);
+                let accept = self.phase == ConductorPhase::Idle
+                    && self.cfg.should_accept(local.cpu_pct, avg);
+                if accept {
+                    self.phase = ConductorPhase::Receiving { from, since: now };
+                    self.stats.requests_accepted += 1;
+                    vec![Action::Send(from, LbMsg::MigAccept)]
+                } else {
+                    self.stats.requests_rejected += 1;
+                    vec![Action::Send(from, LbMsg::MigReject)]
+                }
+            }
+            LbMsg::MigAccept => match self.phase {
+                ConductorPhase::AwaitingAccept { dest, pid, since } if dest == from => {
+                    self.phase = ConductorPhase::Sending { dest, pid, since };
+                    vec![Action::StartMigration { pid, dest }]
+                }
+                // Stale accept (we already timed out): release the receiver.
+                _ => vec![Action::Send(from, LbMsg::MigDone { success: false })],
+            },
+            LbMsg::MigReject => {
+                if let ConductorPhase::AwaitingAccept { dest, .. } = self.phase {
+                    if dest == from {
+                        self.phase = ConductorPhase::Idle;
+                    }
+                }
+                Vec::new()
+            }
+            LbMsg::MigDone { success } => {
+                if let ConductorPhase::Receiving { from: f, .. } = self.phase {
+                    if f == from {
+                        if success {
+                            self.stats.migrations_completed += 1;
+                        }
+                        self.phase = ConductorPhase::CalmDown {
+                            until: now + self.cfg.calm_down_us,
+                        };
+                    }
+                }
+                Vec::new()
+            }
+            LbMsg::Leave => {
+                self.peers.remove(from);
+                Vec::new()
+            }
+        }
+    }
+
+    /// The migration daemon reports the sender-side outcome.
+    pub fn on_migration_finished(&mut self, now: SimTime, success: bool) -> Vec<Action> {
+        if let ConductorPhase::Sending { dest, .. } = self.phase {
+            if success {
+                self.stats.migrations_completed += 1;
+            } else {
+                self.stats.migrations_failed += 1;
+            }
+            self.phase = ConductorPhase::CalmDown {
+                until: now + self.cfg.calm_down_us,
+            };
+            vec![Action::Send(dest, LbMsg::MigDone { success })]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvelm_sim::SECOND;
+
+    /// In-memory bus of conductors: delivers messages instantly.
+    struct Bus {
+        conds: Vec<Conductor>,
+        loads: Vec<f64>,
+        now: SimTime,
+    }
+
+    impl Bus {
+        fn new(loads: &[f64]) -> Bus {
+            let conds = (0..loads.len())
+                .map(|i| Conductor::new(NodeId(i as u32), PolicyConfig::default()))
+                .collect();
+            let mut bus = Bus {
+                conds,
+                loads: loads.to_vec(),
+                now: SimTime::from_secs(1),
+            };
+            // Startup discovery.
+            let starts: Vec<(usize, Vec<Action>)> = (0..bus.conds.len())
+                .map(|i| {
+                    let li = bus.local(i);
+                    (i, bus.conds[i].on_start(li))
+                })
+                .collect();
+            for (i, actions) in starts {
+                bus.dispatch(i, actions);
+            }
+            bus
+        }
+
+        fn local(&self, i: usize) -> LoadInfo {
+            LoadInfo::new(NodeId(i as u32), self.loads[i], 20, self.now)
+        }
+
+        fn dispatch(&mut self, from: usize, actions: Vec<Action>) -> Vec<Action> {
+            let mut migrations = Vec::new();
+            let mut queue: Vec<(usize, Action)> = actions.into_iter().map(|a| (from, a)).collect();
+            while let Some((src, action)) = queue.pop() {
+                match action {
+                    Action::Broadcast(msg) => {
+                        for i in 0..self.conds.len() {
+                            if i != src {
+                                let li = self.local(i);
+                                let out =
+                                    self.conds[i].on_msg(self.now, NodeId(src as u32), msg, li);
+                                queue.extend(out.into_iter().map(|a| (i, a)));
+                            }
+                        }
+                    }
+                    Action::Send(to, msg) => {
+                        let i = to.0 as usize;
+                        let li = self.local(i);
+                        let out = self.conds[i].on_msg(self.now, NodeId(src as u32), msg, li);
+                        queue.extend(out.into_iter().map(|a| (i, a)));
+                    }
+                    Action::StartMigration { .. } => migrations.push(action),
+                }
+            }
+            migrations
+        }
+
+        fn tick_all(&mut self) -> Vec<(usize, Action)> {
+            let mut migs = Vec::new();
+            for i in 0..self.conds.len() {
+                let li = self.local(i);
+                let procs: Vec<(Pid, f64)> = (0..20)
+                    .map(|k| (Pid((i * 100 + k) as u64), self.loads[i] / 20.0))
+                    .collect();
+                let actions = self.conds[i].on_tick(self.now, li, &procs);
+                for m in self.dispatch(i, actions) {
+                    migs.push((i, m));
+                }
+            }
+            migs
+        }
+    }
+
+    #[test]
+    fn discovery_populates_peer_dbs() {
+        let bus = Bus::new(&[50.0, 60.0, 70.0]);
+        for c in &bus.conds {
+            assert_eq!(c.peers.len(), 2, "{:?} sees both peers", c.node);
+        }
+    }
+
+    #[test]
+    fn overloaded_node_initiates_to_mirror_peer() {
+        let mut bus = Bus::new(&[95.0, 75.0, 55.0]);
+        let migs = bus.tick_all();
+        assert_eq!(migs.len(), 1, "exactly one migration started");
+        let (sender, action) = &migs[0];
+        assert_eq!(*sender, 0);
+        match action {
+            Action::StartMigration { dest, .. } => assert_eq!(*dest, NodeId(2)),
+            other => panic!("expected StartMigration, got {other:?}"),
+        }
+        assert!(matches!(
+            bus.conds[0].phase(),
+            ConductorPhase::Sending { .. }
+        ));
+        assert!(matches!(
+            bus.conds[2].phase(),
+            ConductorPhase::Receiving { .. }
+        ));
+    }
+
+    #[test]
+    fn balanced_cluster_stays_quiet() {
+        let mut bus = Bus::new(&[75.0, 74.0, 76.0, 75.5]);
+        assert!(bus.tick_all().is_empty());
+        for c in &bus.conds {
+            assert_eq!(c.phase(), ConductorPhase::Idle);
+        }
+    }
+
+    #[test]
+    fn receiver_rejects_second_request_during_migration() {
+        let mut bus = Bus::new(&[95.0, 96.0, 40.0]);
+        // Both heavy nodes target node2; only one wins the reservation.
+        let migs = bus.tick_all();
+        assert_eq!(
+            migs.len(),
+            1,
+            "two-phase commit admits exactly one migration"
+        );
+        let rejected: u64 = bus.conds[2].stats().requests_rejected;
+        assert_eq!(rejected, 1);
+    }
+
+    #[test]
+    fn completion_enters_calm_down_on_both_sides() {
+        let mut bus = Bus::new(&[95.0, 75.0, 55.0]);
+        bus.tick_all();
+        let done = bus.conds[0].on_migration_finished(bus.now, true);
+        bus.dispatch(0, done);
+        assert!(matches!(
+            bus.conds[0].phase(),
+            ConductorPhase::CalmDown { .. }
+        ));
+        assert!(matches!(
+            bus.conds[2].phase(),
+            ConductorPhase::CalmDown { .. }
+        ));
+        // Still overloaded, but calm-down suppresses a new request.
+        assert!(bus.tick_all().is_empty());
+        // After the calm-down expires, balancing resumes. The long silence
+        // expired every peer entry, so the first tick only re-populates the
+        // peer databases via heartbeats; the next one initiates.
+        bus.now = bus.now + PolicyConfig::default().calm_down_us + SECOND;
+        assert!(bus.tick_all().is_empty(), "peers must be re-learned first");
+        bus.now += SECOND;
+        let migs = bus.tick_all();
+        assert_eq!(migs.len(), 1);
+    }
+
+    #[test]
+    fn negotiation_timeout_releases_sender() {
+        let mut c = Conductor::new(NodeId(0), PolicyConfig::default());
+        let li = |cpu, at| LoadInfo::new(NodeId(0), cpu, 20, at);
+        c.peers
+            .update(LoadInfo::new(NodeId(1), 40.0, 20, SimTime::from_secs(1)));
+        let t1 = SimTime::from_secs(1);
+        let actions = c.on_tick(t1, li(95.0, t1), &[(Pid(7), 10.0)]);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Send(_, LbMsg::MigRequest { .. }))));
+        assert!(matches!(c.phase(), ConductorPhase::AwaitingAccept { .. }));
+        // No answer arrives; next tick after the timeout resets to Idle.
+        let t2 = SimTime::from_secs(3);
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t2));
+        c.on_tick(t2, li(50.0, t2), &[]);
+        assert_eq!(c.phase(), ConductorPhase::Idle);
+    }
+
+    #[test]
+    fn stale_accept_releases_receiver() {
+        let mut c = Conductor::new(NodeId(0), PolicyConfig::default());
+        let li = LoadInfo::new(NodeId(0), 50.0, 20, SimTime::from_secs(1));
+        // An accept arrives while we are Idle (we already gave up).
+        let out = c.on_msg(SimTime::from_secs(1), NodeId(1), LbMsg::MigAccept, li);
+        assert_eq!(
+            out,
+            vec![Action::Send(NodeId(1), LbMsg::MigDone { success: false })]
+        );
+    }
+
+    #[test]
+    fn heartbeats_follow_the_period() {
+        let mut c = Conductor::new(NodeId(0), PolicyConfig::default());
+        let mk = |at| LoadInfo::new(NodeId(0), 50.0, 20, at);
+        let t = SimTime::from_secs(1);
+        let a1 = c.on_tick(t, mk(t), &[]);
+        assert!(a1
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(LbMsg::Heartbeat(_)))));
+        // 100 ms later: too early.
+        let t2 = t + 100_000;
+        assert!(c.on_tick(t2, mk(t2), &[]).is_empty());
+        // A full period later: due again.
+        let t3 = t + SECOND;
+        assert!(!c.on_tick(t3, mk(t3), &[]).is_empty());
+        assert_eq!(c.stats().heartbeats_sent, 2);
+    }
+
+    #[test]
+    fn silent_peer_expires_from_db() {
+        let mut c = Conductor::new(NodeId(0), PolicyConfig::default());
+        c.peers
+            .update(LoadInfo::new(NodeId(1), 40.0, 20, SimTime::from_secs(1)));
+        let t = SimTime::from_secs(10);
+        c.on_tick(t, LoadInfo::new(NodeId(0), 50.0, 20, t), &[]);
+        assert!(c.peers.is_empty());
+    }
+
+    #[test]
+    fn leave_removes_peer() {
+        let mut c = Conductor::new(NodeId(0), PolicyConfig::default());
+        c.peers
+            .update(LoadInfo::new(NodeId(1), 40.0, 20, SimTime::from_secs(1)));
+        let li = LoadInfo::new(NodeId(0), 50.0, 20, SimTime::from_secs(1));
+        c.on_msg(SimTime::from_secs(1), NodeId(1), LbMsg::Leave, li);
+        assert!(c.peers.is_empty());
+    }
+}

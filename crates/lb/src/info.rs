@@ -1,0 +1,45 @@
+//! Load information exchanged between conductors.
+
+use dvelm_net::NodeId;
+use dvelm_sim::SimTime;
+
+/// Wire size of one heartbeat/load message, bytes.
+pub const LOAD_INFO_BYTES: u64 = 64;
+
+/// One node's load sample, as broadcast in heartbeats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadInfo {
+    pub node: NodeId,
+    /// CPU consumption, percent (0–100), as `atop` would report.
+    pub cpu_pct: f64,
+    /// Number of DVE zone-server processes hosted.
+    pub nprocs: u32,
+    /// When the sample was taken (sender clock; the cluster is a LAN, so
+    /// clock skew is ignored as in the prototype).
+    pub at: SimTime,
+}
+
+impl LoadInfo {
+    /// A sample.
+    pub fn new(node: NodeId, cpu_pct: f64, nprocs: u32, at: SimTime) -> LoadInfo {
+        LoadInfo {
+            node,
+            cpu_pct,
+            nprocs,
+            at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let li = LoadInfo::new(NodeId(3), 87.5, 20, SimTime::from_secs(10));
+        assert_eq!(li.node, NodeId(3));
+        assert_eq!(li.cpu_pct, 87.5);
+        assert_eq!(li.nprocs, 20);
+    }
+}

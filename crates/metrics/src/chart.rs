@@ -1,0 +1,181 @@
+//! Multi-series ASCII line charts — terminal renderings of the paper's
+//! figures.
+
+use crate::series::TimeSeries;
+
+/// A character-grid chart of one or more series.
+#[derive(Debug)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<TimeSeries>,
+    y_range: Option<(f64, f64)>,
+}
+
+const MARKS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+impl AsciiChart {
+    /// A chart of the given plot-area size (excluding axes).
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> AsciiChart {
+        assert!(width >= 10 && height >= 4, "chart too small");
+        AsciiChart {
+            width,
+            height,
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            series: Vec::new(),
+            y_range: None,
+        }
+    }
+
+    /// Set axis labels.
+    pub fn labels(mut self, x: impl Into<String>, y: impl Into<String>) -> AsciiChart {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Fix the y range (otherwise auto-scaled to the data).
+    pub fn y_range(mut self, lo: f64, hi: f64) -> AsciiChart {
+        assert!(hi > lo);
+        self.y_range = Some((lo, hi));
+        self
+    }
+
+    /// Add a series.
+    pub fn add(&mut self, series: TimeSeries) -> &mut AsciiChart {
+        self.series.push(series);
+        self
+    }
+
+    /// Render the chart.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        let non_empty: Vec<&TimeSeries> = self.series.iter().filter(|s| !s.is_empty()).collect();
+        if non_empty.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+
+        // Ranges.
+        let (mut ylo, mut yhi) = self.y_range.unwrap_or((f64::INFINITY, f64::NEG_INFINITY));
+        if self.y_range.is_none() {
+            for s in &non_empty {
+                let (lo, hi) = s.value_range().expect("non-empty series");
+                ylo = ylo.min(lo);
+                yhi = yhi.max(hi);
+            }
+            if (yhi - ylo).abs() < 1e-12 {
+                yhi = ylo + 1.0;
+            }
+        }
+        let xlo = non_empty
+            .iter()
+            .map(|s| s.points()[0].0)
+            .fold(f64::INFINITY, f64::min);
+        let xhi = non_empty
+            .iter()
+            .map(|s| s.points().last().expect("non-empty").0)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let xspan = if (xhi - xlo).abs() < 1e-12 {
+            1.0
+        } else {
+            xhi - xlo
+        };
+
+        // Grid.
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in non_empty.iter().enumerate() {
+            let mark = MARKS[si % MARKS.len()];
+            let width = self.width;
+            let height = self.height;
+            for (col, t) in (0..width).map(|c| (c, xlo + xspan * c as f64 / (width - 1) as f64)) {
+                if let Some(v) = s.at(t) {
+                    let frac = ((v - ylo) / (yhi - ylo)).clamp(0.0, 1.0);
+                    let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+                    grid[row][col] = mark;
+                }
+            }
+        }
+
+        // Render with y labels.
+        if !self.y_label.is_empty() {
+            out.push_str(&format!("{}\n", self.y_label));
+        }
+        for (r, row) in grid.iter().enumerate() {
+            let frac = 1.0 - r as f64 / (self.height - 1) as f64;
+            let yval = ylo + frac * (yhi - ylo);
+            out.push_str(&format!("{yval:8.1} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:8} +{}\n", "", "-".repeat(self.width)));
+        out.push_str(&format!(
+            "{:8}  {:<w$.1}{:>r$.1}\n",
+            "",
+            xlo,
+            xhi,
+            w = self.width / 2,
+            r = self.width - self.width / 2
+        ));
+        if !self.x_label.is_empty() {
+            out.push_str(&format!("{:8}  {}\n", "", self.x_label));
+        }
+        // Legend.
+        for (si, s) in non_empty.iter().enumerate() {
+            out.push_str(&format!("  {} {}\n", MARKS[si % MARKS.len()], s.name));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(name: &str, k: f64) -> TimeSeries {
+        let mut s = TimeSeries::new(name);
+        for i in 0..10 {
+            s.push_at_secs(i as f64, k * i as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn renders_series_and_legend() {
+        let mut c = AsciiChart::new("Fig X", 40, 10).labels("time (s)", "CPU (%)");
+        c.add(ramp("node1", 1.0));
+        c.add(ramp("node2", 2.0));
+        let s = c.render();
+        assert!(s.contains("Fig X"));
+        assert!(s.contains("node1"));
+        assert!(s.contains("node2"));
+        assert!(s.contains('*') && s.contains('+'));
+        assert!(s.contains("time (s)"));
+    }
+
+    #[test]
+    fn empty_chart_says_no_data() {
+        let c = AsciiChart::new("empty", 20, 5);
+        assert!(c.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn fixed_y_range_clamps() {
+        let mut c = AsciiChart::new("clamped", 20, 5).y_range(0.0, 5.0);
+        c.add(ramp("big", 100.0));
+        let s = c.render();
+        assert!(s.contains("5.0"), "y axis shows the fixed range: {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn size_is_validated() {
+        let _ = AsciiChart::new("x", 2, 2);
+    }
+}

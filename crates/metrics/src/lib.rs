@@ -1,0 +1,13 @@
+//! Measurement utilities for the experiment harnesses: streaming statistics,
+//! time series, aligned tables and ASCII line charts used to render the
+//! paper's figures in a terminal.
+
+pub mod chart;
+pub mod series;
+pub mod stats;
+pub mod table;
+
+pub use chart::AsciiChart;
+pub use series::TimeSeries;
+pub use stats::{percentile, Summary, Welford};
+pub use table::Table;

@@ -1,0 +1,169 @@
+//! Time series: (time, value) samples with simple aggregation.
+
+use dvelm_sim::SimTime;
+
+/// A named time series of f64 samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    pub name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new(name: impl Into<String>) -> TimeSeries {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a sample at a simulated instant.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        self.push_at_secs(at.as_secs_f64(), value);
+    }
+
+    /// Append a sample at a time in seconds. Times must be nondecreasing.
+    pub fn push_at_secs(&mut self, t_secs: f64, value: f64) {
+        if let Some((last, _)) = self.points.last() {
+            assert!(t_secs >= *last, "time series must be appended in order");
+        }
+        self.points.push((t_secs, value));
+    }
+
+    /// All samples as (seconds, value).
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Latest value.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|(_, v)| *v)
+    }
+
+    /// Value at or before `t_secs` (step interpolation).
+    pub fn at(&self, t_secs: f64) -> Option<f64> {
+        match self.points.partition_point(|(t, _)| *t <= t_secs) {
+            0 => None,
+            i => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// Mean of samples with `t` in `[from, to)`.
+    pub fn window_mean(&self, from: f64, to: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, v)| *v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Resample onto a regular grid of `step` seconds using step
+    /// interpolation, from the first to the last sample.
+    pub fn resample(&self, step: f64) -> Vec<(f64, f64)> {
+        assert!(step > 0.0);
+        let Some(&(t0, _)) = self.points.first() else {
+            return Vec::new();
+        };
+        let (t1, _) = *self.points.last().expect("non-empty checked");
+        let mut out = Vec::new();
+        let mut t = t0;
+        while t <= t1 + 1e-9 {
+            if let Some(v) = self.at(t) {
+                out.push((t, v));
+            }
+            t += step;
+        }
+        out
+    }
+
+    /// Minimum and maximum values over the whole series.
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (_, v) in &self.points {
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        let mut s = TimeSeries::new("cpu");
+        s.push_at_secs(0.0, 50.0);
+        s.push_at_secs(10.0, 60.0);
+        s.push_at_secs(20.0, 70.0);
+        s
+    }
+
+    #[test]
+    fn step_interpolation() {
+        let s = series();
+        assert_eq!(s.at(-1.0), None);
+        assert_eq!(s.at(0.0), Some(50.0));
+        assert_eq!(s.at(9.9), Some(50.0));
+        assert_eq!(s.at(10.0), Some(60.0));
+        assert_eq!(s.at(100.0), Some(70.0));
+    }
+
+    #[test]
+    fn window_mean_respects_bounds() {
+        let s = series();
+        assert_eq!(s.window_mean(0.0, 20.0), Some(55.0));
+        assert_eq!(s.window_mean(0.0, 21.0), Some(60.0));
+        assert_eq!(s.window_mean(30.0, 40.0), None);
+    }
+
+    #[test]
+    fn resample_grid() {
+        let s = series();
+        let g = s.resample(5.0);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g[1], (5.0, 50.0));
+        assert_eq!(g[2], (10.0, 60.0));
+    }
+
+    #[test]
+    fn value_range() {
+        assert_eq!(series().value_range(), Some((50.0, 70.0)));
+        assert_eq!(TimeSeries::new("x").value_range(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_rejected() {
+        let mut s = series();
+        s.push_at_secs(5.0, 1.0);
+    }
+
+    #[test]
+    fn push_simtime() {
+        let mut s = TimeSeries::new("t");
+        s.push(SimTime::from_millis(1500), 3.0);
+        assert_eq!(s.points()[0], (1.5, 3.0));
+    }
+}

@@ -1,0 +1,154 @@
+//! Addressing: IPv4-style addresses, ports and host identifiers.
+//!
+//! The cluster configuration assigns the *same* public IP to every server
+//! node (§II-A) and distinguishes DVE services by **port number**, so a
+//! `SockAddr` of the public IP never identifies a node — port ownership does.
+//! Local (in-cluster) interfaces have unique per-node addresses.
+
+use std::fmt;
+
+/// A simulated host (cluster node, client host or database server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// An IPv4-style address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ip(pub u32);
+
+impl Ip {
+    /// The cluster's single public IP, shared by every node's public
+    /// interface (ONE-IP configuration).
+    pub const CLUSTER_PUBLIC: Ip = Ip::new(203, 0, 113, 1);
+
+    /// Construct from dotted-quad components.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Ip {
+        Ip(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The unique in-cluster (local network) address of a server node.
+    pub const fn local_of(node: NodeId) -> Ip {
+        Ip(Ip::new(10, 0, 0, 0).0 + node.0 + 1)
+    }
+
+    /// The WAN address of a client host.
+    pub const fn client_of(host: NodeId) -> Ip {
+        Ip(Ip::new(198, 51, 100, 0).0 + host.0 + 1)
+    }
+
+    /// Whether this is an in-cluster (10.0.0.0/8) address.
+    pub const fn is_local(self) -> bool {
+        (self.0 >> 24) == 10
+    }
+
+    /// Inverse of [`Ip::local_of`]: which cluster host owns this local IP.
+    pub fn local_host(self) -> Option<NodeId> {
+        if self.is_local() && self.0 > Ip::new(10, 0, 0, 0).0 {
+            Some(NodeId(self.0 - Ip::new(10, 0, 0, 0).0 - 1))
+        } else {
+            None
+        }
+    }
+
+    /// Inverse of [`Ip::client_of`]: which client host owns this WAN IP.
+    pub fn client_host(self) -> Option<NodeId> {
+        let base = Ip::new(198, 51, 100, 0).0;
+        if self.0 > base && self.0 <= base + 0xff {
+            Some(NodeId(self.0 - base - 1))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}",
+            (self.0 >> 24) & 0xff,
+            (self.0 >> 16) & 0xff,
+            (self.0 >> 8) & 0xff,
+            self.0 & 0xff
+        )
+    }
+}
+
+/// A transport-layer port number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Port(pub u16);
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An (ip, port) endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SockAddr {
+    pub ip: Ip,
+    pub port: Port,
+}
+
+impl SockAddr {
+    /// Construct an endpoint.
+    pub const fn new(ip: Ip, port: u16) -> SockAddr {
+        SockAddr {
+            ip,
+            port: Port(port),
+        }
+    }
+}
+
+impl fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_quad_roundtrip() {
+        let ip = Ip::new(203, 0, 113, 1);
+        assert_eq!(format!("{ip}"), "203.0.113.1");
+    }
+
+    #[test]
+    fn local_addresses_are_unique_and_local() {
+        let a = Ip::local_of(NodeId(0));
+        let b = Ip::local_of(NodeId(1));
+        assert_ne!(a, b);
+        assert!(a.is_local());
+        assert!(b.is_local());
+        assert_eq!(format!("{a}"), "10.0.0.1");
+    }
+
+    #[test]
+    fn public_and_client_addresses_are_not_local() {
+        assert!(!Ip::CLUSTER_PUBLIC.is_local());
+        assert!(!Ip::client_of(NodeId(3)).is_local());
+    }
+
+    #[test]
+    fn client_addresses_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100 {
+            assert!(seen.insert(Ip::client_of(NodeId(i))));
+        }
+    }
+
+    #[test]
+    fn sockaddr_display() {
+        let sa = SockAddr::new(Ip::CLUSTER_PUBLIC, 27960);
+        assert_eq!(format!("{sa}"), "203.0.113.1:27960");
+    }
+}

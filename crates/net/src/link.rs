@@ -1,0 +1,264 @@
+//! Point-to-point links with bandwidth, propagation latency and
+//! transmission-serialization queueing.
+//!
+//! A link keeps a `busy_until` cursor: a frame submitted while a previous
+//! frame is still serializing waits its turn, so a 3.5 MB aggregated socket
+//! buffer on Gigabit Ethernet really occupies the wire for ~28 ms — the
+//! effect behind the collective-vs-iterative comparison in Fig. 5b.
+
+use dvelm_sim::{DetRng, SimTime};
+
+/// Gigabit Ethernet payload bandwidth, bytes per second.
+pub const GIGE_BANDWIDTH: u64 = 125_000_000;
+/// One-way propagation + forwarding latency on the paper's LAN, microseconds.
+pub const LAN_LATENCY_US: u64 = 50;
+
+/// Optional packet-loss injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// Deliver everything.
+    None,
+    /// Drop each frame independently with this probability.
+    Bernoulli(f64),
+    /// Drop every frame submitted in `[from, to)` — a blackout window, used
+    /// to model the unprotected socket-migration gap in ablation tests.
+    Window { from: SimTime, to: SimTime },
+}
+
+/// Per-link transfer counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames accepted for transmission.
+    pub frames: u64,
+    /// Payload bytes accepted for transmission.
+    pub bytes: u64,
+    /// Frames dropped by the loss model.
+    pub dropped: u64,
+}
+
+/// A unidirectional link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Bytes per second.
+    pub bandwidth: u64,
+    /// One-way latency in microseconds.
+    pub latency_us: u64,
+    loss: LossModel,
+    busy_until: SimTime,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// A link with the given bandwidth (bytes/s) and latency (µs).
+    pub fn new(bandwidth: u64, latency_us: u64) -> Link {
+        assert!(bandwidth > 0, "link bandwidth must be positive");
+        Link {
+            bandwidth,
+            latency_us,
+            loss: LossModel::None,
+            busy_until: SimTime::ZERO,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// A Gigabit-Ethernet LAN link as on the paper's testbed.
+    pub fn gige() -> Link {
+        Link::new(GIGE_BANDWIDTH, LAN_LATENCY_US)
+    }
+
+    /// A WAN-ish client access link (20 ms one-way, 10 MB/s).
+    pub fn client_wan() -> Link {
+        Link::new(10_000_000, 20_000)
+    }
+
+    /// Install a loss model.
+    pub fn with_loss(mut self, loss: LossModel) -> Link {
+        self.loss = loss;
+        self
+    }
+
+    /// Replace the loss model on an existing link.
+    pub fn set_loss(&mut self, loss: LossModel) {
+        self.loss = loss;
+    }
+
+    /// Microseconds needed to serialize `bytes` onto the wire (≥ 1).
+    pub fn serialization_us(&self, bytes: u64) -> u64 {
+        ((bytes.saturating_mul(1_000_000)) / self.bandwidth).max(1)
+    }
+
+    /// Submit a frame at `now`; returns the arrival instant at the far end,
+    /// or `None` if the loss model drops it. Loss is decided *before* wire
+    /// occupancy so a dropped frame does not consume bandwidth (models loss
+    /// at the submitting host's queue, which is where our blackout windows
+    /// live).
+    pub fn transmit(&mut self, now: SimTime, bytes: u64, rng: &mut DetRng) -> Option<SimTime> {
+        let dropped = match self.loss {
+            LossModel::None => false,
+            LossModel::Bernoulli(p) => rng.chance(p),
+            LossModel::Window { from, to } => now >= from && now < to,
+        };
+        if dropped {
+            self.stats.dropped += 1;
+            return None;
+        }
+        let start = self.busy_until.max(now);
+        let done = start + self.serialization_us(bytes);
+        self.busy_until = done;
+        self.stats.frames += 1;
+        self.stats.bytes += bytes;
+        Some(done + self.latency_us)
+    }
+
+    /// When the wire becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Transfer counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(0xfeed)
+    }
+
+    #[test]
+    fn serialization_time_scales_with_bytes() {
+        let l = Link::gige();
+        // 125 MB/s → 1 MB takes 8000 µs.
+        assert_eq!(l.serialization_us(1_000_000), 8_000);
+        // Tiny frames still occupy at least 1 µs.
+        assert_eq!(l.serialization_us(1), 1);
+    }
+
+    #[test]
+    fn arrival_is_serialization_plus_latency() {
+        let mut l = Link::new(1_000_000, 100); // 1 MB/s
+        let arr = l.transmit(SimTime::ZERO, 1_000, &mut rng()).unwrap();
+        // 1000 B at 1 MB/s = 1000 µs, + 100 µs latency.
+        assert_eq!(arr, SimTime::from_micros(1_100));
+    }
+
+    #[test]
+    fn back_to_back_frames_queue_on_the_wire() {
+        let mut l = Link::new(1_000_000, 0);
+        let mut r = rng();
+        let a1 = l.transmit(SimTime::ZERO, 1_000, &mut r).unwrap();
+        let a2 = l.transmit(SimTime::ZERO, 1_000, &mut r).unwrap();
+        assert_eq!(a1, SimTime::from_micros(1_000));
+        assert_eq!(
+            a2,
+            SimTime::from_micros(2_000),
+            "second frame waits for the first"
+        );
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut l = Link::new(1_000_000, 0);
+        let mut r = rng();
+        l.transmit(SimTime::ZERO, 1_000, &mut r);
+        let a = l
+            .transmit(SimTime::from_micros(5_000), 1_000, &mut r)
+            .unwrap();
+        assert_eq!(a, SimTime::from_micros(6_000));
+    }
+
+    #[test]
+    fn bernoulli_loss_drops_roughly_p() {
+        let mut l = Link::new(GIGE_BANDWIDTH, 0).with_loss(LossModel::Bernoulli(0.3));
+        let mut r = rng();
+        let mut dropped = 0;
+        for i in 0..10_000 {
+            if l.transmit(SimTime::from_micros(i * 100), 100, &mut r)
+                .is_none()
+            {
+                dropped += 1;
+            }
+        }
+        assert!((2_700..3_300).contains(&dropped), "dropped {dropped}");
+        assert_eq!(l.stats().dropped, dropped);
+    }
+
+    #[test]
+    fn window_loss_is_exact() {
+        let w = LossModel::Window {
+            from: SimTime::from_millis(10),
+            to: SimTime::from_millis(20),
+        };
+        let mut l = Link::gige().with_loss(w);
+        let mut r = rng();
+        assert!(l.transmit(SimTime::from_millis(9), 10, &mut r).is_some());
+        assert!(l.transmit(SimTime::from_millis(10), 10, &mut r).is_none());
+        assert!(l.transmit(SimTime::from_millis(19), 10, &mut r).is_none());
+        assert!(l.transmit(SimTime::from_millis(20), 10, &mut r).is_some());
+    }
+
+    #[test]
+    fn stats_count_frames_and_bytes() {
+        let mut l = Link::gige();
+        let mut r = rng();
+        l.transmit(SimTime::ZERO, 100, &mut r);
+        l.transmit(SimTime::ZERO, 200, &mut r);
+        assert_eq!(
+            l.stats(),
+            LinkStats {
+                frames: 2,
+                bytes: 300,
+                dropped: 0
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = Link::new(0, 0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arrivals on a link are nondecreasing when submissions are
+        /// nondecreasing (the wire never reorders).
+        #[test]
+        fn fifo_wire(sizes in proptest::collection::vec(1u64..100_000, 1..50)) {
+            let mut l = Link::gige();
+            let mut r = DetRng::new(1);
+            let mut last = SimTime::ZERO;
+            let mut t = SimTime::ZERO;
+            for (i, s) in sizes.iter().enumerate() {
+                t += (i as u64 * 3) % 500;
+                let a = l.transmit(t, *s, &mut r).unwrap();
+                prop_assert!(a >= last);
+                prop_assert!(a > t);
+                last = a;
+            }
+        }
+
+        /// Total wire occupancy equals the sum of serialization times when
+        /// everything is submitted at t=0.
+        #[test]
+        fn occupancy_adds_up(sizes in proptest::collection::vec(1u64..1_000_000, 1..20)) {
+            let mut l = Link::new(1_000_000, 0);
+            let mut r = DetRng::new(2);
+            let mut expect = 0;
+            for s in &sizes {
+                l.transmit(SimTime::ZERO, *s, &mut r);
+                expect += l.serialization_us(*s);
+            }
+            prop_assert_eq!(l.busy_until(), SimTime::from_micros(expect));
+        }
+    }
+}

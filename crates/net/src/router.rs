@@ -1,0 +1,220 @@
+//! The single-IP broadcast router (§II-A, Fig. 1).
+//!
+//! Inbound (WAN→cluster) frames are **broadcast to every server node's public
+//! interface**; each node's stack decides locally whether it owns the
+//! destination port. Outbound frames are unicast to the client host. This is
+//! the ONE-IP configuration whose broadcast property makes in-cluster socket
+//! migration possible without touching the router, and which the
+//! packet-loss-prevention mechanism exploits: while a socket is in transit,
+//! the *destination* node already receives (and captures) the client's
+//! packets.
+
+use crate::addr::NodeId;
+use crate::link::Link;
+use dvelm_sim::{DetRng, SimTime};
+use std::collections::BTreeMap;
+
+/// The WAN-facing broadcast router of the cluster.
+#[derive(Debug)]
+pub struct BroadcastRouter {
+    /// router → node public interface (one per server node).
+    downlinks: BTreeMap<NodeId, Link>,
+    /// node public interface → router.
+    uplinks: BTreeMap<NodeId, Link>,
+    /// router → client host.
+    client_downlinks: BTreeMap<NodeId, Link>,
+    /// client host → router.
+    client_uplinks: BTreeMap<NodeId, Link>,
+    link_template: Link,
+    client_template: Link,
+}
+
+impl BroadcastRouter {
+    /// A router whose cluster-side links are copies of `cluster_link` and
+    /// whose client access links are copies of `client_link`.
+    pub fn new(cluster_link: Link, client_link: Link) -> BroadcastRouter {
+        BroadcastRouter {
+            downlinks: BTreeMap::new(),
+            uplinks: BTreeMap::new(),
+            client_downlinks: BTreeMap::new(),
+            client_uplinks: BTreeMap::new(),
+            link_template: cluster_link,
+            client_template: client_link,
+        }
+    }
+
+    /// A router with Gigabit cluster links and WAN-ish client links.
+    pub fn default_testbed() -> BroadcastRouter {
+        BroadcastRouter::new(Link::gige(), Link::client_wan())
+    }
+
+    /// Attach a server node's public interface.
+    pub fn attach_node(&mut self, node: NodeId) {
+        self.downlinks.insert(node, self.link_template.clone());
+        self.uplinks.insert(node, self.link_template.clone());
+    }
+
+    /// Detach a server node (node leave).
+    pub fn detach_node(&mut self, node: NodeId) {
+        self.downlinks.remove(&node);
+        self.uplinks.remove(&node);
+    }
+
+    /// Attach a client host on the WAN side.
+    pub fn attach_client(&mut self, host: NodeId) {
+        self.client_downlinks
+            .insert(host, self.client_template.clone());
+        self.client_uplinks
+            .insert(host, self.client_template.clone());
+    }
+
+    /// Server nodes currently attached.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.downlinks.keys().copied()
+    }
+
+    /// A client host sends an inbound frame: it traverses the client's
+    /// uplink once, then is broadcast over every node downlink. Returns the
+    /// per-node arrival instants (empty if the uplink dropped it).
+    pub fn inbound(
+        &mut self,
+        now: SimTime,
+        from_client: NodeId,
+        bytes: u64,
+        rng: &mut DetRng,
+    ) -> Vec<(NodeId, SimTime)> {
+        let up = self
+            .client_uplinks
+            .get_mut(&from_client)
+            .unwrap_or_else(|| panic!("unknown client host {from_client}"));
+        let Some(at_router) = up.transmit(now, bytes, rng) else {
+            return Vec::new();
+        };
+        self.downlinks
+            .iter_mut()
+            .filter_map(|(node, link)| link.transmit(at_router, bytes, rng).map(|arr| (*node, arr)))
+            .collect()
+    }
+
+    /// A server node sends an outbound frame to a client host (unicast).
+    pub fn outbound(
+        &mut self,
+        now: SimTime,
+        from_node: NodeId,
+        to_client: NodeId,
+        bytes: u64,
+        rng: &mut DetRng,
+    ) -> Option<SimTime> {
+        let up = self
+            .uplinks
+            .get_mut(&from_node)
+            .unwrap_or_else(|| panic!("unknown server node {from_node}"));
+        let at_router = up.transmit(now, bytes, rng)?;
+        let down = self
+            .client_downlinks
+            .get_mut(&to_client)
+            .unwrap_or_else(|| panic!("unknown client host {to_client}"));
+        down.transmit(at_router, bytes, rng)
+    }
+
+    /// Mutable access to a node downlink (for ablation loss injection).
+    pub fn node_downlink_mut(&mut self, node: NodeId) -> Option<&mut Link> {
+        self.downlinks.get_mut(&node)
+    }
+
+    /// Install a loss model on every client access link, both directions
+    /// (failure injection: a lossy WAN).
+    pub fn set_client_loss(&mut self, loss: crate::link::LossModel) {
+        for link in self
+            .client_uplinks
+            .values_mut()
+            .chain(self.client_downlinks.values_mut())
+        {
+            link.set_loss(loss);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LossModel;
+
+    fn rng() -> DetRng {
+        DetRng::new(7)
+    }
+
+    fn router_with(n: u32) -> BroadcastRouter {
+        let mut r = BroadcastRouter::default_testbed();
+        for i in 0..n {
+            r.attach_node(NodeId(i));
+        }
+        r.attach_client(NodeId(100));
+        r
+    }
+
+    #[test]
+    fn inbound_reaches_every_node() {
+        let mut r = router_with(5);
+        let arrivals = r.inbound(SimTime::ZERO, NodeId(100), 256, &mut rng());
+        assert_eq!(arrivals.len(), 5);
+        let nodes: Vec<u32> = arrivals.iter().map(|(n, _)| n.0).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn broadcast_arrivals_are_simultaneous_on_idle_links() {
+        let mut r = router_with(3);
+        let arrivals = r.inbound(SimTime::ZERO, NodeId(100), 256, &mut rng());
+        assert!(arrivals.windows(2).all(|w| w[0].1 == w[1].1));
+    }
+
+    #[test]
+    fn detached_node_stops_receiving() {
+        let mut r = router_with(3);
+        r.detach_node(NodeId(1));
+        let arrivals = r.inbound(SimTime::ZERO, NodeId(100), 256, &mut rng());
+        assert_eq!(arrivals.len(), 2);
+        assert!(arrivals.iter().all(|(n, _)| n.0 != 1));
+    }
+
+    #[test]
+    fn outbound_is_unicast_and_slower_than_lan() {
+        let mut r = router_with(2);
+        let arr = r
+            .outbound(SimTime::ZERO, NodeId(0), NodeId(100), 256, &mut rng())
+            .unwrap();
+        // Must cross the 20 ms client downlink.
+        assert!(arr >= SimTime::from_millis(20), "arrival {arr}");
+    }
+
+    #[test]
+    fn per_node_loss_only_affects_that_node() {
+        let mut r = router_with(3);
+        r.node_downlink_mut(NodeId(1))
+            .unwrap()
+            .set_loss(LossModel::Bernoulli(1.0));
+        let arrivals = r.inbound(SimTime::ZERO, NodeId(100), 256, &mut rng());
+        let nodes: Vec<u32> = arrivals.iter().map(|(n, _)| n.0).collect();
+        assert_eq!(nodes, vec![0, 2]);
+    }
+
+    #[test]
+    fn uplink_drop_means_nobody_receives() {
+        let mut r = router_with(3);
+        r.client_uplinks
+            .get_mut(&NodeId(100))
+            .unwrap()
+            .set_loss(LossModel::Bernoulli(1.0));
+        assert!(r
+            .inbound(SimTime::ZERO, NodeId(100), 256, &mut rng())
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown client host")]
+    fn unknown_client_panics() {
+        let mut r = router_with(1);
+        r.inbound(SimTime::ZERO, NodeId(999), 1, &mut rng());
+    }
+}

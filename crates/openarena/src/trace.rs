@@ -1,0 +1,158 @@
+//! tcpdump-style trace analysis: regenerating Fig. 4.
+//!
+//! Fig. 4 plots server→client packet numbers against time elapsed around the
+//! migration: the regular execution shows a packet group every 50 ms; the
+//! migration inserts an extra delay of ≈25 ms between the last packet of the
+//! source node and the first packet of the destination node.
+
+use dvelm_cluster::world::PacketLogEntry;
+use dvelm_net::Port;
+use dvelm_sim::SimTime;
+
+/// One Fig. 4 data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig4Point {
+    /// Sequential number of the server→client packet.
+    pub packet_no: u32,
+    /// Milliseconds relative to the start of the analysis window.
+    pub t_ms: f64,
+    /// Whether the packet was transmitted by the destination node.
+    pub from_dst: bool,
+}
+
+/// Server→client packets (src port = game port) in
+/// `[center - half_window, center + half_window]`, numbered sequentially —
+/// the data behind Fig. 4.
+pub fn fig4_series(
+    log: &[PacketLogEntry],
+    server_port: Port,
+    dst_host: usize,
+    center: SimTime,
+    half_window_us: u64,
+) -> Vec<Fig4Point> {
+    let from = SimTime(center.0.saturating_sub(half_window_us));
+    let to = center + half_window_us;
+    log.iter()
+        .filter(|e| e.src.port == server_port && e.at >= from && e.at <= to)
+        .enumerate()
+        .map(|(i, e)| Fig4Point {
+            packet_no: i as u32 + 1,
+            t_ms: (e.at.saturating_since(from)) as f64 / 1000.0,
+            from_dst: e.from_host == dst_host,
+        })
+        .collect()
+}
+
+/// The migration-imposed packet delay: the gap between the last server
+/// packet transmitted by the source node and the first transmitted by the
+/// destination node (the ≈25 ms annotation in Fig. 4).
+pub fn migration_delay_us(
+    log: &[PacketLogEntry],
+    server_port: Port,
+    src_host: usize,
+    dst_host: usize,
+) -> Option<u64> {
+    let last_src = log
+        .iter()
+        .filter(|e| e.src.port == server_port && e.from_host == src_host)
+        .map(|e| e.at)
+        .max()?;
+    let first_dst = log
+        .iter()
+        .filter(|e| e.src.port == server_port && e.from_host == dst_host && e.at > last_src)
+        .map(|e| e.at)
+        .min()?;
+    Some(first_dst - last_src)
+}
+
+/// Gaps between consecutive snapshot *bursts* in milliseconds. Packets
+/// closer than `burst_gap_us` belong to the same burst (one snapshot round
+/// to all clients). The regular cadence is 50 ms; the migration shows up as
+/// one larger gap.
+pub fn snapshot_gaps_ms(log: &[PacketLogEntry], server_port: Port, burst_gap_us: u64) -> Vec<f64> {
+    let mut times: Vec<SimTime> = log
+        .iter()
+        .filter(|e| e.src.port == server_port)
+        .map(|e| e.at)
+        .collect();
+    times.sort_unstable();
+    let mut bursts: Vec<SimTime> = Vec::new();
+    for t in times {
+        match bursts.last() {
+            Some(last) if t.saturating_since(*last) < burst_gap_us => {}
+            _ => bursts.push(t),
+        }
+    }
+    bursts
+        .windows(2)
+        .map(|w| (w[1] - w[0]) as f64 / 1000.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvelm_net::{Ip, SockAddr};
+
+    fn entry(at_us: u64, from_host: usize, sport: u16) -> PacketLogEntry {
+        PacketLogEntry {
+            at: SimTime::from_micros(at_us),
+            from_host,
+            src: SockAddr::new(Ip::CLUSTER_PUBLIC, sport),
+            dst: SockAddr::new(Ip::client_of(dvelm_net::NodeId(9)), 5000),
+            bytes: 256 + 28,
+        }
+    }
+
+    /// A synthetic trace: snapshots every 50 ms from host 0, then a 75 ms
+    /// hole, then host 1 takes over.
+    fn synthetic() -> Vec<PacketLogEntry> {
+        let mut log = Vec::new();
+        for i in 0..4u64 {
+            log.push(entry(50_000 * (i + 1), 0, 27960));
+        }
+        // Migration at ~225 ms: next snapshot late by 25 ms.
+        for i in 0..4u64 {
+            log.push(entry(275_000 + 50_000 * i, 1, 27960));
+        }
+        log
+    }
+
+    #[test]
+    fn delay_is_measured_between_hosts() {
+        let log = synthetic();
+        let d = migration_delay_us(&log, Port(27960), 0, 1).unwrap();
+        assert_eq!(d, 75_000, "200ms → 275ms gap");
+    }
+
+    #[test]
+    fn gaps_show_the_cadence_and_the_hole() {
+        let log = synthetic();
+        let gaps = snapshot_gaps_ms(&log, Port(27960), 10_000);
+        assert_eq!(gaps.len(), 7);
+        assert!(gaps.iter().filter(|g| (**g - 50.0).abs() < 0.01).count() >= 6);
+        assert!(gaps.contains(&75.0));
+    }
+
+    #[test]
+    fn fig4_series_is_windowed_and_numbered() {
+        let log = synthetic();
+        let pts = fig4_series(&log, Port(27960), 1, SimTime::from_micros(225_000), 150_000);
+        assert!(!pts.is_empty());
+        assert_eq!(pts[0].packet_no, 1);
+        assert!(pts.iter().any(|p| p.from_dst));
+        assert!(pts.iter().any(|p| !p.from_dst));
+        // Monotone numbering and time.
+        assert!(pts
+            .windows(2)
+            .all(|w| w[0].packet_no < w[1].packet_no && w[0].t_ms <= w[1].t_ms));
+    }
+
+    #[test]
+    fn other_ports_are_ignored() {
+        let mut log = synthetic();
+        log.push(entry(100_000, 0, 1234));
+        let gaps = snapshot_gaps_ms(&log, Port(27960), 10_000);
+        assert_eq!(gaps.len(), 7, "foreign port did not add bursts");
+    }
+}

@@ -1,0 +1,28 @@
+//! The simulated process model.
+//!
+//! Provides what BLCR-style checkpoint/restart operates on (§III-A, §V-A):
+//!
+//! * an **address space** of `vm_area_struct`-like regions whose pages carry
+//!   dirty bits — the paper tracks dirty pages via the PTE dirty bit, with
+//!   the swap facility relaxed, so the tracker lives entirely "in a module"
+//!   (here: in the data structure) without touching other code;
+//! * **threads** with registers, signal masks and an in-syscall flag — the
+//!   signal-based checkpoint notification forces every thread back to
+//!   userspace, which is what guarantees sockets are unlocked at freeze time;
+//! * a **file-descriptor table** mixing regular files (re-opened on restart;
+//!   contents are shared/replicated per §II-A) and sockets (migrated by the
+//!   mechanism in `dvelm-migrate`).
+//!
+//! Page *contents* are modelled as 64-bit fingerprints: transfers are
+//! accounted at full page size, while restore correctness is checked by
+//! fingerprint equality.
+
+pub mod fdtable;
+pub mod mem;
+pub mod process;
+pub mod thread;
+
+pub use fdtable::{Fd, FdEntry, FdTable};
+pub use mem::{AddressSpace, PageRef, Vma, VmaId, VmaKind, PAGE_SIZE};
+pub use process::{Pid, Process};
+pub use thread::{Registers, Thread, ThreadState};

@@ -1,0 +1,477 @@
+//! The address space: VMAs, pages, dirty bits.
+//!
+//! Mirrors what the paper's precopy implementation tracks (§V-A):
+//!
+//! * **dirty pages** inside existing regions, via the PTE dirty bit — here a
+//!   `dirty` flag per page, cleared when the incremental checkpointer
+//!   collects the page;
+//! * **changes to the address space itself** — insertions (mmap),
+//!   modifications (grow/shrink) and removals (munmap) of regions, which the
+//!   paper detects by diffing the live `vm_area_struct` list against a
+//!   tracking list (the diffing lives in `dvelm-ckpt`; this module exposes
+//!   the live list).
+
+use dvelm_sim::DetRng;
+use std::collections::BTreeMap;
+
+/// Page size in bytes (x86-64 small pages, as on the paper's Opterons).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Identifier of a mapped region, stable across its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmaId(pub u64);
+
+/// What a region holds (affects which regions the workload dirties).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmaKind {
+    /// Program text: read-only, never dirty after load.
+    Text,
+    /// Initialised data / BSS.
+    Data,
+    /// Heap allocations.
+    Heap,
+    /// Thread stacks.
+    Stack,
+    /// Anonymous mappings (e.g. game world state).
+    Anon,
+}
+
+/// One page: content fingerprint + dirty bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Page {
+    /// 64-bit stand-in for the page contents.
+    pub fingerprint: u64,
+    /// PTE dirty bit analogue; cleared by the incremental checkpointer.
+    pub dirty: bool,
+}
+
+/// A mapped region (`vm_area_struct` analogue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vma {
+    pub id: VmaId,
+    pub kind: VmaKind,
+    /// Virtual start address (page aligned).
+    pub start: u64,
+    pub pages: Vec<Page>,
+}
+
+impl Vma {
+    /// Region length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
+
+    /// One-past-the-end virtual address.
+    pub fn end(&self) -> u64 {
+        self.start + self.len_bytes()
+    }
+}
+
+/// A reference to a (possibly dirty) page, as collected by the checkpointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRef {
+    pub vma: VmaId,
+    pub index: usize,
+    pub fingerprint: u64,
+}
+
+/// A process address space.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    vmas: BTreeMap<VmaId, Vma>,
+    next_vma: u64,
+    next_addr: u64,
+    /// Total pages ever dirtied (statistics).
+    pub dirtied_total: u64,
+}
+
+impl AddressSpace {
+    /// An empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace {
+            vmas: BTreeMap::new(),
+            next_vma: 1,
+            next_addr: 0x0000_5555_0000_0000,
+            dirtied_total: 0,
+        }
+    }
+
+    /// Map a new region of `pages` pages; contents initialised from `seed`.
+    /// All pages start dirty (they have never been checkpointed).
+    pub fn mmap(&mut self, kind: VmaKind, pages: usize, seed: u64) -> VmaId {
+        let id = VmaId(self.next_vma);
+        self.next_vma += 1;
+        let start = self.next_addr;
+        self.next_addr += (pages as u64 + 16) * PAGE_SIZE; // guard gap
+        let pages = (0..pages)
+            .map(|i| Page {
+                fingerprint: mix(seed, i as u64),
+                dirty: true,
+            })
+            .collect();
+        self.vmas.insert(
+            id,
+            Vma {
+                id,
+                kind,
+                start,
+                pages,
+            },
+        );
+        id
+    }
+
+    /// Unmap a region.
+    pub fn munmap(&mut self, id: VmaId) -> bool {
+        self.vmas.remove(&id).is_some()
+    }
+
+    /// Grow or shrink a region to `pages` pages (heap growth, stack growth).
+    /// New pages start dirty.
+    pub fn resize(&mut self, id: VmaId, pages: usize, seed: u64) {
+        let vma = self.vmas.get_mut(&id).expect("resize of unmapped VMA");
+        let old = vma.pages.len();
+        if pages > old {
+            vma.pages.extend((old..pages).map(|i| Page {
+                fingerprint: mix(seed, i as u64),
+                dirty: true,
+            }));
+        } else {
+            vma.pages.truncate(pages);
+        }
+    }
+
+    /// Write to a page: new fingerprint, dirty bit set.
+    pub fn write_page(&mut self, id: VmaId, index: usize) {
+        let vma = self.vmas.get_mut(&id).expect("write to unmapped VMA");
+        let page = &mut vma.pages[index];
+        page.fingerprint = mix(page.fingerprint, 0x9E37_79B9);
+        if !page.dirty {
+            page.dirty = true;
+        }
+        self.dirtied_total += 1;
+    }
+
+    /// Dirty `count` randomly chosen pages of writable regions — the
+    /// workload's memory activity between precopy iterations.
+    pub fn dirty_random(&mut self, rng: &mut DetRng, count: usize) {
+        let writable: Vec<(VmaId, usize)> = self
+            .vmas
+            .values()
+            .filter(|v| v.kind != VmaKind::Text && !v.pages.is_empty())
+            .map(|v| (v.id, v.pages.len()))
+            .collect();
+        if writable.is_empty() {
+            return;
+        }
+        for _ in 0..count {
+            let (id, len) = writable[rng.index(writable.len())];
+            let idx = rng.index(len);
+            self.write_page(id, idx);
+        }
+    }
+
+    /// Collect and clear every dirty page (one precopy iteration's payload).
+    pub fn collect_dirty(&mut self) -> Vec<PageRef> {
+        let mut out = Vec::new();
+        for vma in self.vmas.values_mut() {
+            for (i, page) in vma.pages.iter_mut().enumerate() {
+                if page.dirty {
+                    page.dirty = false;
+                    out.push(PageRef {
+                        vma: vma.id,
+                        index: i,
+                        fingerprint: page.fingerprint,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Count dirty pages without clearing.
+    pub fn dirty_count(&self) -> usize {
+        self.vmas
+            .values()
+            .map(|v| v.pages.iter().filter(|p| p.dirty).count())
+            .sum()
+    }
+
+    /// Live regions, in id order.
+    pub fn vmas(&self) -> impl Iterator<Item = &Vma> {
+        self.vmas.values()
+    }
+
+    /// Look up one region.
+    pub fn vma(&self, id: VmaId) -> Option<&Vma> {
+        self.vmas.get(&id)
+    }
+
+    /// Number of regions.
+    pub fn vma_count(&self) -> usize {
+        self.vmas.len()
+    }
+
+    /// Resident size in bytes.
+    pub fn rss_bytes(&self) -> u64 {
+        self.vmas.values().map(Vma::len_bytes).sum()
+    }
+
+    /// Total pages mapped.
+    pub fn total_pages(&self) -> usize {
+        self.vmas.values().map(|v| v.pages.len()).sum()
+    }
+
+    /// Order- and content-sensitive hash of the full address space, used to
+    /// verify restore fidelity.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for vma in self.vmas.values() {
+            h = mix(h, vma.id.0);
+            h = mix(h, vma.start);
+            for p in &vma.pages {
+                h = mix(h, p.fingerprint);
+            }
+        }
+        h
+    }
+
+    /// Apply a page write received from a checkpoint stream (restore path).
+    pub fn apply_page(&mut self, r: PageRef) {
+        let vma = self
+            .vmas
+            .get_mut(&r.vma)
+            .expect("apply_page to unmapped VMA");
+        let page = &mut vma.pages[r.index];
+        page.fingerprint = r.fingerprint;
+        page.dirty = false;
+    }
+
+    /// Recreate a region from checkpoint metadata (restore path). Pages start
+    /// zeroed and clean; contents arrive via [`apply_page`](Self::apply_page).
+    pub fn install_vma(&mut self, id: VmaId, kind: VmaKind, start: u64, pages: usize) {
+        self.next_vma = self.next_vma.max(id.0 + 1);
+        self.vmas.insert(
+            id,
+            Vma {
+                id,
+                kind,
+                start,
+                pages: vec![
+                    Page {
+                        fingerprint: 0,
+                        dirty: false
+                    };
+                    pages
+                ],
+            },
+        );
+    }
+
+    /// Resize during restore (VMA-diff modification record).
+    pub fn restore_resize(&mut self, id: VmaId, pages: usize) {
+        let vma = self
+            .vmas
+            .get_mut(&id)
+            .expect("restore_resize of unmapped VMA");
+        vma.pages.resize(
+            pages,
+            Page {
+                fingerprint: 0,
+                dirty: false,
+            },
+        );
+    }
+}
+
+#[inline]
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_pages_start_dirty() {
+        let mut a = AddressSpace::new();
+        let id = a.mmap(VmaKind::Heap, 10, 1);
+        assert_eq!(a.dirty_count(), 10);
+        assert_eq!(a.total_pages(), 10);
+        assert_eq!(a.rss_bytes(), 10 * PAGE_SIZE);
+        assert_eq!(a.vma(id).unwrap().pages.len(), 10);
+    }
+
+    #[test]
+    fn collect_dirty_clears_bits() {
+        let mut a = AddressSpace::new();
+        a.mmap(VmaKind::Heap, 5, 1);
+        let d = a.collect_dirty();
+        assert_eq!(d.len(), 5);
+        assert_eq!(a.dirty_count(), 0);
+        assert!(a.collect_dirty().is_empty(), "second collect finds nothing");
+    }
+
+    #[test]
+    fn write_page_sets_dirty_and_changes_fingerprint() {
+        let mut a = AddressSpace::new();
+        let id = a.mmap(VmaKind::Data, 3, 1);
+        a.collect_dirty();
+        let before = a.vma(id).unwrap().pages[1].fingerprint;
+        a.write_page(id, 1);
+        assert_eq!(a.dirty_count(), 1);
+        assert_ne!(a.vma(id).unwrap().pages[1].fingerprint, before);
+        let d = a.collect_dirty();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].index, 1);
+    }
+
+    #[test]
+    fn dirty_random_skips_text() {
+        let mut a = AddressSpace::new();
+        let text = a.mmap(VmaKind::Text, 100, 1);
+        a.mmap(VmaKind::Heap, 100, 2);
+        a.collect_dirty();
+        let mut rng = DetRng::new(1);
+        a.dirty_random(&mut rng, 500);
+        let text_dirty = a
+            .vma(text)
+            .unwrap()
+            .pages
+            .iter()
+            .filter(|p| p.dirty)
+            .count();
+        assert_eq!(text_dirty, 0, "text pages never dirtied");
+        assert!(a.dirty_count() > 0);
+    }
+
+    #[test]
+    fn resize_grow_and_shrink() {
+        let mut a = AddressSpace::new();
+        let id = a.mmap(VmaKind::Heap, 4, 1);
+        a.collect_dirty();
+        a.resize(id, 8, 2);
+        assert_eq!(a.vma(id).unwrap().pages.len(), 8);
+        assert_eq!(a.dirty_count(), 4, "only the new pages are dirty");
+        a.resize(id, 2, 0);
+        assert_eq!(a.vma(id).unwrap().pages.len(), 2);
+    }
+
+    #[test]
+    fn munmap_removes_region() {
+        let mut a = AddressSpace::new();
+        let id = a.mmap(VmaKind::Anon, 7, 1);
+        assert!(a.munmap(id));
+        assert!(!a.munmap(id));
+        assert_eq!(a.total_pages(), 0);
+    }
+
+    #[test]
+    fn vma_addresses_do_not_overlap() {
+        let mut a = AddressSpace::new();
+        let ids: Vec<VmaId> = (0..10).map(|i| a.mmap(VmaKind::Anon, 16, i)).collect();
+        let mut ranges: Vec<(u64, u64)> = ids
+            .iter()
+            .map(|id| {
+                let v = a.vma(*id).unwrap();
+                (v.start, v.end())
+            })
+            .collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping VMAs: {w:?}");
+        }
+    }
+
+    #[test]
+    fn restore_reproduces_content_hash() {
+        let mut rng = DetRng::new(9);
+        let mut src = AddressSpace::new();
+        for i in 0..5 {
+            src.mmap(
+                if i == 0 { VmaKind::Text } else { VmaKind::Heap },
+                20 + i as usize,
+                i,
+            );
+        }
+        src.dirty_random(&mut rng, 200);
+
+        // Restore: recreate regions, apply all pages.
+        let mut dst = AddressSpace::new();
+        for vma in src.vmas() {
+            dst.install_vma(vma.id, vma.kind, vma.start, vma.pages.len());
+        }
+        let mut src2 = src.clone();
+        for page in src2.collect_dirty() {
+            dst.apply_page(page);
+        }
+        // Pages that were clean in src still need their content; a full
+        // checkpoint ships everything:
+        for vma in src.vmas() {
+            for (i, p) in vma.pages.iter().enumerate() {
+                dst.apply_page(PageRef {
+                    vma: vma.id,
+                    index: i,
+                    fingerprint: p.fingerprint,
+                });
+            }
+        }
+        assert_eq!(dst.content_hash(), src.content_hash());
+    }
+
+    #[test]
+    fn content_hash_detects_single_page_difference() {
+        let mut a = AddressSpace::new();
+        let id = a.mmap(VmaKind::Heap, 50, 3);
+        let b = a.clone();
+        a.write_page(id, 49);
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// collect_dirty returns exactly the pages written since last collect.
+        #[test]
+        fn dirty_tracking_is_exact(writes in proptest::collection::vec((0usize..4, 0usize..32), 0..100)) {
+            let mut a = AddressSpace::new();
+            let ids: Vec<VmaId> = (0..4).map(|i| a.mmap(VmaKind::Heap, 32, i)).collect();
+            a.collect_dirty();
+            let mut expect = std::collections::BTreeSet::new();
+            for (v, p) in &writes {
+                a.write_page(ids[*v], *p);
+                expect.insert((ids[*v], *p));
+            }
+            let got: std::collections::BTreeSet<(VmaId, usize)> =
+                a.collect_dirty().into_iter().map(|r| (r.vma, r.index)).collect();
+            prop_assert_eq!(got, expect);
+            prop_assert_eq!(a.dirty_count(), 0);
+        }
+
+        /// Restoring all collected pages onto a fresh space reproduces the
+        /// content hash, whatever the write pattern.
+        #[test]
+        fn full_transfer_roundtrip(seed in 0u64..1000, dirties in 0usize..300) {
+            let mut rng = DetRng::new(seed);
+            let mut src = AddressSpace::new();
+            src.mmap(VmaKind::Heap, 64, seed);
+            src.mmap(VmaKind::Stack, 16, seed + 1);
+            src.dirty_random(&mut rng, dirties);
+            let mut dst = AddressSpace::new();
+            for vma in src.vmas() {
+                dst.install_vma(vma.id, vma.kind, vma.start, vma.pages.len());
+                for (i, p) in vma.pages.iter().enumerate() {
+                    dst.apply_page(PageRef { vma: vma.id, index: i, fingerprint: p.fingerprint });
+                }
+            }
+            prop_assert_eq!(dst.content_hash(), src.content_hash());
+        }
+    }
+}

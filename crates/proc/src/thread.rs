@@ -1,0 +1,101 @@
+//! Threads: registers, signal state and the in-syscall flag.
+//!
+//! The paper's live checkpoint is signal-driven (§III-A): every application
+//! thread receives the checkpoint signal, returns from whatever system call
+//! it was executing (releasing kernel locks, in particular the socket lock),
+//! runs the handler, and synchronizes on a barrier where a leader is chosen.
+//! The in-syscall flag here lets the migration engine reproduce — and, for
+//! the kernel-initiated ablation, *not* reproduce — that guarantee.
+
+/// Register file snapshot (program counter, stack pointer, GPRs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Registers {
+    pub pc: u64,
+    pub sp: u64,
+    pub gp: [u64; 14],
+}
+
+/// Encoded size of a per-thread checkpoint record (registers, signal state,
+/// tid and thread relations), bytes.
+pub const THREAD_RECORD_LEN: u64 = 192;
+
+/// Scheduling state of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    Running,
+    /// Blocked inside a system call.
+    InSyscall,
+    /// Suspended by the freeze phase.
+    Frozen,
+}
+
+/// One thread of a process.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    pub tid: u64,
+    pub regs: Registers,
+    /// Blocked-signal mask.
+    pub sigmask: u64,
+    pub state: ThreadState,
+}
+
+impl Thread {
+    /// A new runnable thread.
+    pub fn new(tid: u64) -> Thread {
+        Thread {
+            tid,
+            regs: Registers::default(),
+            sigmask: 0,
+            state: ThreadState::Running,
+        }
+    }
+
+    /// Deliver the checkpoint signal: a thread blocked in a system call
+    /// abandons the call and returns to userspace (§III-A's "convenient
+    /// property").
+    pub fn deliver_checkpoint_signal(&mut self) {
+        if self.state == ThreadState::InSyscall {
+            self.state = ThreadState::Running;
+        }
+    }
+
+    /// Freeze for the final checkpoint step.
+    pub fn freeze(&mut self) {
+        self.state = ThreadState::Frozen;
+    }
+
+    /// Resume after restore (or after a checkpoint taken with
+    /// `continue` semantics).
+    pub fn resume(&mut self) {
+        self.state = ThreadState::Running;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_pulls_thread_out_of_syscall() {
+        let mut t = Thread::new(1);
+        t.state = ThreadState::InSyscall;
+        t.deliver_checkpoint_signal();
+        assert_eq!(t.state, ThreadState::Running);
+    }
+
+    #[test]
+    fn signal_leaves_running_thread_alone() {
+        let mut t = Thread::new(1);
+        t.deliver_checkpoint_signal();
+        assert_eq!(t.state, ThreadState::Running);
+    }
+
+    #[test]
+    fn freeze_resume_cycle() {
+        let mut t = Thread::new(2);
+        t.freeze();
+        assert_eq!(t.state, ThreadState::Frozen);
+        t.resume();
+        assert_eq!(t.state, ThreadState::Running);
+    }
+}

@@ -1,0 +1,207 @@
+//! Simulated time.
+//!
+//! [`SimTime`] is an absolute instant measured in microseconds since the start
+//! of the simulation. Durations are plain `u64` microsecond counts — the
+//! handful of helper constants below keep call-sites readable
+//! (`3 * MILLISECOND`, `900 * SECOND`, …).
+//!
+//! [`Jiffies`] model the Linux kernel tick counter the paper's TCP timestamp
+//! adjustment relies on (§V-C1): one jiffy is 10 ms and every node boots with
+//! a different base value, so timestamps recorded on the source node are
+//! meaningless on the destination until shifted by the source/destination
+//! delta.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// One microsecond, the base unit of simulated durations.
+pub const MICROSECOND: u64 = 1;
+/// One millisecond in microseconds.
+pub const MILLISECOND: u64 = 1_000;
+/// One second in microseconds.
+pub const SECOND: u64 = 1_000_000;
+/// One Linux jiffy (HZ=100 as on the paper's 2.6 kernels): 10 ms.
+pub const JIFFY: u64 = 10 * MILLISECOND;
+
+/// An absolute simulated instant, microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant (used as an "inactive timer" marker).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * MILLISECOND)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * SECOND)
+    }
+
+    /// This instant as microseconds since simulation start.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as (fractional) milliseconds since simulation start.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / MILLISECOND as f64
+    }
+
+    /// This instant as (fractional) seconds since simulation start.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / SECOND as f64
+    }
+
+    /// Microseconds elapsed since `earlier`; zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, us: u64) -> SimTime {
+        SimTime(self.0 + us)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, us: u64) {
+        self.0 += us;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// A node-local kernel tick counter (10 ms granularity).
+///
+/// Different nodes have different bases, exactly like uptime-based jiffies on
+/// two different machines. TCP timestamps are recorded in local jiffies; the
+/// migration engine records the source's jiffies at checkpoint time and the
+/// destination shifts every timestamp by `dst_now - src_then` on restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Jiffies(pub u64);
+
+impl Jiffies {
+    /// The jiffies value on a node with boot offset `base` at instant `now`.
+    #[inline]
+    pub fn at(base: u64, now: SimTime) -> Jiffies {
+        Jiffies(base + now.0 / JIFFY)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Signed difference in ticks (`self - other`).
+    #[inline]
+    pub fn delta(self, other: Jiffies) -> i64 {
+        self.0 as i64 - other.0 as i64
+    }
+
+    /// Shift this timestamp by a signed tick delta (saturating at zero).
+    #[inline]
+    pub fn shifted(self, delta: i64) -> Jiffies {
+        Jiffies((self.0 as i64 + delta).max(0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_constructors_agree() {
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
+        assert_eq!(SimTime::from_secs(2), SimTime::from_micros(2_000_000));
+        assert_eq!(SimTime::from_secs(1).as_micros(), SECOND);
+    }
+
+    #[test]
+    fn simtime_arithmetic() {
+        let t = SimTime::from_millis(10);
+        assert_eq!(t + 500, SimTime::from_micros(10_500));
+        assert_eq!((t + 500) - t, 500);
+        assert_eq!(t.saturating_since(t + 500), 0);
+        assert_eq!((t + 500).saturating_since(t), 500);
+    }
+
+    #[test]
+    fn simtime_float_views() {
+        let t = SimTime::from_micros(1_500);
+        assert!((t.as_millis_f64() - 1.5).abs() < 1e-12);
+        assert!((t.as_secs_f64() - 0.0015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simtime_display_is_millis() {
+        assert_eq!(format!("{}", SimTime::from_micros(20_250)), "20.250ms");
+    }
+
+    #[test]
+    fn jiffies_advance_every_10ms() {
+        let base = 1_000_000;
+        assert_eq!(Jiffies::at(base, SimTime::ZERO).ticks(), base);
+        assert_eq!(Jiffies::at(base, SimTime::from_millis(9)).ticks(), base);
+        assert_eq!(
+            Jiffies::at(base, SimTime::from_millis(10)).ticks(),
+            base + 1
+        );
+        assert_eq!(Jiffies::at(base, SimTime::from_secs(1)).ticks(), base + 100);
+    }
+
+    #[test]
+    fn jiffies_delta_and_shift_roundtrip() {
+        // Two nodes with different boot bases observe the same instant.
+        let src = Jiffies::at(5_000, SimTime::from_secs(3));
+        let dst = Jiffies::at(90_000, SimTime::from_secs(3));
+        let delta = dst.delta(src);
+        assert_eq!(src.shifted(delta), dst);
+        // Shifting a recorded source timestamp lands at the equivalent
+        // destination timestamp.
+        let recorded = Jiffies::at(5_000, SimTime::from_secs(2));
+        assert_eq!(
+            recorded.shifted(delta),
+            Jiffies::at(90_000, SimTime::from_secs(2))
+        );
+    }
+
+    #[test]
+    fn jiffies_shift_saturates_at_zero() {
+        assert_eq!(Jiffies(3).shifted(-10), Jiffies(0));
+    }
+}

@@ -1,0 +1,335 @@
+//! Incoming-packet-loss prevention: the capture table (§III-B, §V-B).
+//!
+//! Before a socket is disabled on the source node, the *destination* node
+//! enables capturing for the connection — keyed by remote IP, remote port and
+//! local port, exactly the triple the paper transfers. While the socket is in
+//! transit, the broadcast router still delivers the client's packets to the
+//! destination node, where the `LOCAL_IN` hook steals and queues them. TCP
+//! sequence numbers deduplicate retransmitted packets ("stores duplicated
+//! packets only once"). After the socket is restored, the queue is drained in
+//! sequence order and each packet is re-submitted to the stack via the
+//! equivalent of netfilter's `okfn()`.
+
+use crate::seg::{Segment, Transport};
+use dvelm_net::{Port, SockAddr};
+use dvelm_sim::SimTime;
+use std::collections::{BTreeMap, HashMap};
+
+/// What a capture entry matches: the migrating socket's local port plus, for
+/// connected (TCP) sockets, the remote endpoint. A UDP server socket talks to
+/// many remotes, so its entry matches on local port alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CaptureKey {
+    /// Local port of the migrating socket.
+    pub local_port: Port,
+    /// Remote endpoint; `None` matches any remote (UDP server sockets).
+    pub remote: Option<SockAddr>,
+}
+
+impl CaptureKey {
+    /// Key for a connected socket (the paper's TCP triple).
+    pub fn connected(remote: SockAddr, local_port: Port) -> CaptureKey {
+        CaptureKey {
+            local_port,
+            remote: Some(remote),
+        }
+    }
+
+    /// Key for an unconnected (server) socket: any remote.
+    pub fn any_remote(local_port: Port) -> CaptureKey {
+        CaptureKey {
+            local_port,
+            remote: None,
+        }
+    }
+}
+
+/// One enabled capture, with its queued packets.
+#[derive(Debug, Clone)]
+struct CaptureEntry {
+    /// TCP packets keyed by (seq, len) — the dedup the hook performs.
+    tcp_queue: BTreeMap<(u32, u32), Segment>,
+    /// UDP packets in arrival order (no sequence numbers to dedup on).
+    udp_queue: Vec<Segment>,
+    enabled_at: SimTime,
+    /// Packets discarded as duplicates.
+    duplicates: u64,
+}
+
+/// Counters for tests and reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaptureStats {
+    pub captured: u64,
+    pub duplicates: u64,
+    pub reinjected: u64,
+}
+
+/// The per-host capture table consulted by the `LOCAL_IN` hook.
+#[derive(Debug, Default)]
+pub struct CaptureTable {
+    entries: HashMap<CaptureKey, CaptureEntry>,
+    stats: CaptureStats,
+}
+
+impl CaptureTable {
+    /// An empty table.
+    pub fn new() -> CaptureTable {
+        CaptureTable::default()
+    }
+
+    /// Enable capturing for `key`. Idempotent: re-enabling keeps already
+    /// captured packets.
+    pub fn enable(&mut self, key: CaptureKey, now: SimTime) {
+        self.entries.entry(key).or_insert(CaptureEntry {
+            tcp_queue: BTreeMap::new(),
+            udp_queue: Vec::new(),
+            enabled_at: now,
+            duplicates: 0,
+        });
+    }
+
+    /// Number of enabled entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are enabled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether capturing is enabled for `key`.
+    pub fn is_enabled(&self, key: &CaptureKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Packets currently queued under `key`.
+    pub fn queued(&self, key: &CaptureKey) -> usize {
+        self.entries
+            .get(key)
+            .map(|e| e.tcp_queue.len() + e.udp_queue.len())
+            .unwrap_or(0)
+    }
+
+    /// Hook function: if the segment matches an enabled entry, steal it.
+    /// Returns `true` when stolen.
+    pub fn try_capture(&mut self, seg: &Segment) -> bool {
+        let connected = CaptureKey::connected(seg.src, seg.dst.port);
+        let wildcard = CaptureKey::any_remote(seg.dst.port);
+        let entry = match self.entries.get_mut(&connected) {
+            Some(e) => e,
+            None => match self.entries.get_mut(&wildcard) {
+                Some(e) => e,
+                None => return false,
+            },
+        };
+        match &seg.transport {
+            Transport::Tcp { seq, payload, .. } => {
+                let dedup_key = (*seq, payload.len() as u32);
+                if let std::collections::btree_map::Entry::Vacant(e) =
+                    entry.tcp_queue.entry(dedup_key)
+                {
+                    e.insert(seg.clone());
+                    self.stats.captured += 1;
+                } else {
+                    entry.duplicates += 1;
+                    self.stats.duplicates += 1;
+                }
+            }
+            Transport::Udp { .. } => {
+                entry.udp_queue.push(seg.clone());
+                self.stats.captured += 1;
+            }
+        }
+        true
+    }
+
+    /// Disable the entry and return its queued packets in reinjection order
+    /// (TCP in sequence order, then UDP in arrival order).
+    pub fn disable_and_drain(&mut self, key: &CaptureKey) -> Vec<Segment> {
+        let Some(entry) = self.entries.remove(key) else {
+            return Vec::new();
+        };
+        let mut out: Vec<Segment> = entry.tcp_queue.into_values().collect();
+        out.extend(entry.udp_queue);
+        self.stats.reinjected += out.len() as u64;
+        out
+    }
+
+    /// When the entry was enabled (for diagnostics).
+    pub fn enabled_at(&self, key: &CaptureKey) -> Option<SimTime> {
+        self.entries.get(key).map(|e| e.enabled_at)
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> CaptureStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seg::TcpFlags;
+    use bytes::Bytes;
+    use dvelm_net::Ip;
+    use dvelm_sim::Jiffies;
+
+    fn sa(last: u8, port: u16) -> SockAddr {
+        SockAddr::new(Ip::new(10, 0, 0, last), port)
+    }
+
+    fn tcp_seg(seq: u32, len: usize) -> Segment {
+        Segment::tcp(
+            sa(3, 3306),
+            sa(1, 5000),
+            TcpFlags::ACK,
+            seq,
+            0,
+            65535,
+            Jiffies(0),
+            Jiffies(0),
+            Bytes::from(vec![0u8; len]),
+        )
+    }
+
+    #[test]
+    fn capture_matches_triple() {
+        let mut t = CaptureTable::new();
+        t.enable(
+            CaptureKey::connected(sa(3, 3306), Port(5000)),
+            SimTime::ZERO,
+        );
+        assert!(t.try_capture(&tcp_seg(100, 10)));
+        // Different remote port: no match.
+        let mut other = tcp_seg(100, 10);
+        other.src = sa(3, 9999);
+        assert!(!t.try_capture(&other));
+        // Different local port: no match.
+        let mut other = tcp_seg(100, 10);
+        other.dst = sa(1, 6000);
+        assert!(!t.try_capture(&other));
+    }
+
+    #[test]
+    fn duplicates_stored_once() {
+        let mut t = CaptureTable::new();
+        let key = CaptureKey::connected(sa(3, 3306), Port(5000));
+        t.enable(key, SimTime::ZERO);
+        assert!(t.try_capture(&tcp_seg(100, 10)));
+        assert!(t.try_capture(&tcp_seg(100, 10)), "dup is still stolen");
+        assert_eq!(t.queued(&key), 1, "but stored once");
+        assert_eq!(t.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn drain_is_in_sequence_order() {
+        let mut t = CaptureTable::new();
+        let key = CaptureKey::connected(sa(3, 3306), Port(5000));
+        t.enable(key, SimTime::ZERO);
+        t.try_capture(&tcp_seg(300, 10));
+        t.try_capture(&tcp_seg(100, 10));
+        t.try_capture(&tcp_seg(200, 10));
+        let drained = t.disable_and_drain(&key);
+        let seqs: Vec<u32> = drained.iter().map(|s| s.tcp_seq().unwrap()).collect();
+        assert_eq!(seqs, vec![100, 200, 300]);
+        assert!(!t.is_enabled(&key), "drain disables");
+        assert_eq!(t.stats().reinjected, 3);
+    }
+
+    #[test]
+    fn wildcard_matches_any_remote_udp() {
+        let mut t = CaptureTable::new();
+        let key = CaptureKey::any_remote(Port(27960));
+        t.enable(key, SimTime::ZERO);
+        let a = Segment::udp(sa(8, 1111), sa(1, 27960), Bytes::from_static(b"a"));
+        let b = Segment::udp(sa(9, 2222), sa(1, 27960), Bytes::from_static(b"b"));
+        assert!(t.try_capture(&a));
+        assert!(t.try_capture(&b));
+        assert_eq!(t.queued(&key), 2);
+        let drained = t.disable_and_drain(&key);
+        assert_eq!(drained.len(), 2);
+        // UDP drains in arrival order.
+        assert_eq!(drained[0].src, sa(8, 1111));
+    }
+
+    #[test]
+    fn connected_entry_takes_precedence_over_wildcard() {
+        let mut t = CaptureTable::new();
+        let conn = CaptureKey::connected(sa(3, 3306), Port(5000));
+        let wild = CaptureKey::any_remote(Port(5000));
+        t.enable(conn, SimTime::ZERO);
+        t.enable(wild, SimTime::ZERO);
+        t.try_capture(&tcp_seg(1, 1));
+        assert_eq!(t.queued(&conn), 1);
+        assert_eq!(t.queued(&wild), 0);
+    }
+
+    #[test]
+    fn drain_unknown_key_is_empty() {
+        let mut t = CaptureTable::new();
+        assert!(t
+            .disable_and_drain(&CaptureKey::any_remote(Port(1)))
+            .is_empty());
+    }
+
+    #[test]
+    fn enable_is_idempotent_and_keeps_packets() {
+        let mut t = CaptureTable::new();
+        let key = CaptureKey::connected(sa(3, 3306), Port(5000));
+        t.enable(key, SimTime::ZERO);
+        t.try_capture(&tcp_seg(7, 3));
+        t.enable(key, SimTime::from_millis(5));
+        assert_eq!(t.queued(&key), 1);
+        assert_eq!(t.enabled_at(&key), Some(SimTime::ZERO));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::seg::TcpFlags;
+    use bytes::Bytes;
+    use dvelm_net::Ip;
+    use dvelm_sim::Jiffies;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever order (and however duplicated) packets arrive in, the
+        /// drained queue is strictly ordered by sequence number with no
+        /// duplicates — the property re-injection relies on.
+        #[test]
+        fn drain_is_sorted_and_deduped(
+            seqs in proptest::collection::vec((0u32..10_000, 1usize..64), 1..100),
+        ) {
+            let remote = SockAddr::new(Ip::new(10, 0, 0, 3), 3306);
+            let local = SockAddr::new(Ip::new(10, 0, 0, 1), 5000);
+            let key = CaptureKey::connected(remote, local.port);
+            let mut t = CaptureTable::new();
+            t.enable(key, SimTime::ZERO);
+            for (seq, len) in &seqs {
+                let seg = Segment::tcp(
+                    remote,
+                    local,
+                    TcpFlags::ACK,
+                    *seq,
+                    0,
+                    65535,
+                    Jiffies(0),
+                    Jiffies(0),
+                    Bytes::from(vec![0u8; *len]),
+                );
+                prop_assert!(t.try_capture(&seg));
+            }
+            let drained = t.disable_and_drain(&key);
+            let out: Vec<(u32, usize)> = drained
+                .iter()
+                .map(|s| (s.tcp_seq().unwrap(), s.payload_len()))
+                .collect();
+            let mut expect: Vec<(u32, usize)> = seqs.clone();
+            expect.sort_unstable();
+            expect.dedup();
+            prop_assert_eq!(out, expect);
+        }
+    }
+}

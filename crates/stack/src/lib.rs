@@ -1,0 +1,42 @@
+//! A simulated Linux-2.6-like TCP/UDP network stack.
+//!
+//! This is the substrate the paper's socket-migration mechanism operates on
+//! (§III-C, §V-B/C/D). It reproduces the kernel structures the paper
+//! manipulates:
+//!
+//! * **ehash / bhash** lookup tables — established-connection and bind/listen
+//!   hash tables; "disabling" a socket for migration means unhashing it from
+//!   both and clearing its retransmission timer.
+//! * the five TCP **socket-buffer queues** — write (outgoing, unacked),
+//!   receive (in-order, undelivered), out-of-order, backlog (arrivals while
+//!   the socket is user-locked) and prequeue (fast-path receive).
+//! * **jiffies-based TCP timestamps** feeding RTT estimation and congestion
+//!   control — the structures that must be shifted on the destination node.
+//! * **netfilter hooks** on `LOCAL_IN` / `LOCAL_OUT`, carrying the packet
+//!   capture (loss prevention) and address translation (in-cluster
+//!   migration) filters.
+//!
+//! The stack is a deterministic state machine: all entry points take the
+//! current [`SimTime`](dvelm_sim::SimTime) and return
+//! [`StackEffect`]s (segments to transmit, data to deliver,
+//! timers to arm) that the cluster runtime turns into events.
+
+pub mod capture;
+pub mod host;
+pub mod netfilter;
+pub mod seg;
+pub mod skb;
+pub mod socket;
+pub mod tcp;
+pub mod udp;
+pub mod xlate;
+
+pub use capture::{CaptureKey, CaptureTable};
+pub use host::{HostStack, SockId, StackEffect, StackStats};
+pub use netfilter::{HookPoint, Verdict};
+pub use seg::{Segment, TcpFlags, Transport, IP_HEADER_LEN, TCP_HEADER_LEN, UDP_HEADER_LEN};
+pub use skb::Skb;
+pub use socket::Socket;
+pub use tcp::{TcpSocket, TcpSocketRecord, TcpState};
+pub use udp::{UdpSocket, UdpSocketRecord};
+pub use xlate::{SelfXlateRule, XlateRule, XlateTable};

@@ -1,0 +1,127 @@
+//! Netfilter-style hook points (§V-B, §V-D).
+//!
+//! The kernel prototype attaches its packet-capturing and address-translation
+//! functions to `NF_INET_LOCAL_IN` and `NF_INET_LOCAL_OUT`. We model the same
+//! interposition points: the host stack traverses the registered hook kinds
+//! in order on every locally-delivered / locally-originated segment, applying
+//! the corresponding filter table. The registry exists so tests and ablations
+//! can disable or reorder hooks — e.g. running a migration with the capture
+//! hook removed reproduces the incoming-packet-loss problem the paper cites.
+
+/// Where a hook is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HookPoint {
+    /// Packets delivered to this host (`NF_INET_LOCAL_IN`).
+    LocalIn,
+    /// Packets originated by this host (`NF_INET_LOCAL_OUT`).
+    LocalOut,
+}
+
+/// The built-in hook functions of the migration system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HookKind {
+    /// Address translation for migrated in-cluster connections (§V-D).
+    Translate,
+    /// Packet capture for incoming-packet-loss prevention (§V-B).
+    Capture,
+}
+
+/// Result of running a segment through one hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Continue down the chain / deliver.
+    Accept,
+    /// The hook consumed the segment (e.g. queued it for reinjection).
+    Stolen,
+}
+
+/// Per-hook-point ordered registry.
+#[derive(Debug, Clone)]
+pub struct HookRegistry {
+    local_in: Vec<HookKind>,
+    local_out: Vec<HookKind>,
+}
+
+impl Default for HookRegistry {
+    /// The prototype's configuration: translation runs before capture on the
+    /// input path (a translated segment must be matchable by its rewritten
+    /// addresses), translation only on the output path.
+    fn default() -> Self {
+        HookRegistry {
+            local_in: vec![HookKind::Translate, HookKind::Capture],
+            local_out: vec![HookKind::Translate],
+        }
+    }
+}
+
+impl HookRegistry {
+    /// Hooks registered at `point`, in traversal order.
+    pub fn chain(&self, point: HookPoint) -> &[HookKind] {
+        match point {
+            HookPoint::LocalIn => &self.local_in,
+            HookPoint::LocalOut => &self.local_out,
+        }
+    }
+
+    /// Remove a hook from a chain (ablation support). Returns whether it was
+    /// present.
+    pub fn unregister(&mut self, point: HookPoint, kind: HookKind) -> bool {
+        let chain = match point {
+            HookPoint::LocalIn => &mut self.local_in,
+            HookPoint::LocalOut => &mut self.local_out,
+        };
+        let before = chain.len();
+        chain.retain(|k| *k != kind);
+        chain.len() != before
+    }
+
+    /// Append a hook to a chain if absent.
+    pub fn register(&mut self, point: HookPoint, kind: HookKind) {
+        let chain = match point {
+            HookPoint::LocalIn => &mut self.local_in,
+            HookPoint::LocalOut => &mut self.local_out,
+        };
+        if !chain.contains(&kind) {
+            chain.push(kind);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_chains_match_prototype() {
+        let r = HookRegistry::default();
+        assert_eq!(
+            r.chain(HookPoint::LocalIn),
+            &[HookKind::Translate, HookKind::Capture]
+        );
+        assert_eq!(r.chain(HookPoint::LocalOut), &[HookKind::Translate]);
+    }
+
+    #[test]
+    fn unregister_removes_only_that_kind() {
+        let mut r = HookRegistry::default();
+        assert!(r.unregister(HookPoint::LocalIn, HookKind::Capture));
+        assert_eq!(r.chain(HookPoint::LocalIn), &[HookKind::Translate]);
+        assert!(
+            !r.unregister(HookPoint::LocalIn, HookKind::Capture),
+            "already gone"
+        );
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut r = HookRegistry::default();
+        r.register(HookPoint::LocalIn, HookKind::Capture);
+        assert_eq!(r.chain(HookPoint::LocalIn).len(), 2);
+        r.unregister(HookPoint::LocalIn, HookKind::Capture);
+        r.register(HookPoint::LocalIn, HookKind::Capture);
+        assert_eq!(
+            r.chain(HookPoint::LocalIn),
+            &[HookKind::Translate, HookKind::Capture]
+        );
+    }
+}

@@ -1,0 +1,444 @@
+//! Local address translation for in-cluster connection migration (§III-C,
+//! §V-D).
+//!
+//! When process *P* migrates from host `IP1` to `IP2` while holding a
+//! connection to a process on `IP3`, host `IP3` installs a translation rule:
+//! outgoing packets addressed to `IP1` are rewritten to `IP2`, incoming
+//! packets from `IP2` have their source rewritten to `IP1`. The peer's socket
+//! never observes the move.
+//!
+//! Two kernel subtleties from §V-D are modelled explicitly:
+//!
+//! * **the IP destination-cache entry** — each outgoing packet inherits a
+//!   cached route from its socket; merely rewriting the header still sends
+//!   the frame to the *old* destination. A rule created with
+//!   `fix_dst_cache = false` reproduces that bug: the returned route IP stays
+//!   `IP1` even though the header says `IP2`, and the frame dies on the wrong
+//!   host.
+//! * **the TCP checksum** — rewriting addresses invalidates the transport
+//!   checksum; `fix_checksum = false` leaves `Segment::checksum_ok` false and
+//!   the receiving stack drops the segment.
+
+use crate::seg::Segment;
+use dvelm_net::{Ip, Port, SockAddr};
+
+/// One translation rule, installed on the *peer's* host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XlateRule {
+    /// The peer's local endpoint of the connection (`IP3:p3`).
+    pub peer_local: SockAddr,
+    /// The migrated socket's original host (`IP1`).
+    pub old_remote_ip: Ip,
+    /// The migrated socket's new host (`IP2`).
+    pub new_remote_ip: Ip,
+    /// The migrated socket's port (`p1`).
+    pub remote_port: Port,
+    /// Update the transport checksum after rewriting (§V-D fix).
+    pub fix_checksum: bool,
+    /// Replace the socket's destination-cache entry (§V-D fix).
+    pub fix_dst_cache: bool,
+}
+
+impl XlateRule {
+    /// A correctly configured rule (both §V-D fixes applied).
+    pub fn new(
+        peer_local: SockAddr,
+        old_remote_ip: Ip,
+        new_remote_ip: Ip,
+        remote_port: Port,
+    ) -> XlateRule {
+        XlateRule {
+            peer_local,
+            old_remote_ip,
+            new_remote_ip,
+            remote_port,
+            fix_checksum: true,
+            fix_dst_cache: true,
+        }
+    }
+}
+
+/// The *destination-side* half of in-cluster migration: a migrated socket
+/// keeps its original endpoint identity (`IP1:p1` — that is what the peer's
+/// socket believes it talks to), so the host that now runs it rewrites its
+/// own traffic: outgoing source `IP1→IP2` (the wire carries the new host's
+/// address, as §III-C describes), incoming destination `IP2→IP1` before
+/// socket lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelfXlateRule {
+    /// The migrated socket's original local endpoint (`IP1:p1`).
+    pub sock_local: SockAddr,
+    /// The in-cluster peer of the connection (`IP3:p3`).
+    pub peer: SockAddr,
+    /// This host's local address (`IP2`).
+    pub host_ip: Ip,
+}
+
+/// Counters for tests and reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XlateStats {
+    pub rewritten_out: u64,
+    pub rewritten_in: u64,
+}
+
+/// The per-host translation table, consulted on `LOCAL_OUT` and `LOCAL_IN`.
+#[derive(Debug, Default)]
+pub struct XlateTable {
+    rules: Vec<XlateRule>,
+    self_rules: Vec<SelfXlateRule>,
+    stats: XlateStats,
+}
+
+impl XlateTable {
+    /// An empty table.
+    pub fn new() -> XlateTable {
+        XlateTable::default()
+    }
+
+    /// Install a rule. A later rule for the same connection replaces the
+    /// earlier one (re-migration of the same peer process).
+    pub fn install(&mut self, rule: XlateRule) {
+        self.rules.retain(|r| {
+            !(r.peer_local == rule.peer_local
+                && r.remote_port == rule.remote_port
+                && r.old_remote_ip == rule.old_remote_ip)
+        });
+        self.rules.push(rule);
+    }
+
+    /// Remove every rule for the given connection; returns how many were
+    /// removed.
+    pub fn remove(&mut self, peer_local: SockAddr, old_remote_ip: Ip, remote_port: Port) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|r| {
+            !(r.peer_local == peer_local
+                && r.old_remote_ip == old_remote_ip
+                && r.remote_port == remote_port)
+        });
+        before - self.rules.len()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Install a destination-side rule for a socket this host just received
+    /// via migration. Replaces any previous rule for the same socket.
+    pub fn install_self(&mut self, rule: SelfXlateRule) {
+        self.self_rules
+            .retain(|r| r.sock_local != rule.sock_local || r.peer != rule.peer);
+        self.self_rules.push(rule);
+    }
+
+    /// Remove destination-side rules for a socket that is migrating away
+    /// (leaves no residual dependency on this host).
+    pub fn remove_self(&mut self, sock_local: SockAddr) -> usize {
+        let before = self.self_rules.len();
+        self.self_rules.retain(|r| r.sock_local != sock_local);
+        before - self.self_rules.len()
+    }
+
+    /// Number of destination-side rules.
+    pub fn self_rule_count(&self) -> usize {
+        self.self_rules.len()
+    }
+
+    /// Whether `ip` is a "virtual" local address this host answers for (the
+    /// original address of a migrated socket it hosts).
+    pub fn owns_virtual(&self, ip: Ip) -> bool {
+        self.self_rules.iter().any(|r| r.sock_local.ip == ip)
+    }
+
+    /// Remove and return the peer-side rules whose local endpoint is
+    /// `peer_local` — used when the process owning that endpoint migrates:
+    /// its view of *other* migrated peers must travel with it.
+    pub fn take_rules_for(&mut self, peer_local: SockAddr) -> Vec<XlateRule> {
+        let (taken, kept): (Vec<XlateRule>, Vec<XlateRule>) =
+            self.rules.iter().partition(|r| r.peer_local == peer_local);
+        self.rules = kept;
+        taken
+    }
+
+    /// `LOCAL_OUT` hook: rewrite a locally-originated segment. A segment may
+    /// match *both* a self-rule (this host runs a migrated socket: source is
+    /// rewritten to this host's address) and a peer-rule (the remote endpoint
+    /// has migrated too: destination is rewritten to its current host) — the
+    /// both-endpoints-migrated case the paper leaves as future work.
+    /// Returns the IP the frame is actually *routed* to — equal to the
+    /// rewritten header destination only when the rule fixes the
+    /// destination-cache entry.
+    pub fn outgoing(&mut self, seg: &mut Segment) -> Ip {
+        let mut route = seg.dst.ip;
+        // Self half: restore the wire source to this host's address.
+        // (The source is always the socket's unrewritten identity here, so
+        // exact matching is safe.)
+        let self_hit = self
+            .self_rules
+            .iter()
+            .find(|r| seg.src == r.sock_local && seg.dst.port == r.peer.port)
+            .copied();
+        if let Some(rule) = self_hit {
+            seg.rewrite_src_ip(rule.host_ip, true);
+            self.stats.rewritten_out += 1;
+        }
+        // Peer half: send to wherever the remote endpoint lives now. The
+        // source may already be rewritten, so match the peer's endpoint by
+        // port.
+        let peer_hit = self
+            .rules
+            .iter()
+            .find(|r| {
+                seg.src.port == r.peer_local.port
+                    && seg.dst.ip == r.old_remote_ip
+                    && seg.dst.port == r.remote_port
+            })
+            .copied();
+        if let Some(rule) = peer_hit {
+            seg.rewrite_dst_ip(rule.new_remote_ip, rule.fix_checksum);
+            self.stats.rewritten_out += 1;
+            route = if rule.fix_dst_cache {
+                rule.new_remote_ip
+            } else {
+                // Stale destination-cache entry: the frame still goes to
+                // the old host despite the rewritten header.
+                rule.old_remote_ip
+            };
+        }
+        route
+    }
+
+    /// `LOCAL_IN` hook: rewrite an arriving segment. As with
+    /// [`outgoing`](Self::outgoing), the self half (destination back to the
+    /// migrated socket's identity) and the peer half (source back to the
+    /// remote's original identity) compose; ports anchor the matches because
+    /// either address may still be in its on-wire form.
+    pub fn incoming(&mut self, seg: &mut Segment) {
+        let self_hit = self
+            .self_rules
+            .iter()
+            .find(|r| {
+                seg.dst.ip == r.host_ip
+                    && seg.dst.port == r.sock_local.port
+                    && seg.src.port == r.peer.port
+            })
+            .copied();
+        if let Some(rule) = self_hit {
+            seg.rewrite_dst_ip(rule.sock_local.ip, true);
+            self.stats.rewritten_in += 1;
+        }
+        let peer_hit = self
+            .rules
+            .iter()
+            .find(|r| {
+                seg.dst.port == r.peer_local.port
+                    && seg.src.ip == r.new_remote_ip
+                    && seg.src.port == r.remote_port
+            })
+            .copied();
+        if let Some(rule) = peer_hit {
+            seg.rewrite_src_ip(rule.old_remote_ip, rule.fix_checksum);
+            self.stats.rewritten_in += 1;
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> XlateStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    const IP1: Ip = Ip::new(10, 0, 0, 1);
+    const IP2: Ip = Ip::new(10, 0, 0, 2);
+    const IP3: Ip = Ip::new(10, 0, 0, 3);
+
+    fn peer_local() -> SockAddr {
+        SockAddr::new(IP3, 3306)
+    }
+
+    fn rule() -> XlateRule {
+        XlateRule::new(peer_local(), IP1, IP2, Port(5000))
+    }
+
+    #[test]
+    fn outgoing_rewrites_and_routes_to_new_host() {
+        let mut t = XlateTable::new();
+        t.install(rule());
+        let mut seg = Segment::udp(peer_local(), SockAddr::new(IP1, 5000), Bytes::new());
+        let route = t.outgoing(&mut seg);
+        assert_eq!(seg.dst.ip, IP2, "header rewritten");
+        assert_eq!(route, IP2, "route follows the fixed dst-cache entry");
+        assert!(seg.checksum_ok);
+        assert_eq!(t.stats().rewritten_out, 1);
+    }
+
+    #[test]
+    fn stale_dst_cache_misroutes() {
+        let mut t = XlateTable::new();
+        t.install(XlateRule {
+            fix_dst_cache: false,
+            ..rule()
+        });
+        let mut seg = Segment::udp(peer_local(), SockAddr::new(IP1, 5000), Bytes::new());
+        let route = t.outgoing(&mut seg);
+        assert_eq!(seg.dst.ip, IP2, "header says new host");
+        assert_eq!(route, IP1, "but the frame goes to the old one");
+    }
+
+    #[test]
+    fn missing_checksum_fix_flags_segment() {
+        let mut t = XlateTable::new();
+        t.install(XlateRule {
+            fix_checksum: false,
+            ..rule()
+        });
+        let mut seg = Segment::udp(peer_local(), SockAddr::new(IP1, 5000), Bytes::new());
+        t.outgoing(&mut seg);
+        assert!(!seg.checksum_ok);
+    }
+
+    #[test]
+    fn incoming_rewrites_source_back() {
+        let mut t = XlateTable::new();
+        t.install(rule());
+        let mut seg = Segment::udp(SockAddr::new(IP2, 5000), peer_local(), Bytes::new());
+        t.incoming(&mut seg);
+        assert_eq!(seg.src.ip, IP1, "peer sees the original address");
+        assert_eq!(t.stats().rewritten_in, 1);
+    }
+
+    #[test]
+    fn unrelated_traffic_untouched() {
+        let mut t = XlateTable::new();
+        t.install(rule());
+        // Wrong port.
+        let mut seg = Segment::udp(peer_local(), SockAddr::new(IP1, 9999), Bytes::new());
+        let route = t.outgoing(&mut seg);
+        assert_eq!(seg.dst.ip, IP1);
+        assert_eq!(route, IP1);
+        // Wrong local endpoint.
+        let mut seg = Segment::udp(
+            SockAddr::new(IP3, 1234),
+            SockAddr::new(IP1, 5000),
+            Bytes::new(),
+        );
+        t.outgoing(&mut seg);
+        assert_eq!(seg.dst.ip, IP1);
+    }
+
+    #[test]
+    fn reinstall_replaces_rule() {
+        let mut t = XlateTable::new();
+        t.install(rule());
+        // The process moved again: IP1-origin connection now lives on IP3's
+        // sibling 10.0.0.4.
+        let ip4 = Ip::new(10, 0, 0, 4);
+        t.install(XlateRule {
+            new_remote_ip: ip4,
+            ..rule()
+        });
+        assert_eq!(t.len(), 1, "rule replaced, not duplicated");
+        let mut seg = Segment::udp(peer_local(), SockAddr::new(IP1, 5000), Bytes::new());
+        assert_eq!(t.outgoing(&mut seg), ip4);
+    }
+
+    #[test]
+    fn self_rule_rewrites_both_directions() {
+        let mut t = XlateTable::new();
+        // Socket originally at IP1:5000, now hosted on IP2, peer IP3:3306.
+        t.install_self(SelfXlateRule {
+            sock_local: SockAddr::new(IP1, 5000),
+            peer: peer_local(),
+            host_ip: IP2,
+        });
+        assert!(t.owns_virtual(IP1));
+        assert!(!t.owns_virtual(IP2));
+
+        // Outgoing from the migrated socket: src IP1 → IP2 on the wire.
+        let mut seg = Segment::udp(SockAddr::new(IP1, 5000), peer_local(), Bytes::new());
+        let route = t.outgoing(&mut seg);
+        assert_eq!(seg.src.ip, IP2);
+        assert_eq!(route, IP3, "routed to the peer");
+        assert!(seg.checksum_ok);
+
+        // Incoming from the peer (already dst-rewritten to IP2 by the peer's
+        // rule): dst IP2 → IP1 before socket lookup.
+        let mut seg = Segment::udp(peer_local(), SockAddr::new(IP2, 5000), Bytes::new());
+        t.incoming(&mut seg);
+        assert_eq!(seg.dst.ip, IP1);
+    }
+
+    #[test]
+    fn remove_self_clears_residue() {
+        let mut t = XlateTable::new();
+        let rule = SelfXlateRule {
+            sock_local: SockAddr::new(IP1, 5000),
+            peer: peer_local(),
+            host_ip: IP2,
+        };
+        t.install_self(rule);
+        t.install_self(rule); // idempotent replace
+        assert_eq!(t.self_rule_count(), 1);
+        assert_eq!(t.remove_self(SockAddr::new(IP1, 5000)), 1);
+        assert!(!t.owns_virtual(IP1));
+    }
+
+    #[test]
+    fn remove_clears_connection_rules() {
+        let mut t = XlateTable::new();
+        t.install(rule());
+        assert_eq!(t.remove(peer_local(), IP1, Port(5000)), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.remove(peer_local(), IP1, Port(5000)), 0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use bytes::Bytes;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Peer-side translation round-trips: whatever the endpoints, an
+        /// outgoing rewrite followed by the peer's view and the reply's
+        /// incoming rewrite restores the original addresses exactly.
+        #[test]
+        fn peer_translation_roundtrip(
+            peer_port in 1u16..u16::MAX,
+            sock_port in 1u16..u16::MAX,
+            old_node in 0u32..200,
+            new_node in 200u32..400,
+            peer_node in 400u32..600,
+        ) {
+            let peer_local = SockAddr::new(Ip::local_of(dvelm_net::NodeId(peer_node)), peer_port);
+            let old_ip = Ip::local_of(dvelm_net::NodeId(old_node));
+            let new_ip = Ip::local_of(dvelm_net::NodeId(new_node));
+            let mut t = XlateTable::new();
+            t.install(XlateRule::new(peer_local, old_ip, new_ip, Port(sock_port)));
+
+            // Peer → migrated socket.
+            let mut out = Segment::udp(peer_local, SockAddr::new(old_ip, sock_port), Bytes::new());
+            let route = t.outgoing(&mut out);
+            prop_assert_eq!(route, new_ip);
+            prop_assert_eq!(out.dst.ip, new_ip);
+            prop_assert_eq!(out.dst.port, Port(sock_port));
+
+            // Reply: migrated socket (wire src = new host) → peer.
+            let mut back = Segment::udp(SockAddr::new(new_ip, sock_port), peer_local, Bytes::new());
+            t.incoming(&mut back);
+            prop_assert_eq!(back.src.ip, old_ip, "peer sees the original address");
+            prop_assert_eq!(back.dst, peer_local);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The §VI-C/D experiment as an example: the 900-second DVE simulation with
+//! 10 000 clients drifting toward the corners of the 10×10 zone grid, run
+//! once without and once with the load-balancing middleware (Fig. 5d/5e/5f).
+//!
+//! ```sh
+//! cargo run --release --example dve_loadbalance
+//! ```
+
+use dvelm::dve::{run_flow_sim, FlowSimConfig};
+
+fn main() {
+    println!("running the 900 s DVE simulation twice (LB off / LB on)…\n");
+    let off = run_flow_sim(&FlowSimConfig {
+        lb_enabled: false,
+        ..FlowSimConfig::default()
+    });
+    let on = run_flow_sim(&FlowSimConfig {
+        lb_enabled: true,
+        ..FlowSimConfig::default()
+    });
+
+    println!("per-node CPU (%) at the end of the run:");
+    println!("{:<8}{:>10}{:>10}", "node", "LB off", "LB on");
+    for i in 0..5 {
+        println!(
+            "{:<8}{:>10.1}{:>10.1}",
+            format!("node{}", i + 1),
+            off.cpu[i].at(899.0).unwrap(),
+            on.cpu[i].at(899.0).unwrap()
+        );
+    }
+
+    println!("\nmean max-min CPU spread over the last 300 s:");
+    println!(
+        "  LB off: {:>5.1}%   (paper: node1/node5 >95%, node3/node4 <65%)",
+        off.mean_spread(600.0, 900.0)
+    );
+    println!(
+        "  LB on:  {:>5.1}%   (paper: all nodes in a narrow band)",
+        on.mean_spread(600.0, 900.0)
+    );
+
+    println!("\nzone-server processes per node at the end (Fig. 5d):");
+    for i in 0..5 {
+        println!("  node{}: {:>3.0}", i + 1, on.procs[i].at(899.0).unwrap());
+    }
+
+    println!("\n{} live migrations were performed:", on.migrations.len());
+    for m in &on.migrations {
+        println!(
+            "  t={:>4.0}s  zone({},{})  node{} → node{}",
+            m.at_s,
+            m.zone.row(),
+            m.zone.col(),
+            m.from + 1,
+            m.to + 1
+        );
+    }
+}

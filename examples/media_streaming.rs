@@ -1,0 +1,116 @@
+//! The paper's closing future-work perspective: multimedia streaming. A
+//! streaming server pushes a continuous TCP byte stream to subscribers; we
+//! live-migrate it mid-stream and measure the largest stall each subscriber
+//! observes — which should be on the order of the process freeze time, not a
+//! reconnect.
+//!
+//! ```sh
+//! cargo run --release --example media_streaming
+//! ```
+
+use bytes::Bytes;
+use dvelm::prelude::*;
+use dvelm_stack::Skb;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Pushes `chunk` bytes to every subscriber every tick (≈25 fps video).
+struct StreamServer {
+    subscribers: Vec<Fd>,
+    chunk: usize,
+}
+
+impl App for StreamServer {
+    fn on_tick(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.touch_memory(64); // encode buffers
+        let chunk = Bytes::from(vec![0xEEu8; self.chunk]);
+        let subs = self.subscribers.clone();
+        for fd in subs {
+            ctx.send(fd, chunk.clone());
+        }
+    }
+    fn on_new_connection(&mut self, _ctx: &mut AppCtx<'_>, _l: Fd, child: Fd) {
+        self.subscribers.push(child);
+    }
+    fn tick_period_us(&self) -> u64 {
+        40 * MILLISECOND // 25 chunks/s
+    }
+}
+
+/// Records the arrival time of every chunk.
+struct Viewer {
+    arrivals: Rc<RefCell<Vec<SimTime>>>,
+}
+
+impl App for Viewer {
+    fn on_tick(&mut self, _ctx: &mut AppCtx<'_>) {}
+    fn on_tcp_data(&mut self, ctx: &mut AppCtx<'_>, _fd: Fd, _data: &[Skb]) {
+        self.arrivals.borrow_mut().push(ctx.now);
+    }
+}
+
+fn main() {
+    let mut w = World::new(WorldConfig::default());
+    let n0 = w.add_server_node();
+    let n1 = w.add_server_node();
+
+    let server = w.spawn_process(
+        n0,
+        "streamd",
+        128,
+        2048,
+        Box::new(StreamServer {
+            subscribers: Vec::new(),
+            chunk: 4096,
+        }),
+    );
+    let addr = SockAddr::new(Ip::CLUSTER_PUBLIC, 8554);
+    w.app_tcp_listen(n0, server, addr);
+
+    let mut viewers = Vec::new();
+    for _ in 0..6 {
+        let ch = w.add_client_host();
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        viewers.push(arrivals.clone());
+        let pid = w.spawn_process(ch, "viewer", 16, 64, Box::new(Viewer { arrivals }));
+        w.app_tcp_connect(ch, pid, addr, false);
+    }
+
+    w.run_for(4 * SECOND);
+    println!("streaming 4096 B chunks at 25/s to 6 viewers; migrating the server…");
+    w.begin_migration(server, n1, Strategy::IncrementalCollective)
+        .expect("starts");
+    w.run_for(4 * SECOND);
+
+    let report = &w.reports[0];
+    println!(
+        "server freeze time: {:.1} ms\n",
+        report.freeze_us() as f64 / 1000.0
+    );
+
+    println!(
+        "{:<9}{:>9}{:>18}{:>16}",
+        "viewer", "chunks", "median gap (ms)", "worst gap (ms)"
+    );
+    for (i, arr) in viewers.iter().enumerate() {
+        let arr = arr.borrow();
+        let mut gaps: Vec<f64> = arr
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as f64 / 1000.0)
+            .collect();
+        gaps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = gaps[gaps.len() / 2];
+        let worst = gaps.last().copied().unwrap_or(0.0);
+        println!(
+            "{:<9}{:>9}{:>18.1}{:>16.1}",
+            format!("#{i}"),
+            arr.len(),
+            median,
+            worst
+        );
+    }
+    println!(
+        "\nthe stream never reconnects: the worst inter-chunk gap is the migration freeze\n\
+         plus one cadence, not a session teardown."
+    );
+}

@@ -1,0 +1,119 @@
+//! Quickstart: build a two-node single-IP cluster, run a UDP game-style
+//! service with a client, live-migrate the server process and print the
+//! migration report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bytes::Bytes;
+use dvelm::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A tiny game server: answers every datagram with a 256-byte state update.
+struct MiniServer {
+    served: Rc<RefCell<u64>>,
+}
+
+impl App for MiniServer {
+    fn on_tick(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.touch_memory(32); // simulate world-state churn
+    }
+    fn on_udp_data(&mut self, ctx: &mut AppCtx<'_>, fd: Fd, dgrams: &[Datagram]) {
+        for d in dgrams {
+            *self.served.borrow_mut() += 1;
+            ctx.send_udp_to(fd, d.from, Bytes::from(vec![0u8; 256]));
+        }
+    }
+}
+
+/// A client pinging the service 20 times a second.
+struct MiniClient {
+    server: SockAddr,
+    got: Rc<RefCell<u64>>,
+}
+
+impl App for MiniClient {
+    fn on_tick(&mut self, ctx: &mut AppCtx<'_>) {
+        let fd = ctx.socket_fds()[0];
+        ctx.send_udp_to(fd, self.server, Bytes::from_static(b"ping"));
+    }
+    fn on_udp_data(&mut self, _ctx: &mut AppCtx<'_>, _fd: Fd, dgrams: &[Datagram]) {
+        *self.got.borrow_mut() += dgrams.len() as u64;
+    }
+}
+
+fn main() {
+    // A cluster of two server nodes behind the broadcast router, plus one
+    // client host on the WAN side.
+    let mut world = World::new(WorldConfig::default());
+    let node0 = world.add_server_node();
+    let node1 = world.add_server_node();
+    let client_host = world.add_client_host();
+
+    // The service: one process, one UDP socket on the shared public IP.
+    let served = Rc::new(RefCell::new(0u64));
+    let server_pid = world.spawn_process(
+        node0,
+        "mini_server",
+        64,
+        1024,
+        Box::new(MiniServer {
+            served: served.clone(),
+        }),
+    );
+    let addr = SockAddr::new(Ip::CLUSTER_PUBLIC, 27960);
+    world.app_udp_bind(node0, server_pid, addr);
+
+    // The client.
+    let got = Rc::new(RefCell::new(0u64));
+    let client_pid = world.spawn_process(
+        client_host,
+        "mini_client",
+        8,
+        16,
+        Box::new(MiniClient {
+            server: addr,
+            got: got.clone(),
+        }),
+    );
+    world.app_udp_socket(client_host, client_pid, Some(addr));
+
+    // Play for two seconds, then live-migrate the server to node1 while the
+    // client keeps hammering it.
+    world.run_for(2 * SECOND);
+    println!("t={}  responses so far: {}", world.now(), got.borrow());
+
+    world
+        .begin_migration(server_pid, node1, Strategy::IncrementalCollective)
+        .expect("migration starts");
+    world.run_for(3 * SECOND);
+
+    let report = &world.reports[0];
+    println!("\nmigration report:");
+    println!("  strategy            {}", report.strategy);
+    println!("  precopy iterations  {}", report.precopy_iterations);
+    println!("  precopy bytes       {} KB", report.precopy_bytes / 1024);
+    println!("  freeze bytes        {} KB", report.freeze_bytes / 1024);
+    println!("  sockets migrated    {}", report.sockets_migrated);
+    println!("  packets re-injected {}", report.packets_reinjected);
+    println!(
+        "  process freeze time {:.1} ms",
+        report.freeze_us() as f64 / 1000.0
+    );
+
+    assert_eq!(world.host_of(server_pid), Some(node1));
+    println!("\nprocess now runs on node1; source node keeps no residue:");
+    println!(
+        "  node0 sockets: {}",
+        world.hosts[node0].stack.socket_count()
+    );
+
+    world.run_for(2 * SECOND);
+    println!(
+        "\nt={}  responses total: {} (service never stopped)",
+        world.now(),
+        got.borrow()
+    );
+}

@@ -1,0 +1,267 @@
+//! Edge cases of the migration machinery through the public API.
+
+use bytes::Bytes;
+use dvelm::prelude::*;
+use dvelm_cluster::{App, AppCtx};
+use dvelm_stack::udp::Datagram;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Quiet;
+impl App for Quiet {
+    fn on_tick(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.touch_memory(4);
+    }
+}
+
+struct Responder {
+    got: Rc<RefCell<u64>>,
+}
+impl App for Responder {
+    fn on_tick(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.touch_memory(4);
+    }
+    fn on_udp_data(&mut self, ctx: &mut AppCtx<'_>, fd: Fd, dgrams: &[Datagram]) {
+        for d in dgrams {
+            *self.got.borrow_mut() += 1;
+            ctx.send_udp_to(fd, d.from, Bytes::from_static(b"pong"));
+        }
+    }
+}
+
+struct Pinger {
+    server: SockAddr,
+    pongs: Rc<RefCell<u64>>,
+}
+impl App for Pinger {
+    fn on_tick(&mut self, ctx: &mut AppCtx<'_>) {
+        let fd = ctx.socket_fds()[0];
+        ctx.send_udp_to(fd, self.server, Bytes::from_static(b"ping"));
+    }
+    fn on_udp_data(&mut self, _ctx: &mut AppCtx<'_>, _fd: Fd, d: &[Datagram]) {
+        *self.pongs.borrow_mut() += d.len() as u64;
+    }
+}
+
+#[test]
+fn socketless_process_migrates() {
+    // A pure-compute process (no sockets at all): the socket machinery must
+    // degrade to plain live checkpoint/restart.
+    let mut w = World::new(WorldConfig::default());
+    let n0 = w.add_server_node();
+    let n1 = w.add_server_node();
+    let pid = w.spawn_process(n0, "batch", 64, 2048, Box::new(Quiet));
+    w.run_for(SECOND);
+    w.begin_migration(pid, n1, Strategy::IncrementalCollective)
+        .expect("starts");
+    w.run_for(2 * SECOND);
+    assert_eq!(w.host_of(pid), Some(n1));
+    let r = &w.reports[0];
+    assert_eq!(r.sockets_migrated, 0);
+    assert_eq!(r.freeze_socket_bytes, 0);
+    assert!(
+        r.freeze_us() < 20 * MILLISECOND,
+        "socketless freeze is memory-only"
+    );
+}
+
+#[test]
+fn listener_only_process_migrates_and_accepts() {
+    let mut w = World::new(WorldConfig::default());
+    let n0 = w.add_server_node();
+    let n1 = w.add_server_node();
+    let ch = w.add_client_host();
+    let pid = w.spawn_process(n0, "acceptor", 16, 64, Box::new(Quiet));
+    let addr = SockAddr::new(Ip::CLUSTER_PUBLIC, 6000);
+    w.app_tcp_listen(n0, pid, addr);
+    w.run_for(SECOND);
+    w.begin_migration(pid, n1, Strategy::Collective)
+        .expect("starts");
+    w.run_for(2 * SECOND);
+    assert_eq!(w.host_of(pid), Some(n1));
+    assert_eq!(w.reports[0].sockets_migrated, 1);
+
+    // A client connecting afterwards is accepted on the new node.
+    let cpid = w.spawn_process(ch, "probe", 4, 8, Box::new(Quiet));
+    w.app_tcp_connect(ch, cpid, addr, false);
+    w.run_for(SECOND);
+    assert_eq!(
+        w.hosts[n1].stack.socket_count(),
+        2,
+        "listener + accepted child"
+    );
+    assert!(!w.hosts[n0].stack.is_bound(addr.ip, addr.port));
+}
+
+#[test]
+fn multithreaded_process_migrates_whole() {
+    // §VII-D: MOSIX cannot live-migrate multithreaded applications; this
+    // mechanism checkpoints every thread (registers, relations) through the
+    // barrier protocol of Fig. 3.
+    let mut w = World::new(WorldConfig::default());
+    let n0 = w.add_server_node();
+    let n1 = w.add_server_node();
+    let pid = w.spawn_process(n0, "threaded", 32, 512, Box::new(Quiet));
+    {
+        let entry = w.hosts[n0].procs.get_mut(&pid).unwrap();
+        for _ in 0..3 {
+            entry.process.spawn_thread();
+        }
+        assert_eq!(entry.process.threads.len(), 4);
+    }
+    w.run_for(SECOND);
+    w.begin_migration(pid, n1, Strategy::IncrementalCollective)
+        .expect("starts");
+    w.run_for(2 * SECOND);
+    let p = &w.hosts[n1].procs[&pid].process;
+    assert_eq!(p.threads.len(), 4, "all threads restored");
+    assert!(!p.is_frozen(), "threads resumed on the destination");
+}
+
+#[test]
+fn concurrent_migrations_of_different_processes() {
+    let mut w = World::new(WorldConfig::default());
+    let n0 = w.add_server_node();
+    let n1 = w.add_server_node();
+    let n2 = w.add_server_node();
+    let ch = w.add_client_host();
+
+    let got_a = Rc::new(RefCell::new(0u64));
+    let got_b = Rc::new(RefCell::new(0u64));
+    let a = w.spawn_process(
+        n0,
+        "svc_a",
+        32,
+        512,
+        Box::new(Responder { got: got_a.clone() }),
+    );
+    let b = w.spawn_process(
+        n1,
+        "svc_b",
+        32,
+        512,
+        Box::new(Responder { got: got_b.clone() }),
+    );
+    let addr_a = SockAddr::new(Ip::CLUSTER_PUBLIC, 7001);
+    let addr_b = SockAddr::new(Ip::CLUSTER_PUBLIC, 7002);
+    w.app_udp_bind(n0, a, addr_a);
+    w.app_udp_bind(n1, b, addr_b);
+
+    let pongs_a = Rc::new(RefCell::new(0u64));
+    let pongs_b = Rc::new(RefCell::new(0u64));
+    for (addr, pongs) in [(addr_a, pongs_a.clone()), (addr_b, pongs_b.clone())] {
+        let pid = w.spawn_process(
+            ch,
+            "pinger",
+            4,
+            8,
+            Box::new(Pinger {
+                server: addr,
+                pongs,
+            }),
+        );
+        w.app_udp_socket(ch, pid, Some(addr));
+    }
+
+    w.run_for(SECOND);
+    // Two migrations in flight simultaneously: A n0→n2, B n1→n0.
+    let m1 = w.begin_migration(a, n2, Strategy::IncrementalCollective);
+    let m2 = w.begin_migration(b, n0, Strategy::Collective);
+    assert!(m1.is_some() && m2.is_some());
+    assert_eq!(w.active_migrations(), 2);
+    w.run_for(3 * SECOND);
+    assert_eq!(w.active_migrations(), 0);
+    assert_eq!(w.host_of(a), Some(n2));
+    assert_eq!(w.host_of(b), Some(n0));
+    assert_eq!(w.reports.len(), 2);
+
+    let (pa, pb) = (*pongs_a.borrow(), *pongs_b.borrow());
+    w.run_for(2 * SECOND);
+    assert!(
+        *pongs_a.borrow() > pa + 20,
+        "service A alive after crossing migrations"
+    );
+    assert!(
+        *pongs_b.borrow() > pb + 20,
+        "service B alive after crossing migrations"
+    );
+}
+
+#[test]
+fn begin_migration_guards() {
+    let mut w = World::new(WorldConfig::default());
+    let n0 = w.add_server_node();
+    let n1 = w.add_server_node();
+    let pid = w.spawn_process(n0, "p", 8, 32, Box::new(Quiet));
+    assert!(
+        w.begin_migration(pid, n0, Strategy::Collective).is_none(),
+        "same host rejected"
+    );
+    assert!(
+        w.begin_migration(Pid(999), n1, Strategy::Collective)
+            .is_none(),
+        "unknown pid"
+    );
+    assert!(w.begin_migration(pid, n1, Strategy::Collective).is_some());
+    assert!(
+        w.begin_migration(pid, n1, Strategy::Collective).is_none(),
+        "already migrating"
+    );
+    w.run_for(2 * SECOND);
+    // After completion it can migrate again (back).
+    assert!(w.begin_migration(pid, n0, Strategy::Collective).is_some());
+    w.run_for(2 * SECOND);
+    assert_eq!(w.host_of(pid), Some(n0));
+    assert_eq!(w.reports.len(), 2);
+}
+
+#[test]
+fn udp_bound_port_follows_the_process_through_three_hops() {
+    let mut w = World::new(WorldConfig::default());
+    let nodes: Vec<usize> = (0..4).map(|_| w.add_server_node()).collect();
+    let ch = w.add_client_host();
+
+    let got = Rc::new(RefCell::new(0u64));
+    let pid = w.spawn_process(
+        nodes[0],
+        "svc",
+        32,
+        256,
+        Box::new(Responder { got: got.clone() }),
+    );
+    let addr = SockAddr::new(Ip::CLUSTER_PUBLIC, 7999);
+    w.app_udp_bind(nodes[0], pid, addr);
+    let pongs = Rc::new(RefCell::new(0u64));
+    let cpid = w.spawn_process(
+        ch,
+        "pinger",
+        4,
+        8,
+        Box::new(Pinger {
+            server: addr,
+            pongs: pongs.clone(),
+        }),
+    );
+    w.app_udp_socket(ch, cpid, Some(addr));
+
+    for hop in 1..4 {
+        w.run_for(SECOND);
+        w.begin_migration(pid, nodes[hop], Strategy::IncrementalCollective)
+            .expect("hop");
+        w.run_for(2 * SECOND);
+        assert_eq!(w.host_of(pid), Some(nodes[hop]), "hop {hop}");
+        // Exactly one node owns the port.
+        let owners = nodes
+            .iter()
+            .filter(|n| w.hosts[**n].stack.is_bound(addr.ip, addr.port))
+            .count();
+        assert_eq!(owners, 1, "port ownership after hop {hop}");
+    }
+    let before = *pongs.borrow();
+    w.run_for(2 * SECOND);
+    assert!(
+        *pongs.borrow() > before + 20,
+        "service alive after three hops"
+    );
+    assert_eq!(w.reports.len(), 3);
+}
