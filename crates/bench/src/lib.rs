@@ -5,7 +5,6 @@
 //! `all_figures` binary can share results between Fig. 5b and Fig. 5c
 //! (they come from the same runs).
 
-use crossbeam::thread;
 use dvelm_dve::{run_flow_sim, FlowSimConfig, FlowSimResult};
 use dvelm_dve::{run_freeze_bench, FreezeBenchConfig, FreezeBenchResult};
 use dvelm_metrics::{AsciiChart, Table, TimeSeries};
@@ -15,9 +14,9 @@ use dvelm_openarena::{
     fig4_series, migration_delay_us, run_scenario, snapshot_gaps_ms, OaScenario,
 };
 use dvelm_sim::SimTime;
-use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Where the figure outputs are written.
 pub fn results_dir() -> PathBuf {
@@ -146,10 +145,10 @@ pub fn freeze_sweep(connections: &[usize], repetitions: usize, workers: usize) -
     }
     let jobs = Mutex::new(jobs);
     let results = Mutex::new(Vec::new());
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers.max(1) {
-            scope.spawn(|_| loop {
-                let job = jobs.lock().pop();
+            scope.spawn(|| loop {
+                let job = jobs.lock().unwrap().pop();
                 let Some((connections, strategy)) = job else {
                     break;
                 };
@@ -159,16 +158,15 @@ pub fn freeze_sweep(connections: &[usize], repetitions: usize, workers: usize) -
                     repetitions,
                     seed: 0xF16_5BC,
                 });
-                results.lock().push(SweepCell {
+                results.lock().unwrap().push(SweepCell {
                     connections,
                     strategy,
                     result: r,
                 });
             });
         }
-    })
-    .expect("sweep worker panicked");
-    let mut cells = results.into_inner();
+    });
+    let mut cells = results.into_inner().expect("sweep worker panicked");
     cells.sort_by_key(|c| (c.connections, format!("{}", c.strategy)));
     cells
 }

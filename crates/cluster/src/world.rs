@@ -3,13 +3,14 @@
 use crate::app::{App, AppCtx};
 use crate::event::Event;
 use crate::host::{Host, HostKind, ProcEntry};
-use dvelm_lb::{Action, Conductor, LbMsg, LoadInfo, PolicyConfig};
-use dvelm_migrate::{CostModel, MigrationComplete, MigrationEngine, StepIo, Strategy};
+use dvelm_lb::{Conductor, LbEffect, LbMsg, LoadInfo, PolicyConfig};
+use dvelm_metrics::TraceRecorder;
+use dvelm_migrate::{CostModel, Effect, EffectBuf, MigrationEngine, Side, StepIo, Strategy};
 use dvelm_net::{BroadcastRouter, ClusterSwitch, Ip, NodeId, Port, SockAddr};
 use dvelm_proc::{Fd, FdEntry, Pid, Process};
 use dvelm_sim::{DetRng, Scheduler, SimTime};
 use dvelm_stack::{HostStack, Segment, SockId, StackEffect};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A migration task identifier.
 pub type MigId = u64;
@@ -49,6 +50,9 @@ struct MigTask {
     src: usize,
     dst: usize,
     pid: Pid,
+    /// Folds the engine's effect stream into the migration's report and
+    /// phase timeline (the trace spine).
+    recorder: TraceRecorder,
 }
 
 /// One transmitted-frame record (the tcpdump of Fig. 4).
@@ -70,13 +74,18 @@ pub struct World {
     pub switch: ClusterSwitch,
     pub rng: DetRng,
     migrations: HashMap<MigId, MigTask>,
+    /// Pids with a migration in flight (kept in sync with `migrations`;
+    /// O(1) duplicate check in [`begin_migration`](World::begin_migration)).
+    migrating: HashSet<Pid>,
     next_mig: MigId,
     next_pid: u64,
-    /// Completed migration reports.
+    /// Completed migration reports, derived from each task's recorder.
     pub reports: Vec<dvelm_migrate::MigrationReport>,
     /// Transmit log (when a filter is enabled).
     pub packet_log: Vec<PacketLogEntry>,
     log_port: Option<Port>,
+    /// Rendered migration effect stream (when enabled): one line per effect.
+    effect_log: Option<Vec<String>>,
 }
 
 impl World {
@@ -91,11 +100,13 @@ impl World {
             switch: ClusterSwitch::gige(),
             rng,
             migrations: HashMap::new(),
+            migrating: HashSet::new(),
             next_mig: 1,
             next_pid: 1,
             reports: Vec::new(),
             packet_log: Vec::new(),
             log_port: None,
+            effect_log: None,
         }
     }
 
@@ -107,6 +118,19 @@ impl World {
     /// Record every transmitted frame touching this port (Fig. 4 tcpdump).
     pub fn enable_packet_log(&mut self, port: Port) {
         self.log_port = Some(port);
+    }
+
+    /// Record every migration effect as a rendered line (diagnostics and
+    /// determinism checks; memory grows with traffic, so test-sized runs
+    /// only).
+    pub fn enable_effect_log(&mut self) {
+        self.effect_log = Some(Vec::new());
+    }
+
+    /// The rendered migration effect stream (empty unless
+    /// [`enable_effect_log`](World::enable_effect_log) was called).
+    pub fn effect_log(&self) -> &[String] {
+        self.effect_log.as_deref().unwrap_or(&[])
     }
 
     // ------------------------------------------------------------------
@@ -166,9 +190,9 @@ impl World {
             let node = self.hosts[h].stack.node;
             let mut cond = Conductor::new(node, self.cfg.lb);
             let local = self.local_load(h, now);
-            let actions = cond.on_start(local);
+            let effects = cond.on_start(local);
             self.hosts[h].conductor = Some(cond);
-            self.route_lb_actions(h, actions);
+            self.apply_lb_effects(h, effects);
             // Stagger ticks a little so nodes do not broadcast in lockstep.
             let offset = self.rng.range_u64(0, 50_000);
             self.sched
@@ -286,7 +310,9 @@ impl World {
         if src_host == dst_host {
             return None;
         }
-        if self.migrations.values().any(|m| m.pid == pid) {
+        // One migration per process at a time; the pid index makes the
+        // duplicate check O(1) regardless of how many tasks are in flight.
+        if !self.migrating.insert(pid) {
             return None;
         }
         let engine = MigrationEngine::new(
@@ -295,7 +321,6 @@ impl World {
             self.hosts[dst_host].stack.node,
             strategy,
             self.cfg.cost,
-            self.now(),
         );
         let mig = self.next_mig;
         self.next_mig += 1;
@@ -306,6 +331,7 @@ impl World {
                 src: src_host,
                 dst: dst_host,
                 pid,
+                recorder: TraceRecorder::new(pid, strategy, self.now()),
             },
         );
         self.sched.schedule_after(0, Event::MigrationStep { mig });
@@ -574,12 +600,12 @@ impl World {
         self.hosts[host].load_monitor.sample(raw);
         let local = self.local_load(host, now);
         let procs = self.hosts[host].proc_loads();
-        let actions = self.hosts[host]
+        let effects = self.hosts[host]
             .conductor
             .as_mut()
             .expect("checked above")
             .on_tick(now, local, &procs);
-        self.route_lb_actions(host, actions);
+        self.apply_lb_effects(host, effects);
         self.sched
             .schedule_after(self.cfg.conductor_tick_us, Event::ConductorTick { host });
     }
@@ -590,20 +616,20 @@ impl World {
             return;
         }
         let local = self.local_load(host, now);
-        let actions = self.hosts[host]
+        let effects = self.hosts[host]
             .conductor
             .as_mut()
             .expect("checked above")
             .on_msg(now, from, msg, local);
-        self.route_lb_actions(host, actions);
+        self.apply_lb_effects(host, effects);
     }
 
-    fn route_lb_actions(&mut self, host: usize, actions: Vec<Action>) {
+    fn apply_lb_effects(&mut self, host: usize, effects: Vec<LbEffect>) {
         let now = self.now();
         let node = self.hosts[host].stack.node;
-        for action in actions {
+        for action in effects {
             match action {
-                Action::Broadcast(msg) => {
+                LbEffect::Broadcast(msg) => {
                     let arrivals =
                         self.switch
                             .broadcast(now, node, msg.wire_bytes(), &mut self.rng);
@@ -622,7 +648,7 @@ impl World {
                         }
                     }
                 }
-                Action::Send(dest, msg) => {
+                LbEffect::Send(dest, msg) => {
                     if let Some(at) =
                         self.switch
                             .unicast(now, node, dest, msg.wire_bytes(), &mut self.rng)
@@ -639,7 +665,7 @@ impl World {
                         }
                     }
                 }
-                Action::StartMigration { pid, dest } => {
+                LbEffect::StartMigration { pid, dest } => {
                     let Some(dst_host) = self.host_by_node(dest) else {
                         continue;
                     };
@@ -647,8 +673,8 @@ impl World {
                     if self.begin_migration(pid, dst_host, strategy).is_none() {
                         // Could not start (pid vanished): release both sides.
                         if let Some(c) = self.hosts[host].conductor.as_mut() {
-                            let actions = c.on_migration_finished(now, false);
-                            self.route_lb_actions(host, actions);
+                            let effects = c.on_migration_finished(now, false);
+                            self.apply_lb_effects(host, effects);
                         }
                     }
                 }
@@ -672,7 +698,8 @@ impl World {
         let (src, dst, pid) = (task.src, task.dst, task.pid);
 
         // Split the borrows: engine lives in self.migrations, stacks and the
-        // process in self.hosts.
+        // process in self.hosts. The step's side effects land in `buf`.
+        let mut buf = EffectBuf::new();
         let plan = {
             let (lo, hi) = if src < dst { (src, dst) } else { (dst, src) };
             let (left, right) = self.hosts.split_at_mut(hi);
@@ -685,63 +712,102 @@ impl World {
                 .procs
                 .get_mut(&pid)
                 .expect("migrating process on source");
-            task.engine.step(StepIo {
-                now,
-                src_stack: &mut src_host.stack,
-                dst_stack: &mut dst_host.stack,
-                proc: &mut entry.process,
-            })
+            task.engine.step(
+                StepIo {
+                    now,
+                    src_stack: &mut src_host.stack,
+                    dst_stack: &mut dst_host.stack,
+                    proc: &mut entry.process,
+                },
+                &mut buf,
+            )
         };
 
-        if plan.suspend_app {
-            self.hosts[src]
-                .procs
-                .get_mut(&pid)
-                .expect("migrating process on source")
-                .suspended = true;
+        // Feed the trace spine, then dispatch each effect in emission
+        // order. A Complete effect (always last) consumes the task — hence
+        // the two passes.
+        let effects = buf.take();
+        for (at, effect) in &effects {
+            task.recorder.observe(*at, effect);
         }
-        for (peer_node, rule) in plan.xlate_requests {
-            // The peer endpoint may itself have migrated since the
-            // connection was created; deliver the rule to whichever host
-            // currently runs its socket, falling back to the host its
-            // address names.
-            let owner = self.hosts.iter().position(|h| {
-                h.stack.has_established(
-                    rule.peer_local,
-                    dvelm_net::SockAddr {
-                        ip: rule.old_remote_ip,
-                        port: rule.remote_port,
-                    },
-                )
-            });
-            let target = owner.or_else(|| self.host_by_node(peer_node));
-            if let Some(h) = target {
-                self.sched.schedule_after(
-                    self.cfg.ctrl_latency_us,
-                    Event::InstallXlate { host: h, rule },
-                );
+        if let Some(log) = &mut self.effect_log {
+            for (at, effect) in &effects {
+                log.push(render_effect(mig, *at, effect));
             }
         }
-        if !plan.src_effects.is_empty() {
-            self.apply_effects(src, plan.src_effects);
+        for (_, effect) in effects {
+            self.apply_effect(mig, src, dst, pid, effect);
         }
-        if !plan.dst_effects.is_empty() {
-            self.apply_effects(dst, plan.dst_effects);
-        }
-        if let Some(complete) = plan.complete {
-            self.finish_migration(mig, complete);
-        } else if let Some(after) = plan.next_step_after_us {
+        if let Some(after) = plan.next_step_after_us {
             self.sched
                 .schedule_after(after, Event::MigrationStep { mig });
         }
     }
 
-    fn finish_migration(&mut self, mig: MigId, complete: MigrationComplete) {
+    /// Route one migration effect — the single dispatch path that replaces
+    /// the per-`Vec` plumbing (`suspend_app` flag, `xlate_requests`,
+    /// `src_effects`/`dst_effects`, `complete` slot) of the old `StepPlan`.
+    fn apply_effect(&mut self, mig: MigId, src: usize, dst: usize, pid: Pid, effect: Effect) {
+        match effect {
+            Effect::SuspendApp => {
+                self.hosts[src]
+                    .procs
+                    .get_mut(&pid)
+                    .expect("migrating process on source")
+                    .suspended = true;
+            }
+            Effect::SendXlate { peer, rule } => {
+                // The peer endpoint may itself have migrated since the
+                // connection was created; deliver the rule to whichever host
+                // currently runs its socket, falling back to the host its
+                // address names.
+                let owner = self.hosts.iter().position(|h| {
+                    h.stack.has_established(
+                        rule.peer_local,
+                        dvelm_net::SockAddr {
+                            ip: rule.old_remote_ip,
+                            port: rule.remote_port,
+                        },
+                    )
+                });
+                let target = owner.or_else(|| self.host_by_node(peer));
+                if let Some(h) = target {
+                    self.sched.schedule_after(
+                        self.cfg.ctrl_latency_us,
+                        Event::InstallXlate { host: h, rule },
+                    );
+                }
+            }
+            Effect::Stack { side, effect } => {
+                let host = match side {
+                    Side::Src => src,
+                    Side::Dst => dst,
+                };
+                self.apply_stack_effect(host, effect);
+            }
+            Effect::Complete(complete) => self.finish_migration(mig, complete.process),
+            // Trace-only effects: the recorder already folded them.
+            Effect::PhaseEntered(_)
+            | Effect::InstallCapture { .. }
+            | Effect::SocketDetached { .. }
+            | Effect::Shipped { .. }
+            | Effect::PacketReinjected => {}
+        }
+    }
+
+    fn finish_migration(&mut self, mig: MigId, process: Process) {
         let task = self
             .migrations
             .remove(&mig)
             .expect("finishing an active migration");
-        let MigTask { src, dst, pid, .. } = task;
+        let MigTask {
+            src,
+            dst,
+            pid,
+            recorder,
+            ..
+        } = task;
+        self.migrating.remove(&pid);
 
         // Move the application object; replace the process with the restored
         // one. The source keeps nothing (no residual dependencies).
@@ -754,14 +820,14 @@ impl World {
         self.hosts[dst].procs.insert(
             pid,
             ProcEntry {
-                process: complete.process,
+                process,
                 app: old.app,
                 suspended: false,
                 tick_period_us,
             },
         );
         self.hosts[dst].reindex_proc_sockets(pid);
-        self.reports.push(complete.report);
+        self.reports.push(recorder.into_report());
 
         // Resume the real-time loop on the destination and drain anything
         // that queued up during the freeze.
@@ -788,8 +854,8 @@ impl World {
         // MigDone).
         let now = self.now();
         if let Some(c) = self.hosts[src].conductor.as_mut() {
-            let actions = c.on_migration_finished(now, true);
-            self.route_lb_actions(src, actions);
+            let effects = c.on_migration_finished(now, true);
+            self.apply_lb_effects(src, effects);
         }
     }
 
@@ -799,49 +865,52 @@ impl World {
 
     fn apply_effects(&mut self, host: usize, fx: Vec<StackEffect>) {
         for effect in fx {
-            match effect {
-                StackEffect::Tx { seg, route } => self.transmit(host, seg, route),
-                StackEffect::DataReadable { sock } => {
-                    if let Some(&(pid, _)) = self.hosts[host].sock_owner.get(&sock) {
-                        let suspended =
-                            self.hosts[host].procs.get(&pid).is_none_or(|e| e.suspended);
-                        if !suspended {
-                            self.sched.schedule_after(
-                                self.cfg.app_read_delay_us,
-                                Event::AppRead { host, pid, sock },
-                            );
-                        }
+            self.apply_stack_effect(host, effect);
+        }
+    }
+
+    fn apply_stack_effect(&mut self, host: usize, effect: StackEffect) {
+        match effect {
+            StackEffect::Tx { seg, route } => self.transmit(host, seg, route),
+            StackEffect::DataReadable { sock } => {
+                if let Some(&(pid, _)) = self.hosts[host].sock_owner.get(&sock) {
+                    let suspended = self.hosts[host].procs.get(&pid).is_none_or(|e| e.suspended);
+                    if !suspended {
+                        self.sched.schedule_after(
+                            self.cfg.app_read_delay_us,
+                            Event::AppRead { host, pid, sock },
+                        );
                     }
                 }
-                StackEffect::ArmTimer { sock, gen, at } => {
-                    self.sched
-                        .schedule_at(at, Event::SockTimer { host, sock, gen });
+            }
+            StackEffect::ArmTimer { sock, gen, at } => {
+                self.sched
+                    .schedule_at(at, Event::SockTimer { host, sock, gen });
+            }
+            StackEffect::Established { sock } => {
+                if let Some(&(pid, fd)) = self.hosts[host].sock_owner.get(&sock) {
+                    self.with_app(host, pid, |app, ctx| app.on_connected(ctx, fd));
                 }
-                StackEffect::Established { sock } => {
-                    if let Some(&(pid, fd)) = self.hosts[host].sock_owner.get(&sock) {
-                        self.with_app(host, pid, |app, ctx| app.on_connected(ctx, fd));
-                    }
+            }
+            StackEffect::NewConnection { listener, child } => {
+                if let Some(&(pid, lfd)) = self.hosts[host].sock_owner.get(&listener) {
+                    let cfd = {
+                        let h = &mut self.hosts[host];
+                        let entry = h.procs.get_mut(&pid).expect("listener owner exists");
+                        let cfd = entry.process.fds.insert(FdEntry::Socket(child));
+                        h.register_sock(child, pid, cfd);
+                        cfd
+                    };
+                    self.with_app(host, pid, |app, ctx| app.on_new_connection(ctx, lfd, cfd));
                 }
-                StackEffect::NewConnection { listener, child } => {
-                    if let Some(&(pid, lfd)) = self.hosts[host].sock_owner.get(&listener) {
-                        let cfd = {
-                            let h = &mut self.hosts[host];
-                            let entry = h.procs.get_mut(&pid).expect("listener owner exists");
-                            let cfd = entry.process.fds.insert(FdEntry::Socket(child));
-                            h.register_sock(child, pid, cfd);
-                            cfd
-                        };
-                        self.with_app(host, pid, |app, ctx| app.on_new_connection(ctx, lfd, cfd));
-                    }
+            }
+            StackEffect::PeerFin { sock } => {
+                if let Some(&(pid, fd)) = self.hosts[host].sock_owner.get(&sock) {
+                    self.with_app(host, pid, |app, ctx| app.on_conn_closed(ctx, fd));
                 }
-                StackEffect::PeerFin { sock } => {
-                    if let Some(&(pid, fd)) = self.hosts[host].sock_owner.get(&sock) {
-                        self.with_app(host, pid, |app, ctx| app.on_conn_closed(ctx, fd));
-                    }
-                }
-                StackEffect::SockClosed { sock } => {
-                    self.hosts[host].sock_owner.remove(&sock);
-                }
+            }
+            StackEffect::SockClosed { sock } => {
+                self.hosts[host].sock_owner.remove(&sock);
             }
         }
     }
@@ -900,5 +969,16 @@ impl World {
         }
         // Anything else (unknown destination) vanishes, like a frame to a
         // dark address.
+    }
+}
+
+/// Compact one-line rendering of a migration effect for the optional effect
+/// log (see [`World::enable_effect_log`]). `Complete` is rendered without its
+/// payload — the carried process image is large and its address-space debug
+/// output is not what determinism checks want to compare.
+fn render_effect(mig: MigId, at: SimTime, effect: &Effect) -> String {
+    match effect {
+        Effect::Complete(_) => format!("{}us mig={} Complete", at.as_micros(), mig),
+        e => format!("{}us mig={} {:?}", at.as_micros(), mig, e),
     }
 }

@@ -1,0 +1,262 @@
+//! The typed cross-layer effect pipeline.
+//!
+//! Every externally visible consequence of a migration step — suspending the
+//! application, sending a translation rule to a peer, a stack effect on
+//! either host, phase transitions, bytes shipped — is expressed as one
+//! [`Effect`] value and delivered, in order and timestamped, through an
+//! [`EffectSink`] passed to [`MigrationEngine::step`](crate::MigrationEngine::step).
+//!
+//! This replaces the previous design where `step` returned ad-hoc `Vec`s
+//! (`xlate_requests`, `src_effects`, `dst_effects`, a `suspend_app` flag and
+//! a `complete` slot) that every owner had to route by hand. An owner now
+//! implements (or reuses) a single dispatcher over `Effect`, and a trace
+//! consumer — `dvelm_metrics::TraceRecorder` — can derive the entire
+//! [`MigrationReport`](crate::MigrationReport) plus a per-phase timeline from
+//! the same stream, with no hand-maintained counters inside the engine.
+//!
+//! # Ordering contract
+//!
+//! The engine emits effects in the exact order the owner must act on them:
+//!
+//! * [`Effect::SuspendApp`] precedes any source-side [`Effect::Stack`]
+//!   effects of the same step, so backlog processing triggered by the final
+//!   checkpoint signal observes the process as already suspended;
+//! * [`Effect::SendXlate`] requests precede source-side stack effects (the
+//!   owner schedules rule installation one control latency later);
+//! * [`Effect::Complete`] is always the final effect of a migration, after
+//!   every destination-side stack effect of the restore step.
+//!
+//! Purely observational effects ([`Effect::PhaseEntered`],
+//! [`Effect::InstallCapture`], [`Effect::Shipped`],
+//! [`Effect::SocketDetached`], [`Effect::PacketReinjected`]) require no
+//! owner action; they exist for the trace spine.
+
+use crate::engine::MigrationComplete;
+use dvelm_net::NodeId;
+use dvelm_sim::SimTime;
+use dvelm_stack::capture::CaptureKey;
+use dvelm_stack::xlate::XlateRule;
+use dvelm_stack::{SockId, StackEffect};
+
+/// Which host a [`Effect::Stack`] effect applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The node the process is migrating away from.
+    Src,
+    /// The node the process is migrating to.
+    Dst,
+}
+
+/// Classification of bytes shipped by a migration, for accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByteClass {
+    /// Memory image + freeze-record bytes shipped while the app runs.
+    PrecopyMem,
+    /// Socket state shipped while the app runs (incremental strategy).
+    PrecopySocket,
+    /// Memory + freeze-record bytes shipped during the freeze phase.
+    FreezeMem,
+    /// Socket state shipped during the freeze phase (the Fig. 5c metric).
+    FreezeSocket,
+}
+
+impl ByteClass {
+    /// Whether the application was still running when these bytes moved.
+    pub fn is_precopy(self) -> bool {
+        matches!(self, ByteClass::PrecopyMem | ByteClass::PrecopySocket)
+    }
+
+    /// Whether these bytes are socket state (vs. memory/records).
+    pub fn is_socket(self) -> bool {
+        matches!(self, ByteClass::PrecopySocket | ByteClass::FreezeSocket)
+    }
+}
+
+/// Protocol phases of the migration state machine (Fig. 3), as observed on
+/// the effect stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseId {
+    /// Signal + full checkpoint; transfer while the app runs.
+    PrecopyFull,
+    /// One incremental precopy iteration (dirty pages + VMA diff).
+    PrecopyIter,
+    /// Freeze begins: final-checkpoint signal, capture setup, translation
+    /// requests.
+    FreezeCapture,
+    /// Sockets detached; final memory increment + socket state shipped.
+    FreezeDetach,
+    /// Sockets rehashed, captured packets re-injected, threads resumed.
+    Restore,
+}
+
+impl PhaseId {
+    /// Human-readable label, stable across releases (the
+    /// `MigrationReport::phase_log` vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseId::PrecopyFull => "precopy: full checkpoint",
+            PhaseId::PrecopyIter => "precopy: incremental iteration",
+            PhaseId::FreezeCapture => "freeze: signal + capture setup",
+            PhaseId::FreezeDetach => "freeze: detach + transfer",
+            PhaseId::Restore => "restore: rehash + reinject + resume",
+        }
+    }
+
+    /// Whether this phase is a precopy iteration (counts toward
+    /// `precopy_iterations`).
+    pub fn is_precopy(self) -> bool {
+        matches!(self, PhaseId::PrecopyFull | PhaseId::PrecopyIter)
+    }
+}
+
+/// One side effect of a migration step.
+#[derive(Debug)]
+pub enum Effect {
+    /// The engine entered a protocol phase. Trace-only.
+    PhaseEntered(PhaseId),
+    /// The application must stop executing (freeze phase entered). Emitted
+    /// exactly once per migration, before any same-step source stack
+    /// effects; its timestamp is the report's `frozen_at`.
+    SuspendApp,
+    /// A capture entry was enabled on the destination stack. Trace-only
+    /// (the engine enables it directly; it owns the destination stack for
+    /// the duration of the step).
+    InstallCapture { key: CaptureKey },
+    /// Deliver a translation rule to the in-cluster peer currently owning
+    /// the connection's other endpoint; installation should happen one
+    /// control-message latency later.
+    SendXlate { peer: NodeId, rule: XlateRule },
+    /// A stack effect produced on `side` while stepping (backlog processing
+    /// on the source when threads return to userspace; timer arming and
+    /// ACKs from re-injected segments on the destination).
+    Stack { side: Side, effect: StackEffect },
+    /// A migratable socket was detached from the source stack. Trace-only.
+    SocketDetached {
+        /// Source-side socket id (no longer valid after restore).
+        sock: SockId,
+        /// Its backlog/prequeue were non-empty at detach (only possible
+        /// with kernel-initiated checkpointing, §V-C1).
+        parked_nonempty: bool,
+    },
+    /// Bytes moved between the hosts. Trace-only.
+    Shipped { class: ByteClass, bytes: u64 },
+    /// One captured packet was re-injected on the destination. Trace-only.
+    PacketReinjected,
+    /// The migration finished. Always the last effect of a migration; its
+    /// timestamp is the report's `resumed_at`. The owner moves the restored
+    /// process (and its application state) to the destination node.
+    Complete(MigrationComplete),
+}
+
+/// Consumer of the ordered, timestamped effect stream of one migration.
+pub trait EffectSink {
+    /// Deliver one effect, emitted at simulated time `at`.
+    fn emit(&mut self, at: SimTime, effect: Effect);
+}
+
+/// Any `FnMut(SimTime, Effect)` is a sink — convenient for tests.
+impl<F: FnMut(SimTime, Effect)> EffectSink for F {
+    fn emit(&mut self, at: SimTime, effect: Effect) {
+        self(at, effect)
+    }
+}
+
+/// A `Vec`-backed sink: buffers one step's effects for later dispatch.
+#[derive(Debug, Default)]
+pub struct EffectBuf {
+    events: Vec<(SimTime, Effect)>,
+}
+
+impl EffectBuf {
+    /// An empty buffer.
+    pub fn new() -> EffectBuf {
+        EffectBuf::default()
+    }
+
+    /// Number of buffered effects.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The buffered effects, in emission order.
+    pub fn events(&self) -> &[(SimTime, Effect)] {
+        &self.events
+    }
+
+    /// Take the buffered effects, leaving the buffer empty for reuse.
+    pub fn take(&mut self) -> Vec<(SimTime, Effect)> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl EffectSink for EffectBuf {
+    fn emit(&mut self, at: SimTime, effect: Effect) {
+        self.events.push((at, effect));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_labels_are_stable() {
+        assert_eq!(PhaseId::PrecopyFull.label(), "precopy: full checkpoint");
+        assert_eq!(
+            PhaseId::PrecopyIter.label(),
+            "precopy: incremental iteration"
+        );
+        assert_eq!(
+            PhaseId::FreezeCapture.label(),
+            "freeze: signal + capture setup"
+        );
+        assert_eq!(PhaseId::FreezeDetach.label(), "freeze: detach + transfer");
+        assert_eq!(
+            PhaseId::Restore.label(),
+            "restore: rehash + reinject + resume"
+        );
+        assert!(PhaseId::PrecopyIter.is_precopy());
+        assert!(!PhaseId::Restore.is_precopy());
+    }
+
+    #[test]
+    fn byte_class_predicates() {
+        assert!(ByteClass::PrecopyMem.is_precopy());
+        assert!(!ByteClass::PrecopyMem.is_socket());
+        assert!(ByteClass::FreezeSocket.is_socket());
+        assert!(!ByteClass::FreezeSocket.is_precopy());
+    }
+
+    #[test]
+    fn buf_orders_and_takes() {
+        let mut buf = EffectBuf::new();
+        assert!(buf.is_empty());
+        buf.emit(SimTime::ZERO, Effect::PhaseEntered(PhaseId::PrecopyFull));
+        buf.emit(SimTime::from_micros(5), Effect::SuspendApp);
+        assert_eq!(buf.len(), 2);
+        let taken = buf.take();
+        assert!(buf.is_empty());
+        assert!(matches!(
+            taken[0],
+            (SimTime::ZERO, Effect::PhaseEntered(PhaseId::PrecopyFull))
+        ));
+        assert!(matches!(taken[1].1, Effect::SuspendApp));
+        assert_eq!(taken[1].0, SimTime::from_micros(5));
+    }
+
+    #[test]
+    fn closures_are_sinks() {
+        let mut n = 0u32;
+        {
+            let mut sink = |_at: SimTime, _e: Effect| n += 1;
+            sink.emit(SimTime::ZERO, Effect::PacketReinjected);
+            sink.emit(SimTime::ZERO, Effect::SuspendApp);
+        }
+        assert_eq!(n, 2);
+    }
+}

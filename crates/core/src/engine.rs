@@ -2,29 +2,47 @@
 //!
 //! One [`MigrationEngine`] instance drives one migration. The owner (the
 //! cluster runtime, or a test harness) calls [`step`](MigrationEngine::step)
-//! whenever the engine asked to be called again; each step performs the work
-//! of one protocol phase against the two host stacks and the migrating
-//! process, and returns a [`StepPlan`] describing when to call back, whether
-//! the application must be suspended, which translation rules to deliver to
-//! peer hosts, and — on the final step — the restored process.
+//! whenever the engine asked to be called again, passing an [`EffectSink`];
+//! each step performs the work of one protocol phase against the two host
+//! stacks and the migrating process, emits every externally visible
+//! consequence as an ordered, timestamped [`Effect`], and returns a
+//! [`StepPlan`] saying when to call back.
 //!
-//! Phase timeline:
+//! Phase timeline, with the effects each phase emits:
 //!
 //! ```text
-//! Start          signal; full checkpoint; transfer while app runs
-//! PrecopyIter    (×k) dirty pages + VMA diff (+ socket deltas, incremental
-//!                strategy); loop timeout halves; at 20 ms → freeze
-//! CaptureRequest app suspended; capture entries enabled on the destination;
-//!                translation requests sent to in-cluster peers
-//! Detach         sockets unhashed & quiesced; final memory increment +
-//!                freeze records + socket state shipped (per strategy)
-//! Restore        sockets rehashed (timestamps shifted, timers restarted),
-//!                fd table rewritten, captured packets re-injected, threads
-//!                resumed — freeze ends
+//! phase            effects emitted (in order)
+//! ─────            ──────────────────────────
+//! Start            PhaseEntered(PrecopyFull), Shipped(PrecopyMem)
+//!                  [, Shipped(PrecopySocket)…]   — signal; full checkpoint;
+//!                  transfer while the app runs
+//! PrecopyIter ×k   PhaseEntered(PrecopyIter), Shipped(PrecopyMem)
+//!                  [, Shipped(PrecopySocket)…]   — dirty pages + VMA diff
+//!                  (+ socket deltas, incremental strategy); the loop timeout
+//!                  halves each iteration; at 20 ms → freeze
+//! CaptureRequest   PhaseEntered(FreezeCapture), SuspendApp,
+//!                  [InstallCapture…], [SendXlate…], [Stack(Src)…]
+//!                  — app suspended; capture entries enabled on the
+//!                  destination; translation requests for in-cluster peers
+//! Detach           PhaseEntered(FreezeDetach), [SocketDetached,
+//!                  Shipped(FreezeSocket)…], Shipped(FreezeMem)
+//!                  — sockets unhashed & quiesced in fd order; final memory
+//!                  increment + freeze records shipped (per strategy)
+//! Restore          PhaseEntered(Restore), [Stack(Dst)…],
+//!                  [PacketReinjected, Stack(Dst)……], Complete
+//!                  — sockets rehashed (timestamps shifted, timers
+//!                  restarted), fd table rewritten, captured packets
+//!                  re-injected, threads resumed — freeze ends
 //! ```
+//!
+//! The engine keeps no measurement state of its own: a
+//! `dvelm_metrics::TraceRecorder` consuming the same stream derives the
+//! `MigrationReport` (freeze time, byte classes, phase log) from the effects
+//! above. `SuspendApp`'s timestamp is `frozen_at`; `Complete`'s is
+//! `resumed_at`.
 
 use crate::cost::CostModel;
-use crate::report::MigrationReport;
+use crate::effect::{ByteClass, Effect, EffectSink, PhaseId, Side};
 use crate::strategy::Strategy;
 use dvelm_ckpt::{
     apply_update, full_checkpoint, incremental_update, restore_process, IncrementalTracker,
@@ -34,7 +52,7 @@ use dvelm_proc::{Fd, Pid, Process};
 use dvelm_sim::{Jiffies, SimTime};
 use dvelm_stack::capture::CaptureKey;
 use dvelm_stack::xlate::{SelfXlateRule, XlateRule};
-use dvelm_stack::{HostStack, SockId, Socket, StackEffect};
+use dvelm_stack::{HostStack, SockId, Socket};
 use std::collections::HashMap;
 
 /// Per-socket attach record shipped in the freeze phase (fd binding), bytes.
@@ -52,36 +70,21 @@ pub struct StepIo<'a> {
     pub proc: &'a mut Process,
 }
 
-/// What the owner must do after a step.
+/// What the owner must do after a step. Everything else — suspension,
+/// translation requests, stack effects, completion — arrives through the
+/// [`EffectSink`] passed to [`MigrationEngine::step`].
 #[derive(Debug, Default)]
 pub struct StepPlan {
     /// Call `step` again this many µs from now (`None` once done).
     pub next_step_after_us: Option<u64>,
-    /// The application must stop executing (freeze phase entered).
-    pub suspend_app: bool,
-    /// Translation rules to deliver to in-cluster peer hosts (the owner
-    /// routes them; installation should happen one control-latency later).
-    pub xlate_requests: Vec<(NodeId, XlateRule)>,
-    /// Stack effects produced on the destination host (timer arming,
-    /// ACKs from re-injected segments).
-    pub dst_effects: Vec<StackEffect>,
-    /// Stack effects produced on the source host (backlog processing when
-    /// the signal-based checkpoint forces threads back to userspace).
-    pub src_effects: Vec<StackEffect>,
-    /// Set on the final step: the restored process and the measurement
-    /// report. The owner moves the process (and its application state) to
-    /// the destination node.
-    pub complete: Option<MigrationComplete>,
 }
 
-/// Final result of a migration.
+/// Final result of a migration, carried by [`Effect::Complete`].
 #[derive(Debug)]
 pub struct MigrationComplete {
     /// The process as restored on the destination (fd table rewritten to
     /// the new socket ids, threads resumed).
     pub process: Process,
-    /// Measurements for Fig. 4 / 5b / 5c.
-    pub report: MigrationReport,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,18 +127,18 @@ pub struct MigrationEngine {
     /// survive even when both ends migrate.
     carried_rules: Vec<XlateRule>,
     src_jiffies_at_detach: Jiffies,
-    report: MigrationReport,
 }
 
 impl MigrationEngine {
-    /// Prepare a migration of `pid` from `src` to `dst`.
+    /// Prepare a migration of `pid` from `src` to `dst`. The engine keeps
+    /// no clock of its own: the start instant belongs to the trace consumer
+    /// (`dvelm_metrics::TraceRecorder::new`).
     pub fn new(
         pid: Pid,
         src: NodeId,
         dst: NodeId,
         strategy: Strategy,
         cost: CostModel,
-        started_at: SimTime,
     ) -> MigrationEngine {
         MigrationEngine {
             pid,
@@ -154,7 +157,6 @@ impl MigrationEngine {
             self_rules: Vec::new(),
             carried_rules: Vec::new(),
             src_jiffies_at_detach: Jiffies(0),
-            report: MigrationReport::new(pid, strategy, started_at),
         }
     }
 
@@ -163,20 +165,16 @@ impl MigrationEngine {
         self.phase == Phase::Done
     }
 
-    /// The report so far (complete once `is_done`).
-    pub fn report(&self) -> &MigrationReport {
-        &self.report
-    }
-
-    /// Execute the current phase. The owner must call this exactly when the
-    /// previous plan's `next_step_after_us` elapses.
-    pub fn step(&mut self, io: StepIo<'_>) -> StepPlan {
+    /// Execute the current phase, emitting its effects into `sink`. The
+    /// owner must call this exactly when the previous plan's
+    /// `next_step_after_us` elapses.
+    pub fn step(&mut self, io: StepIo<'_>, sink: &mut dyn EffectSink) -> StepPlan {
         match self.phase {
-            Phase::Start => self.step_start(io),
-            Phase::PrecopyIter => self.step_precopy(io),
-            Phase::CaptureRequest => self.step_capture_request(io),
-            Phase::Detach => self.step_detach(io),
-            Phase::Restore => self.step_restore(io),
+            Phase::Start => self.step_start(io, sink),
+            Phase::PrecopyIter => self.step_precopy(io, sink),
+            Phase::CaptureRequest => self.step_capture_request(io, sink),
+            Phase::Detach => self.step_detach(io, sink),
+            Phase::Restore => self.step_restore(io, sink),
             Phase::Done => StepPlan::default(),
         }
     }
@@ -194,10 +192,8 @@ impl MigrationEngine {
             .collect()
     }
 
-    fn step_start(&mut self, io: StepIo<'_>) -> StepPlan {
-        self.report
-            .phase_log
-            .push(("precopy: full checkpoint", io.now));
+    fn step_start(&mut self, io: StepIo<'_>, sink: &mut dyn EffectSink) -> StepPlan {
+        sink.emit(io.now, Effect::PhaseEntered(PhaseId::PrecopyFull));
         // Live checkpoint request: signal; all threads return to userspace
         // (guaranteeing empty backlogs/prequeues, §V-C1), then the helper
         // thread transfers the full image while the app continues.
@@ -205,10 +201,18 @@ impl MigrationEngine {
             io.proc.signal_checkpoint();
         }
         let img = full_checkpoint(io.proc);
-        let mut bytes = img.transfer_bytes();
+        let mem_bytes = img.transfer_bytes();
+        let mut bytes = mem_bytes;
         self.staged = Some(restore_process(&img));
         // Initialize the dirty/VMA tracking (clears dirty bits).
         let _ = incremental_update(&mut self.tracker, io.proc);
+        sink.emit(
+            io.now,
+            Effect::Shipped {
+                class: ByteClass::PrecopyMem,
+                bytes: mem_bytes,
+            },
+        );
 
         // Incremental strategy: ship full socket records now, so the freeze
         // phase only carries deltas.
@@ -216,33 +220,42 @@ impl MigrationEngine {
             for (_, sid, sock) in Self::migratable_sockets(io.proc, io.src_stack) {
                 let b = sock.record_len();
                 bytes += b;
-                self.report.precopy_socket_bytes += b;
+                sink.emit(
+                    io.now,
+                    Effect::Shipped {
+                        class: ByteClass::PrecopySocket,
+                        bytes: b,
+                    },
+                );
                 self.sock_stamps.insert(sid, sock.mutation_stamp());
             }
         }
 
-        self.report.precopy_bytes += bytes;
-        self.report.precopy_iterations += 1;
         let delay =
             self.cost.signal_us + self.cost.serialize_us(bytes) + self.cost.transfer_us(bytes);
         self.phase = Phase::PrecopyIter;
         StepPlan {
             next_step_after_us: Some(self.loop_timeout_us.max(delay)),
-            ..StepPlan::default()
         }
     }
 
-    fn step_precopy(&mut self, io: StepIo<'_>) -> StepPlan {
-        self.report
-            .phase_log
-            .push(("precopy: incremental iteration", io.now));
+    fn step_precopy(&mut self, io: StepIo<'_>, sink: &mut dyn EffectSink) -> StepPlan {
+        sink.emit(io.now, Effect::PhaseEntered(PhaseId::PrecopyIter));
         let update = incremental_update(&mut self.tracker, io.proc);
         let staged = self
             .staged
             .as_mut()
             .expect("staged process exists after Start");
         apply_update(staged, &update);
-        let mut bytes = update.transfer_bytes();
+        let mem_bytes = update.transfer_bytes();
+        let mut bytes = mem_bytes;
+        sink.emit(
+            io.now,
+            Effect::Shipped {
+                class: ByteClass::PrecopyMem,
+                bytes: mem_bytes,
+            },
+        );
 
         if self.strategy.tracks_sockets_in_precopy() {
             for (_, sid, sock) in Self::migratable_sockets(io.proc, io.src_stack) {
@@ -253,13 +266,17 @@ impl MigrationEngine {
                     sock.delta_len(since)
                 };
                 bytes += b;
-                self.report.precopy_socket_bytes += b;
+                sink.emit(
+                    io.now,
+                    Effect::Shipped {
+                        class: ByteClass::PrecopySocket,
+                        bytes: b,
+                    },
+                );
                 self.sock_stamps.insert(sid, sock.mutation_stamp());
             }
         }
 
-        self.report.precopy_bytes += bytes;
-        self.report.precopy_iterations += 1;
         let delay = self.cost.serialize_us(bytes) + self.cost.transfer_us(bytes);
 
         // "In each subsequent iteration the loop timeout is decreased. When
@@ -268,24 +285,18 @@ impl MigrationEngine {
         self.loop_timeout_us = (self.loop_timeout_us / 2).max(self.cost.freeze_threshold_us);
         if self.loop_timeout_us <= self.cost.freeze_threshold_us {
             self.phase = Phase::CaptureRequest;
-            StepPlan {
-                next_step_after_us: Some(self.loop_timeout_us.max(delay)),
-                ..StepPlan::default()
-            }
-        } else {
-            StepPlan {
-                next_step_after_us: Some(self.loop_timeout_us.max(delay)),
-                ..StepPlan::default()
-            }
+        }
+        StepPlan {
+            next_step_after_us: Some(self.loop_timeout_us.max(delay)),
         }
     }
 
-    fn step_capture_request(&mut self, io: StepIo<'_>) -> StepPlan {
-        self.report
-            .phase_log
-            .push(("freeze: signal + capture setup", io.now));
+    fn step_capture_request(&mut self, io: StepIo<'_>, sink: &mut dyn EffectSink) -> StepPlan {
+        sink.emit(io.now, Effect::PhaseEntered(PhaseId::FreezeCapture));
         // Freeze begins: signal for the final checkpoint, threads barrier.
-        self.report.frozen_at = io.now;
+        // SuspendApp must precede the source stack effects below, so the
+        // owner sees the process suspended before backlog processing runs.
+        sink.emit(io.now, Effect::SuspendApp);
         let mut src_effects = Vec::new();
         if self.signal_based {
             // Every thread abandons its system call and returns to
@@ -307,7 +318,6 @@ impl MigrationEngine {
         // all connections and enable them on the destination. (Also the
         // per-socket capture of the iterative strategy — its extra
         // round-trips are accounted in the detach phase.)
-        let mut xlate_requests = Vec::new();
         self.capture_keys.clear();
         self.self_rules.clear();
         for (_, _, sock) in Self::migratable_sockets(io.proc, io.src_stack) {
@@ -318,15 +328,24 @@ impl MigrationEngine {
             };
             self.capture_keys.push(key);
             io.dst_stack.capture.enable(key, io.now);
+            sink.emit(io.now, Effect::InstallCapture { key });
 
             // In-cluster connection: the peer needs a translation rule and
             // the destination a self-rule (§III-C, §V-D).
             if let Some(remote) = sock.remote() {
                 if let Some(peer_node) = remote.ip.local_host() {
-                    xlate_requests.push((
-                        peer_node,
-                        XlateRule::new(remote, local.ip, io.dst_stack.local_ip, local.port),
-                    ));
+                    sink.emit(
+                        io.now,
+                        Effect::SendXlate {
+                            peer: peer_node,
+                            rule: XlateRule::new(
+                                remote,
+                                local.ip,
+                                io.dst_stack.local_ip,
+                                local.port,
+                            ),
+                        },
+                    );
                     self.self_rules.push(SelfXlateRule {
                         sock_local: local,
                         peer: remote,
@@ -334,6 +353,15 @@ impl MigrationEngine {
                     });
                 }
             }
+        }
+        for effect in src_effects {
+            sink.emit(
+                io.now,
+                Effect::Stack {
+                    side: Side::Src,
+                    effect,
+                },
+            );
         }
 
         let n = self.capture_keys.len() as u64;
@@ -347,17 +375,11 @@ impl MigrationEngine {
         self.phase = Phase::Detach;
         StepPlan {
             next_step_after_us: Some(self.cost.signal_us + self.cost.barrier_us + setup),
-            suspend_app: true,
-            xlate_requests,
-            src_effects,
-            ..StepPlan::default()
         }
     }
 
-    fn step_detach(&mut self, io: StepIo<'_>) -> StepPlan {
-        self.report
-            .phase_log
-            .push(("freeze: detach + transfer", io.now));
+    fn step_detach(&mut self, io: StepIo<'_>, sink: &mut dyn EffectSink) -> StepPlan {
+        sink.emit(io.now, Effect::PhaseEntered(PhaseId::FreezeDetach));
         // Record source jiffies for the timestamp adjustment (§V-C1).
         self.src_jiffies_at_detach = io.src_stack.jiffies(io.now);
 
@@ -380,7 +402,6 @@ impl MigrationEngine {
             .into_iter()
             .map(|(fd, sid, _)| (fd, sid))
             .collect::<Vec<_>>();
-        self.report.sockets_migrated = socks.len() as u32;
 
         let mut sock_bytes = 0u64;
         let mut sock_time = 0u64;
@@ -395,11 +416,17 @@ impl MigrationEngine {
             io.src_stack.xlate.remove_self(sock.local());
             self.carried_rules
                 .extend(io.src_stack.xlate.take_rules_for(sock.local()));
-            if let Socket::Tcp(t) = &sock {
-                if !t.parked_queues_empty() {
-                    self.report.parked_nonempty_sockets += 1;
-                }
-            }
+            let parked_nonempty = match &sock {
+                Socket::Tcp(t) => !t.parked_queues_empty(),
+                _ => false,
+            };
+            sink.emit(
+                io.now,
+                Effect::SocketDetached {
+                    sock: sid,
+                    parked_nonempty,
+                },
+            );
             let b = match self.strategy {
                 Strategy::Iterative | Strategy::Collective => sock.record_len(),
                 Strategy::IncrementalCollective => {
@@ -407,6 +434,13 @@ impl MigrationEngine {
                     sock.delta_len(since)
                 }
             } + ATTACH_RECORD;
+            sink.emit(
+                io.now,
+                Effect::Shipped {
+                    class: ByteClass::FreezeSocket,
+                    bytes: b,
+                },
+            );
             sock_bytes += b;
             if self.strategy == Strategy::Iterative {
                 sock_time += self.cost.per_socket_iterative_us(b);
@@ -425,23 +459,23 @@ impl MigrationEngine {
         let freeze = dvelm_ckpt::freeze_records(io.proc);
         let mem_bytes = update.transfer_bytes() + freeze.transfer_bytes();
         let mem_time = self.cost.bulk_us(mem_bytes);
-
-        self.report.freeze_bytes += sock_bytes + mem_bytes;
-        self.report.freeze_socket_bytes += sock_bytes;
+        sink.emit(
+            io.now,
+            Effect::Shipped {
+                class: ByteClass::FreezeMem,
+                bytes: mem_bytes,
+            },
+        );
 
         self.phase = Phase::Restore;
         StepPlan {
             next_step_after_us: Some(sock_time + mem_time + self.cost.barrier_us),
-            ..StepPlan::default()
         }
     }
 
-    fn step_restore(&mut self, io: StepIo<'_>) -> StepPlan {
-        self.report
-            .phase_log
-            .push(("restore: rehash + reinject + resume", io.now));
+    fn step_restore(&mut self, io: StepIo<'_>, sink: &mut dyn EffectSink) -> StepPlan {
+        sink.emit(io.now, Effect::PhaseEntered(PhaseId::Restore));
         let mut staged = self.staged.take().expect("staged process exists");
-        let mut effects = Vec::new();
 
         // Timestamp adjustment: difference between destination jiffies now
         // and source jiffies at checkpoint (§V-C1).
@@ -453,7 +487,15 @@ impl MigrationEngine {
         for (fd, mut sock) in self.in_flight.drain(..) {
             sock.apply_jiffies_delta(delta);
             let (sid, fx) = io.dst_stack.install_socket(sock, io.now);
-            effects.extend(fx);
+            for effect in fx {
+                sink.emit(
+                    io.now,
+                    Effect::Stack {
+                        side: Side::Dst,
+                        effect,
+                    },
+                );
+            }
             // Reattach "to the right file descriptor of the process": the
             // BLCR-restored fd table has these slots empty (sockets were
             // omitted from the image).
@@ -470,620 +512,30 @@ impl MigrationEngine {
         // process run.
         for key in self.capture_keys.drain(..) {
             for seg in io.dst_stack.capture.disable_and_drain(&key) {
-                self.report.packets_reinjected += 1;
-                effects.extend(io.dst_stack.reinject(seg, io.now));
+                sink.emit(io.now, Effect::PacketReinjected);
+                for effect in io.dst_stack.reinject(seg, io.now) {
+                    sink.emit(
+                        io.now,
+                        Effect::Stack {
+                            side: Side::Dst,
+                            effect,
+                        },
+                    );
+                }
             }
         }
         staged.resume_all();
         staged.cpu_share = io.proc.cpu_share;
 
-        self.report.resumed_at = io.now;
         self.phase = Phase::Done;
+        // Complete is the final effect of the migration, after every
+        // destination stack effect above; its timestamp ends the freeze.
+        sink.emit(
+            io.now,
+            Effect::Complete(MigrationComplete { process: staged }),
+        );
         StepPlan {
             next_step_after_us: None,
-            dst_effects: effects,
-            complete: Some(MigrationComplete {
-                process: staged,
-                report: self.report.clone(),
-            }),
-            ..StepPlan::default()
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use bytes::Bytes;
-    use dvelm_net::{Ip, SockAddr};
-    use dvelm_proc::FdEntry;
-    use dvelm_sim::{DetRng, MILLISECOND, SECOND};
-    use dvelm_stack::TcpState;
-
-    /// Multi-host test world that shuttles frames synchronously (zero
-    /// latency) and drives the engine through its schedule.
-    struct World {
-        hosts: Vec<HostStack>,
-        now: SimTime,
-    }
-
-    const SRC: usize = 0;
-    const DST: usize = 1;
-    const PEER: usize = 2; // database host
-    const CLIENT: usize = 3;
-
-    impl World {
-        fn new() -> World {
-            World {
-                hosts: vec![
-                    HostStack::server_node(NodeId(0), 1_000, 1),
-                    HostStack::server_node(NodeId(1), 5_000_000, 2),
-                    HostStack::server_node(NodeId(2), 77, 3),
-                    HostStack::client_host(NodeId(100), 42, 4),
-                ],
-                now: SimTime::ZERO,
-            }
-        }
-
-        fn route(&mut self, ip: Ip) -> Vec<usize> {
-            if ip == Ip::CLUSTER_PUBLIC {
-                // Broadcast configuration: all server nodes receive it.
-                (0..3).collect()
-            } else {
-                self.hosts
-                    .iter()
-                    .position(|h| h.public_ip == ip || h.local_ip == ip)
-                    .into_iter()
-                    .collect()
-            }
-        }
-
-        fn pump(&mut self, fx: Vec<StackEffect>) {
-            let mut queue: Vec<StackEffect> = fx;
-            while let Some(e) = queue.pop() {
-                if let StackEffect::Tx { seg, route } = e {
-                    for target in self.route(route) {
-                        let fx = self.hosts[target].on_rx(seg.clone(), self.now);
-                        queue.extend(fx);
-                    }
-                }
-            }
-        }
-
-        fn send(&mut self, host: usize, sid: SockId, data: &[u8]) {
-            let fx = self.hosts[host].send(sid, Bytes::copy_from_slice(data), self.now);
-            self.pump(fx);
-        }
-
-        fn split(&mut self, a: usize, b: usize) -> (&mut HostStack, &mut HostStack) {
-            assert!(a < b);
-            let (left, right) = self.hosts.split_at_mut(b);
-            (&mut left[a], &mut right[0])
-        }
-    }
-
-    /// A server process on SRC with `n` client TCP connections (from the
-    /// client host, via the public broadcast interface) and one in-cluster
-    /// "MySQL" connection to PEER.
-    fn setup(world: &mut World, n: usize) -> (Process, Vec<SockId>, SockId, SockId) {
-        let mut proc = Process::new(Pid(1), "zone_serv", 64, 512);
-        // Listener on the public interface.
-        let laddr = SockAddr::new(Ip::CLUSTER_PUBLIC, 5000);
-        let listener = world.hosts[SRC].tcp_listen(laddr).unwrap();
-        proc.fds.insert(FdEntry::Socket(listener));
-
-        // DB listener on the peer host.
-        let db_addr = SockAddr::new(world.hosts[PEER].local_ip, 3306);
-        world.hosts[PEER].tcp_listen(db_addr).unwrap();
-
-        // Client connections.
-        let mut client_sids = Vec::new();
-        for _ in 0..n {
-            let (cid, fx) = world.hosts[CLIENT].tcp_connect_public(laddr, world.now);
-            world.pump(fx);
-            client_sids.push(cid);
-        }
-        // Register the accepted children in the process fd table.
-        let children: Vec<SockId> = world.hosts[SRC]
-            .socket_ids()
-            .into_iter()
-            .filter(|s| *s != listener)
-            .collect();
-        assert_eq!(children.len(), n, "every client connection accepted");
-        for c in &children {
-            assert_eq!(
-                world.hosts[SRC].sock(*c).unwrap().tcp().state,
-                TcpState::Established
-            );
-            proc.fds.insert(FdEntry::Socket(*c));
-        }
-
-        // The MySQL session.
-        let (db_sid, fx) = world.hosts[SRC].tcp_connect_local(db_addr, world.now);
-        world.pump(fx);
-        proc.fds.insert(FdEntry::Socket(db_sid));
-        assert_eq!(
-            world.hosts[SRC].sock(db_sid).unwrap().tcp().state,
-            TcpState::Established
-        );
-
-        (proc, client_sids, db_sid, listener)
-    }
-
-    /// Drive a full migration; returns (report, restored process,
-    /// xlate requests seen).
-    fn run_migration(
-        world: &mut World,
-        proc: &mut Process,
-        strategy: Strategy,
-        mut between_steps: impl FnMut(&mut World, &mut Process, bool),
-    ) -> (MigrationReport, Process, Vec<(NodeId, XlateRule)>) {
-        let mut engine = MigrationEngine::new(
-            proc.pid,
-            NodeId(0),
-            NodeId(1),
-            strategy,
-            CostModel::default(),
-            world.now,
-        );
-        let mut xlates = Vec::new();
-        let mut suspended = false;
-        loop {
-            let now = world.now;
-            let (src, dst) = world.split(SRC, DST);
-            let plan = engine.step(StepIo {
-                now,
-                src_stack: src,
-                dst_stack: dst,
-                proc,
-            });
-            if plan.suspend_app {
-                suspended = true;
-            }
-            // Deliver translation rules to peers immediately (zero-latency
-            // harness).
-            for (node, rule) in &plan.xlate_requests {
-                let idx = world.hosts.iter().position(|h| h.node == *node).unwrap();
-                world.hosts[idx].xlate.install(*rule);
-            }
-            xlates.extend(plan.xlate_requests);
-            let dst_fx = plan.dst_effects;
-            world.pump(dst_fx);
-            if let Some(complete) = plan.complete {
-                return (complete.report, complete.process, xlates);
-            }
-            let wait = plan
-                .next_step_after_us
-                .expect("engine not done must reschedule");
-            world.now += wait;
-            between_steps(world, proc, suspended);
-        }
-    }
-
-    #[test]
-    fn migration_preserves_streams_end_to_end() {
-        let mut world = World::new();
-        let (mut proc, client_sids, _db, _l) = setup(&mut world, 4);
-
-        // Pre-migration traffic.
-        for &c in &client_sids {
-            world.send(CLIENT, c, b"pre|");
-        }
-
-        let (report, restored, _) = run_migration(
-            &mut world,
-            &mut proc,
-            Strategy::IncrementalCollective,
-            |world, proc, suspended| {
-                if !suspended {
-                    // App keeps working during precopy.
-                    let mut rng = DetRng::new(1);
-                    proc.do_work(&mut rng, 5);
-                    let sids = client_sids.clone();
-                    for &c in &sids {
-                        world.send(CLIENT, c, b"live|");
-                    }
-                }
-            },
-        );
-        assert!(report.freeze_us() > 0);
-        assert_eq!(report.sockets_migrated as usize, 4 + 1 + 1); // clients + listener + db
-
-        // Post-migration traffic flows to the destination sockets.
-        for &c in &client_sids {
-            world.send(CLIENT, c, b"post");
-        }
-        let mut total = Vec::new();
-        for (_, sid) in restored.fds.sockets() {
-            if let Some(Socket::Tcp(t)) = world.hosts[DST].sock(sid) {
-                if t.state == TcpState::Established
-                    && t.remote.unwrap().ip != world.hosts[PEER].local_ip
-                {
-                    let got: Vec<u8> = world.hosts[DST]
-                        .read_tcp(sid, world.now)
-                        .iter()
-                        .flat_map(|s| s.payload.to_vec())
-                        .collect();
-                    total.push(got);
-                }
-            }
-        }
-        assert_eq!(total.len(), 4);
-        for got in total {
-            let s = String::from_utf8(got).unwrap();
-            assert!(s.ends_with("post"), "stream continuity broken: {s:?}");
-            assert_eq!(s.matches("post").count(), 1, "no duplication: {s:?}");
-        }
-        // Source keeps no residue.
-        assert_eq!(
-            world.hosts[SRC].socket_count(),
-            0,
-            "no residual sockets on source"
-        );
-    }
-
-    #[test]
-    fn freeze_time_ordering_matches_fig5b() {
-        // iterative > collective > incremental collective, at 128 conns.
-        let mut freeze = Vec::new();
-        for strategy in Strategy::ALL {
-            let mut world = World::new();
-            let (mut proc, client_sids, _db, _l) = setup(&mut world, 128);
-            let (report, _, _) =
-                run_migration(&mut world, &mut proc, strategy, |world, proc, suspended| {
-                    if !suspended {
-                        let mut rng = DetRng::new(2);
-                        proc.do_work(&mut rng, 10);
-                        for &c in client_sids.iter().take(16) {
-                            world.send(CLIENT, c, b"tick");
-                        }
-                    }
-                });
-            freeze.push((strategy, report.freeze_us()));
-        }
-        assert!(
-            freeze[0].1 > freeze[1].1,
-            "iterative {} must exceed collective {}",
-            freeze[0].1,
-            freeze[1].1
-        );
-        assert!(
-            freeze[1].1 > freeze[2].1,
-            "collective {} must exceed incremental {}",
-            freeze[1].1,
-            freeze[2].1
-        );
-    }
-
-    #[test]
-    fn incremental_ships_fewer_freeze_bytes() {
-        let mut bytes = Vec::new();
-        for strategy in [Strategy::Collective, Strategy::IncrementalCollective] {
-            let mut world = World::new();
-            let (mut proc, _c, _db, _l) = setup(&mut world, 64);
-            let (report, _, _) = run_migration(&mut world, &mut proc, strategy, |_, _, _| {});
-            bytes.push(report.freeze_socket_bytes);
-        }
-        assert!(
-            bytes[1] * 4 < bytes[0],
-            "incremental freeze bytes {} should be ≪ collective {}",
-            bytes[1],
-            bytes[0]
-        );
-    }
-
-    #[test]
-    fn packets_during_freeze_are_captured_and_reinjected() {
-        let mut world = World::new();
-        let (mut proc, client_sids, _db, _l) = setup(&mut world, 2);
-        let (report, restored, _) = run_migration(
-            &mut world,
-            &mut proc,
-            Strategy::Collective,
-            |world, _proc, suspended| {
-                if suspended {
-                    // Clients keep sending while the server is frozen.
-                    let sids = client_sids.clone();
-                    for &c in &sids {
-                        world.send(CLIENT, c, b"blackout");
-                    }
-                }
-            },
-        );
-        assert!(
-            report.packets_reinjected > 0,
-            "capture engaged during freeze"
-        );
-        // Every blackout byte arrives exactly once after restore.
-        for (_, sid) in restored.fds.sockets() {
-            if let Some(Socket::Tcp(t)) = world.hosts[DST].sock(sid) {
-                if t.state == TcpState::Established
-                    && t.remote.unwrap().ip != world.hosts[PEER].local_ip
-                {
-                    let got: Vec<u8> = world.hosts[DST]
-                        .read_tcp(sid, world.now)
-                        .iter()
-                        .flat_map(|s| s.payload.to_vec())
-                        .collect();
-                    let s = String::from_utf8(got).unwrap();
-                    assert!(!s.is_empty(), "blackout data lost");
-                    assert!(
-                        s.len().is_multiple_of(8)
-                            && s.as_bytes().chunks(8).all(|c| c == b"blackout")
-                    );
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn in_cluster_connection_survives_via_translation() {
-        let mut world = World::new();
-        let (mut proc, _c, db_sid, _l) = setup(&mut world, 1);
-        let db_child = world.hosts[PEER]
-            .socket_ids()
-            .into_iter()
-            .next_back()
-            .unwrap();
-        let _ = db_sid;
-        let (_report, restored, xlates) = run_migration(
-            &mut world,
-            &mut proc,
-            Strategy::IncrementalCollective,
-            |_, _, _| {},
-        );
-        assert_eq!(
-            xlates.len(),
-            1,
-            "one translation request for the MySQL session"
-        );
-        assert_eq!(xlates[0].0, NodeId(2));
-
-        // The migrated socket still talks to the DB transparently.
-        let new_db_sid = restored
-            .fds
-            .sockets()
-            .map(|(_, s)| s)
-            .find(|s| {
-                world.hosts[DST].sock(*s).is_some_and(|k| {
-                    k.remote()
-                        .is_some_and(|r| r.ip == world.hosts[PEER].local_ip)
-                })
-            })
-            .expect("db socket restored");
-        let fx = world.hosts[DST].send(new_db_sid, Bytes::from_static(b"INSERT"), world.now);
-        world.pump(fx);
-        let got: Vec<u8> = world.hosts[PEER]
-            .read_tcp(db_child, world.now)
-            .iter()
-            .flat_map(|s| s.payload.to_vec())
-            .collect();
-        assert_eq!(got, b"INSERT");
-
-        // And the reply comes back, translated.
-        let fx = world.hosts[PEER].send(db_child, Bytes::from_static(b"ACK"), world.now);
-        world.pump(fx);
-        let got: Vec<u8> = world.hosts[DST]
-            .read_tcp(new_db_sid, world.now)
-            .iter()
-            .flat_map(|s| s.payload.to_vec())
-            .collect();
-        assert_eq!(got, b"ACK");
-    }
-
-    #[test]
-    fn listener_migrates_and_accepts_on_destination() {
-        let mut world = World::new();
-        let (mut proc, _c, _db, _l) = setup(&mut world, 1);
-        let (_report, restored, _) =
-            run_migration(&mut world, &mut proc, Strategy::Collective, |_, _, _| {});
-        // A brand-new client connects after migration: only DST owns the
-        // port now.
-        let laddr = SockAddr::new(Ip::CLUSTER_PUBLIC, 5000);
-        let before = world.hosts[DST].socket_count();
-        let (_cid, fx) = world.hosts[CLIENT].tcp_connect_public(laddr, world.now);
-        world.pump(fx);
-        assert_eq!(
-            world.hosts[DST].socket_count(),
-            before + 1,
-            "new child accepted on DST"
-        );
-        let _ = restored;
-    }
-
-    #[test]
-    fn memory_contents_identical_after_restore() {
-        let mut world = World::new();
-        let (mut proc, _c, _db, _l) = setup(&mut world, 2);
-        let mut rng = DetRng::new(33);
-        proc.do_work(&mut rng, 400);
-        let src_hash_cell = std::cell::Cell::new(0u64);
-        let (_report, restored, _) = run_migration(
-            &mut world,
-            &mut proc,
-            Strategy::IncrementalCollective,
-            |_, p, suspended| {
-                if !suspended {
-                    let mut rng = DetRng::new(34);
-                    p.do_work(&mut rng, 50);
-                }
-                src_hash_cell.set(p.addr_space.content_hash());
-            },
-        );
-        assert_eq!(
-            restored.addr_space.content_hash(),
-            proc.addr_space.content_hash(),
-            "restored memory differs from source"
-        );
-        assert!(!restored.is_frozen(), "threads resumed");
-        assert_eq!(restored.threads.len(), proc.threads.len());
-    }
-
-    #[test]
-    fn udp_socket_migrates() {
-        let mut world = World::new();
-        let mut proc = Process::new(Pid(2), "oa_server", 32, 128);
-        let addr = SockAddr::new(Ip::CLUSTER_PUBLIC, 27960);
-        let usid = world.hosts[SRC].udp_bind(addr).unwrap();
-        proc.fds.insert(FdEntry::Socket(usid));
-        let client_sid = world.hosts[CLIENT].udp_bind_ephemeral();
-
-        let (report, restored, _) = run_migration(
-            &mut world,
-            &mut proc,
-            Strategy::IncrementalCollective,
-            |world, _p, _s| {
-                let fx =
-                    world.hosts[CLIENT].udp_send_to(client_sid, addr, Bytes::from_static(b"cmd"));
-                world.pump(fx);
-            },
-        );
-        assert_eq!(report.sockets_migrated, 1);
-        let (_, new_sid) = restored.fds.sockets().next().unwrap();
-        // Post-migration datagrams arrive at the destination.
-        let fx = world.hosts[CLIENT].udp_send_to(client_sid, addr, Bytes::from_static(b"post"));
-        world.pump(fx);
-        let dgrams = world.hosts[DST].read_udp(new_sid);
-        assert!(
-            dgrams.iter().any(|d| &d.skb.payload[..] == b"post"),
-            "datagram did not reach the migrated UDP socket"
-        );
-    }
-
-    #[test]
-    fn freeze_threshold_schedule() {
-        // 320 → 160 → 80 → 40 → 20 ms: freeze begins on the 5th precopy
-        // iteration after the full copy.
-        let mut world = World::new();
-        let (mut proc, _c, _db, _l) = setup(&mut world, 1);
-        let (report, _, _) =
-            run_migration(&mut world, &mut proc, Strategy::Collective, |_, _, _| {});
-        assert_eq!(report.precopy_iterations, 1 + 4);
-        // Total precopy duration ≈ sum of the timeout schedule.
-        assert!(report.total_us() > 500 * MILLISECOND);
-        assert!(report.total_us() < 2 * SECOND);
-    }
-
-    #[test]
-    fn kernel_initiated_checkpoint_catches_locked_sockets() {
-        // §III-A/§V-C ablation: with signal-based notification, a socket
-        // that was user-locked when the migration started is unlocked (the
-        // thread returns to userspace) and its backlog is processed before
-        // the dump; with kernel-initiated checkpointing the parked queues
-        // reach the freeze phase non-empty and must be shipped.
-        for (signal_based, expect_parked) in [(true, 0u32), (false, 1u32)] {
-            let mut world = World::new();
-            let (mut proc, client_sids, _db, _l) = setup(&mut world, 2);
-
-            // The app "holds the socket lock" on one connection; a segment
-            // arrives and parks on the backlog.
-            let target = proc
-                .fds
-                .sockets()
-                .map(|(_, s)| s)
-                .find(|s| {
-                    world.hosts[SRC].sock(*s).is_some_and(|k| {
-                        k.is_tcp()
-                            && !k.is_listener()
-                            && k.remote().is_some_and(|r| !r.ip.is_local())
-                    })
-                })
-                .expect("a client connection");
-            world.hosts[SRC]
-                .sock_mut(target)
-                .unwrap()
-                .tcp_mut()
-                .user_locked = true;
-            world.send(CLIENT, client_sids[0], b"parked");
-            world.send(CLIENT, client_sids[1], b"normal");
-
-            let mut engine = MigrationEngine::new(
-                proc.pid,
-                NodeId(0),
-                NodeId(1),
-                Strategy::Collective,
-                CostModel::default(),
-                world.now,
-            );
-            engine.signal_based = signal_based;
-            loop {
-                let now = world.now;
-                let (src, dst) = world.split(SRC, DST);
-                let plan = engine.step(StepIo {
-                    now,
-                    src_stack: src,
-                    dst_stack: dst,
-                    proc: &mut proc,
-                });
-                world.pump(plan.src_effects);
-                world.pump(plan.dst_effects);
-                if plan.complete.is_some() {
-                    break;
-                }
-                world.now += plan.next_step_after_us.expect("reschedules");
-            }
-            assert_eq!(
-                engine.report().parked_nonempty_sockets,
-                expect_parked,
-                "signal_based={signal_based}"
-            );
-        }
-    }
-
-    #[test]
-    fn closing_socket_is_released_not_migrated() {
-        let mut world = World::new();
-        let (mut proc, _client_sids, _db, _l) = setup(&mut world, 3);
-        // Close one server-side client connection: it leaves Established
-        // (FinWait) and becomes non-migratable.
-        let victim = proc
-            .fds
-            .sockets()
-            .map(|(_, s)| s)
-            .find(|s| {
-                world.hosts[SRC].sock(*s).is_some_and(|k| {
-                    k.is_tcp() && !k.is_listener() && k.remote().is_some_and(|r| !r.ip.is_local())
-                })
-            })
-            .expect("a client connection");
-        let now = world.now;
-        let fx = world.hosts[SRC].close(victim, now);
-        world.pump(fx);
-
-        let (report, restored, _) =
-            run_migration(&mut world, &mut proc, Strategy::Collective, |_, _, _| {});
-        // clients(3) - closing(1) + listener + db
-        assert_eq!(report.sockets_migrated, 3 - 1 + 2);
-        assert_eq!(
-            world.hosts[SRC].socket_count(),
-            0,
-            "closing socket released, no residue"
-        );
-        assert_eq!(
-            restored.fds.socket_count(),
-            4,
-            "the closing fd is not reattached"
-        );
-    }
-
-    #[test]
-    fn report_accounting_is_consistent() {
-        let mut world = World::new();
-        let (mut proc, _c, _db, _l) = setup(&mut world, 8);
-        let (report, _, _) = run_migration(
-            &mut world,
-            &mut proc,
-            Strategy::IncrementalCollective,
-            |_, _, _| {},
-        );
-        assert!(report.precopy_bytes > 0);
-        assert!(report.freeze_bytes >= report.freeze_socket_bytes);
-        assert_eq!(
-            report.total_bytes(),
-            report.precopy_bytes + report.freeze_bytes
-        );
-        assert!(report.frozen_at > report.started_at);
-        assert!(report.resumed_at > report.frozen_at);
-        assert!(report.freeze_us() < 100 * MILLISECOND);
     }
 }

@@ -23,7 +23,11 @@
 //! The engine is a deterministic state machine: the cluster runtime (or a
 //! test harness) calls [`MigrationEngine::step`] at the instants the engine
 //! requests, passing mutable access to the two host stacks and the migrating
-//! process.
+//! process plus an [`EffectSink`]. Every cross-layer side effect — app
+//! suspension, translation requests, stack effects on either host,
+//! completion — arrives through that sink as a typed, ordered, timestamped
+//! [`Effect`]; `dvelm_metrics::TraceRecorder` derives the
+//! [`MigrationReport`] from the same stream (see the [`effect`] module).
 //!
 //! # Example: predicting freeze times
 //!
@@ -40,12 +44,14 @@
 //! ```
 
 pub mod cost;
+pub mod effect;
 pub mod engine;
 pub mod model;
 pub mod report;
 pub mod strategy;
 
 pub use cost::CostModel;
+pub use effect::{ByteClass, Effect, EffectBuf, EffectSink, PhaseId, Side};
 pub use engine::{MigrationComplete, MigrationEngine, StepIo, StepPlan};
 pub use model::{predict_freeze_us, predict_total_us, WorkloadProfile};
 pub use report::MigrationReport;

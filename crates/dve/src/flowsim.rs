@@ -12,7 +12,7 @@
 
 use crate::clients::{ClientPopulation, MovementConfig};
 use crate::space::{VirtualSpace, ZoneId, NODES, ZONES};
-use dvelm_lb::{Action, Conductor, LoadInfo, PolicyConfig};
+use dvelm_lb::{Conductor, LbEffect, LoadInfo, PolicyConfig};
 use dvelm_metrics::TimeSeries;
 use dvelm_migrate::{predict_total_us, CostModel, Strategy, WorkloadProfile};
 use dvelm_net::NodeId;
@@ -168,13 +168,13 @@ pub fn run_flow_sim(cfg: &FlowSimConfig) -> FlowSimResult {
         now: SimTime,
         loads: &[f64; NODES],
         from: usize,
-        actions: Vec<Action>,
+        effects: Vec<LbEffect>,
         started: &mut Vec<(usize, Pid, usize)>,
     ) {
-        let mut queue: Vec<(usize, Action)> = actions.into_iter().map(|a| (from, a)).collect();
+        let mut queue: Vec<(usize, LbEffect)> = effects.into_iter().map(|a| (from, a)).collect();
         while let Some((src, action)) = queue.pop() {
             match action {
-                Action::Broadcast(msg) => {
+                LbEffect::Broadcast(msg) => {
                     for i in 0..conductors.len() {
                         if i != src {
                             let li = LoadInfo::new(NodeId(i as u32), loads[i], 0, now);
@@ -183,13 +183,13 @@ pub fn run_flow_sim(cfg: &FlowSimConfig) -> FlowSimResult {
                         }
                     }
                 }
-                Action::Send(to, msg) => {
+                LbEffect::Send(to, msg) => {
                     let i = to.0 as usize;
                     let li = LoadInfo::new(to, loads[i], 0, now);
                     let out = conductors[i].on_msg(now, NodeId(src as u32), msg, li);
                     queue.extend(out.into_iter().map(|a| (i, a)));
                 }
-                Action::StartMigration { pid, dest } => {
+                LbEffect::StartMigration { pid, dest } => {
                     started.push((src, pid, dest.0 as usize));
                 }
             }
@@ -203,13 +203,13 @@ pub fn run_flow_sim(cfg: &FlowSimConfig) -> FlowSimResult {
         let mut started = Vec::new();
         for i in 0..NODES {
             let li = LoadInfo::new(NodeId(i as u32), loads[i], 20, SimTime::ZERO);
-            let actions = conductors[i].on_start(li);
+            let effects = conductors[i].on_start(li);
             dispatch(
                 &mut conductors,
                 SimTime::ZERO,
                 &loads,
                 i,
-                actions,
+                effects,
                 &mut started,
             );
         }
@@ -236,8 +236,8 @@ pub fn run_flow_sim(cfg: &FlowSimConfig) -> FlowSimResult {
                 // emits releases the receiver.
                 let loads = node_loads(&space, &counts, &still_active, cfg);
                 let mut started = Vec::new();
-                let actions = conductors[m.from].on_migration_finished(now, true);
-                dispatch(&mut conductors, now, &loads, m.from, actions, &mut started);
+                let effects = conductors[m.from].on_migration_finished(now, true);
+                dispatch(&mut conductors, now, &loads, m.from, effects, &mut started);
                 debug_assert!(started.is_empty());
             } else {
                 still_active.push(m);
@@ -268,8 +268,8 @@ pub fn run_flow_sim(cfg: &FlowSimConfig) -> FlowSimResult {
                         )
                     })
                     .collect();
-                let actions = conductors[i].on_tick(now, li, &procs);
-                dispatch(&mut conductors, now, &loads, i, actions, &mut started);
+                let effects = conductors[i].on_tick(now, li, &procs);
+                dispatch(&mut conductors, now, &loads, i, effects, &mut started);
             }
             for (from, pid, to) in started {
                 let zone = zone_of(pid);

@@ -5,7 +5,7 @@
 //! every peer's latest load, decide when to initiate a migration (transfer +
 //! location + selection policies), run the receiver side of the two-phase
 //! commit, and instrument the migration daemon (`migd`) — here represented
-//! by the [`Action::StartMigration`] output.
+//! by the [`LbEffect::StartMigration`] output.
 
 use crate::info::{LoadInfo, LOAD_INFO_BYTES};
 use crate::peers::PeerDb;
@@ -53,7 +53,7 @@ impl LbMsg {
 
 /// What the runtime must do for the conductor.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Action {
+pub enum LbEffect {
     /// Broadcast on the local network to all peers.
     Broadcast(LbMsg),
     /// Unicast to one peer.
@@ -144,14 +144,19 @@ impl Conductor {
     }
 
     /// Node start: scan the local network for other conductors (§IV).
-    pub fn on_start(&mut self, local: LoadInfo) -> Vec<Action> {
-        vec![Action::Broadcast(LbMsg::Hello(local))]
+    pub fn on_start(&mut self, local: LoadInfo) -> Vec<LbEffect> {
+        vec![LbEffect::Broadcast(LbMsg::Hello(local))]
     }
 
     /// Periodic tick (the runtime calls this at least once per heartbeat
     /// period, with a fresh local load sample and the process list).
-    pub fn on_tick(&mut self, now: SimTime, local: LoadInfo, procs: &[(Pid, f64)]) -> Vec<Action> {
-        let mut actions = Vec::new();
+    pub fn on_tick(
+        &mut self,
+        now: SimTime,
+        local: LoadInfo,
+        procs: &[(Pid, f64)],
+    ) -> Vec<LbEffect> {
+        let mut effects = Vec::new();
         self.peers.expire(now, self.cfg.peer_stale_us);
 
         // Information policy: periodic broadcast, doubling as heartbeat.
@@ -164,13 +169,13 @@ impl Conductor {
             self.stats.heartbeats_sent += 1;
             match self.dissemination {
                 Dissemination::FlatBroadcast => {
-                    actions.push(Action::Broadcast(LbMsg::Heartbeat(local)));
+                    effects.push(LbEffect::Broadcast(LbMsg::Heartbeat(local)));
                 }
                 Dissemination::SpanningTree => {
                     // Root of the tree: send only to our children; they
                     // relay on reception.
                     for child in tree_children(&self.members(), self.node, self.node) {
-                        actions.push(Action::Send(child, LbMsg::Heartbeat(local)));
+                        effects.push(LbEffect::Send(child, LbMsg::Heartbeat(local)));
                     }
                 }
             }
@@ -211,7 +216,7 @@ impl Conductor {
                             since: now,
                         };
                         self.stats.requests_sent += 1;
-                        actions.push(Action::Send(
+                        effects.push(LbEffect::Send(
                             dest,
                             LbMsg::MigRequest {
                                 pid,
@@ -223,7 +228,7 @@ impl Conductor {
                 }
             }
         }
-        actions
+        effects
     }
 
     /// A message arrived from a peer conductor.
@@ -233,7 +238,7 @@ impl Conductor {
         from: NodeId,
         msg: LbMsg,
         local: LoadInfo,
-    ) -> Vec<Action> {
+    ) -> Vec<LbEffect> {
         // An expired calm-down ends at the next event, whichever comes
         // first — a tick or an incoming request.
         if let ConductorPhase::CalmDown { until } = self.phase {
@@ -244,7 +249,7 @@ impl Conductor {
         match msg {
             LbMsg::Hello(info) => {
                 self.peers.update(info);
-                vec![Action::Send(from, LbMsg::HelloReply(local))]
+                vec![LbEffect::Send(from, LbMsg::HelloReply(local))]
             }
             LbMsg::HelloReply(info) => {
                 self.peers.update(info);
@@ -259,7 +264,7 @@ impl Conductor {
                         // origin.
                         tree_children(&self.members(), info.node, self.node)
                             .into_iter()
-                            .map(|child| Action::Send(child, LbMsg::Heartbeat(info)))
+                            .map(|child| LbEffect::Send(child, LbMsg::Heartbeat(info)))
                             .collect()
                     }
                 }
@@ -273,19 +278,19 @@ impl Conductor {
                 if accept {
                     self.phase = ConductorPhase::Receiving { from, since: now };
                     self.stats.requests_accepted += 1;
-                    vec![Action::Send(from, LbMsg::MigAccept)]
+                    vec![LbEffect::Send(from, LbMsg::MigAccept)]
                 } else {
                     self.stats.requests_rejected += 1;
-                    vec![Action::Send(from, LbMsg::MigReject)]
+                    vec![LbEffect::Send(from, LbMsg::MigReject)]
                 }
             }
             LbMsg::MigAccept => match self.phase {
                 ConductorPhase::AwaitingAccept { dest, pid, since } if dest == from => {
                     self.phase = ConductorPhase::Sending { dest, pid, since };
-                    vec![Action::StartMigration { pid, dest }]
+                    vec![LbEffect::StartMigration { pid, dest }]
                 }
                 // Stale accept (we already timed out): release the receiver.
-                _ => vec![Action::Send(from, LbMsg::MigDone { success: false })],
+                _ => vec![LbEffect::Send(from, LbMsg::MigDone { success: false })],
             },
             LbMsg::MigReject => {
                 if let ConductorPhase::AwaitingAccept { dest, .. } = self.phase {
@@ -316,7 +321,7 @@ impl Conductor {
     }
 
     /// The migration daemon reports the sender-side outcome.
-    pub fn on_migration_finished(&mut self, now: SimTime, success: bool) -> Vec<Action> {
+    pub fn on_migration_finished(&mut self, now: SimTime, success: bool) -> Vec<LbEffect> {
         if let ConductorPhase::Sending { dest, .. } = self.phase {
             if success {
                 self.stats.migrations_completed += 1;
@@ -326,7 +331,7 @@ impl Conductor {
             self.phase = ConductorPhase::CalmDown {
                 until: now + self.cfg.calm_down_us,
             };
-            vec![Action::Send(dest, LbMsg::MigDone { success })]
+            vec![LbEffect::Send(dest, LbMsg::MigDone { success })]
         } else {
             Vec::new()
         }
@@ -356,14 +361,14 @@ mod tests {
                 now: SimTime::from_secs(1),
             };
             // Startup discovery.
-            let starts: Vec<(usize, Vec<Action>)> = (0..bus.conds.len())
+            let starts: Vec<(usize, Vec<LbEffect>)> = (0..bus.conds.len())
                 .map(|i| {
                     let li = bus.local(i);
                     (i, bus.conds[i].on_start(li))
                 })
                 .collect();
-            for (i, actions) in starts {
-                bus.dispatch(i, actions);
+            for (i, effects) in starts {
+                bus.dispatch(i, effects);
             }
             bus
         }
@@ -372,12 +377,13 @@ mod tests {
             LoadInfo::new(NodeId(i as u32), self.loads[i], 20, self.now)
         }
 
-        fn dispatch(&mut self, from: usize, actions: Vec<Action>) -> Vec<Action> {
+        fn dispatch(&mut self, from: usize, effects: Vec<LbEffect>) -> Vec<LbEffect> {
             let mut migrations = Vec::new();
-            let mut queue: Vec<(usize, Action)> = actions.into_iter().map(|a| (from, a)).collect();
+            let mut queue: Vec<(usize, LbEffect)> =
+                effects.into_iter().map(|a| (from, a)).collect();
             while let Some((src, action)) = queue.pop() {
                 match action {
-                    Action::Broadcast(msg) => {
+                    LbEffect::Broadcast(msg) => {
                         for i in 0..self.conds.len() {
                             if i != src {
                                 let li = self.local(i);
@@ -387,27 +393,27 @@ mod tests {
                             }
                         }
                     }
-                    Action::Send(to, msg) => {
+                    LbEffect::Send(to, msg) => {
                         let i = to.0 as usize;
                         let li = self.local(i);
                         let out = self.conds[i].on_msg(self.now, NodeId(src as u32), msg, li);
                         queue.extend(out.into_iter().map(|a| (i, a)));
                     }
-                    Action::StartMigration { .. } => migrations.push(action),
+                    LbEffect::StartMigration { .. } => migrations.push(action),
                 }
             }
             migrations
         }
 
-        fn tick_all(&mut self) -> Vec<(usize, Action)> {
+        fn tick_all(&mut self) -> Vec<(usize, LbEffect)> {
             let mut migs = Vec::new();
             for i in 0..self.conds.len() {
                 let li = self.local(i);
                 let procs: Vec<(Pid, f64)> = (0..20)
                     .map(|k| (Pid((i * 100 + k) as u64), self.loads[i] / 20.0))
                     .collect();
-                let actions = self.conds[i].on_tick(self.now, li, &procs);
-                for m in self.dispatch(i, actions) {
+                let effects = self.conds[i].on_tick(self.now, li, &procs);
+                for m in self.dispatch(i, effects) {
                     migs.push((i, m));
                 }
             }
@@ -431,7 +437,7 @@ mod tests {
         let (sender, action) = &migs[0];
         assert_eq!(*sender, 0);
         match action {
-            Action::StartMigration { dest, .. } => assert_eq!(*dest, NodeId(2)),
+            LbEffect::StartMigration { dest, .. } => assert_eq!(*dest, NodeId(2)),
             other => panic!("expected StartMigration, got {other:?}"),
         }
         assert!(matches!(
@@ -500,10 +506,10 @@ mod tests {
         c.peers
             .update(LoadInfo::new(NodeId(1), 40.0, 20, SimTime::from_secs(1)));
         let t1 = SimTime::from_secs(1);
-        let actions = c.on_tick(t1, li(95.0, t1), &[(Pid(7), 10.0)]);
-        assert!(actions
+        let effects = c.on_tick(t1, li(95.0, t1), &[(Pid(7), 10.0)]);
+        assert!(effects
             .iter()
-            .any(|a| matches!(a, Action::Send(_, LbMsg::MigRequest { .. }))));
+            .any(|a| matches!(a, LbEffect::Send(_, LbMsg::MigRequest { .. }))));
         assert!(matches!(c.phase(), ConductorPhase::AwaitingAccept { .. }));
         // No answer arrives; next tick after the timeout resets to Idle.
         let t2 = SimTime::from_secs(3);
@@ -520,7 +526,7 @@ mod tests {
         let out = c.on_msg(SimTime::from_secs(1), NodeId(1), LbMsg::MigAccept, li);
         assert_eq!(
             out,
-            vec![Action::Send(NodeId(1), LbMsg::MigDone { success: false })]
+            vec![LbEffect::Send(NodeId(1), LbMsg::MigDone { success: false })]
         );
     }
 
@@ -532,7 +538,7 @@ mod tests {
         let a1 = c.on_tick(t, mk(t), &[]);
         assert!(a1
             .iter()
-            .any(|a| matches!(a, Action::Broadcast(LbMsg::Heartbeat(_)))));
+            .any(|a| matches!(a, LbEffect::Broadcast(LbMsg::Heartbeat(_)))));
         // 100 ms later: too early.
         let t2 = t + 100_000;
         assert!(c.on_tick(t2, mk(t2), &[]).is_empty());

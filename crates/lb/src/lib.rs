@@ -20,13 +20,13 @@
 //! * **information policy** — periodic broadcast.
 //!
 //! The conductor is a pure, deterministic state machine: inputs are ticks
-//! and received messages; outputs are [`Action`]s the
+//! and received messages; outputs are [`LbEffect`]s the
 //! runtime executes (broadcast, unicast, start a migration).
 //!
 //! # Example
 //!
 //! ```
-//! use dvelm_lb::{Action, Conductor, LbMsg, LoadInfo, PolicyConfig};
+//! use dvelm_lb::{LbEffect, Conductor, LbMsg, LoadInfo, PolicyConfig};
 //! use dvelm_net::NodeId;
 //! use dvelm_proc::Pid;
 //! use dvelm_sim::SimTime;
@@ -35,10 +35,10 @@
 //! // Learn about a light peer, then tick while overloaded.
 //! cond.peers.update(LoadInfo::new(NodeId(1), 35.0, 20, SimTime::from_secs(1)));
 //! let local = LoadInfo::new(NodeId(0), 95.0, 20, SimTime::from_secs(1));
-//! let actions = cond.on_tick(SimTime::from_secs(1), local, &[(Pid(7), 12.0)]);
-//! assert!(actions
+//! let effects = cond.on_tick(SimTime::from_secs(1), local, &[(Pid(7), 12.0)]);
+//! assert!(effects
 //!     .iter()
-//!     .any(|a| matches!(a, Action::Send(NodeId(1), LbMsg::MigRequest { .. }))));
+//!     .any(|a| matches!(a, LbEffect::Send(NodeId(1), LbMsg::MigRequest { .. }))));
 //! ```
 
 pub mod conductor;
@@ -48,7 +48,7 @@ pub mod peers;
 pub mod policy;
 pub mod spanning;
 
-pub use conductor::{Action, Conductor, ConductorPhase, LbMsg};
+pub use conductor::{Conductor, ConductorPhase, LbEffect, LbMsg};
 pub use info::LoadInfo;
 pub use monitor::LoadMonitor;
 pub use peers::PeerDb;

@@ -2,7 +2,7 @@
 //! changes and message deliveries occurs, the two-phase commit must keep its
 //! invariants.
 
-use dvelm_lb::{Action, Conductor, ConductorPhase, LbMsg, LoadInfo, PolicyConfig};
+use dvelm_lb::{Conductor, ConductorPhase, LbEffect, LbMsg, LoadInfo, PolicyConfig};
 use dvelm_net::NodeId;
 use dvelm_proc::Pid;
 use dvelm_sim::{DetRng, SimTime};
@@ -32,8 +32,8 @@ impl Cluster {
         // Discovery.
         for i in 0..n {
             let li = c.local(i);
-            let actions = c.conds[i].on_start(li);
-            c.dispatch(i, actions);
+            let effects = c.conds[i].on_start(li);
+            c.dispatch(i, effects);
         }
         c
     }
@@ -42,11 +42,11 @@ impl Cluster {
         LoadInfo::new(NodeId(i as u32), self.loads[i], 20, self.now)
     }
 
-    fn dispatch(&mut self, from: usize, actions: Vec<Action>) {
-        let mut queue: Vec<(usize, Action)> = actions.into_iter().map(|a| (from, a)).collect();
+    fn dispatch(&mut self, from: usize, effects: Vec<LbEffect>) {
+        let mut queue: Vec<(usize, LbEffect)> = effects.into_iter().map(|a| (from, a)).collect();
         while let Some((src, action)) = queue.pop() {
             match action {
-                Action::Broadcast(msg) => {
+                LbEffect::Broadcast(msg) => {
                     for i in 0..self.conds.len() {
                         if i != src {
                             let li = self.local(i);
@@ -55,13 +55,13 @@ impl Cluster {
                         }
                     }
                 }
-                Action::Send(to, msg) => {
+                LbEffect::Send(to, msg) => {
                     let i = to.0 as usize;
                     let li = self.local(i);
                     let out = self.conds[i].on_msg(self.now, NodeId(src as u32), msg, li);
                     queue.extend(out.into_iter().map(|a| (i, a)));
                 }
-                Action::StartMigration { dest, .. } => {
+                LbEffect::StartMigration { dest, .. } => {
                     self.active_migrations.push((src, dest.0 as usize));
                 }
             }
@@ -73,8 +73,8 @@ impl Cluster {
         let procs: Vec<(Pid, f64)> = (0..20)
             .map(|k| (Pid((i * 100 + k) as u64), self.loads[i] / 20.0))
             .collect();
-        let actions = self.conds[i].on_tick(self.now, li, &procs);
-        self.dispatch(i, actions);
+        let effects = self.conds[i].on_tick(self.now, li, &procs);
+        self.dispatch(i, effects);
     }
 
     fn finish_migration(&mut self, idx: usize, rng: &mut DetRng) {
@@ -84,8 +84,8 @@ impl Cluster {
         self.loads[sender] -= delta;
         self.loads[receiver] += delta;
         let success = rng.chance(0.9);
-        let actions = self.conds[sender].on_migration_finished(self.now, success);
-        self.dispatch(sender, actions);
+        let effects = self.conds[sender].on_migration_finished(self.now, success);
+        self.dispatch(sender, effects);
     }
 
     fn check_invariants(&self) {
@@ -224,7 +224,8 @@ fn spanning_tree_heartbeats_reach_everyone_with_bounded_fanout() {
     for (i, cond) in conds.iter_mut().enumerate() {
         for j in 0..n {
             if i != j {
-                cond.peers.update(LoadInfo::new(NodeId(j as u32), 50.0, 20, t));
+                cond.peers
+                    .update(LoadInfo::new(NodeId(j as u32), 50.0, 20, t));
             }
         }
     }
@@ -236,10 +237,11 @@ fn spanning_tree_heartbeats_reach_everyone_with_bounded_fanout() {
     let origin_actions = conds[4].on_tick(t2, li4, &[]);
     let mut sends = vec![0usize; n];
     let mut received = std::collections::HashSet::new();
-    let mut queue: Vec<(usize, Action)> = origin_actions.into_iter().map(|a| (4usize, a)).collect();
+    let mut queue: Vec<(usize, LbEffect)> =
+        origin_actions.into_iter().map(|a| (4usize, a)).collect();
     while let Some((src, action)) = queue.pop() {
         match action {
-            Action::Send(to, msg @ LbMsg::Heartbeat(_)) => {
+            LbEffect::Send(to, msg @ LbMsg::Heartbeat(_)) => {
                 sends[src] += 1;
                 assert!(received.insert(to), "{to} received twice");
                 let i = to.0 as usize;
@@ -247,7 +249,7 @@ fn spanning_tree_heartbeats_reach_everyone_with_bounded_fanout() {
                 let out = conds[i].on_msg(t2, NodeId(src as u32), msg, li);
                 queue.extend(out.into_iter().map(|a| (i, a)));
             }
-            Action::Broadcast(_) => panic!("tree mode must not flat-broadcast"),
+            LbEffect::Broadcast(_) => panic!("tree mode must not flat-broadcast"),
             _ => {}
         }
     }

@@ -283,6 +283,64 @@ mod tests {
         assert_eq!(t.queued(&key), 1);
         assert_eq!(t.enabled_at(&key), Some(SimTime::ZERO));
     }
+
+    #[test]
+    fn dedup_still_exact_at_seq_wraparound() {
+        // A retransmission storm straddling the u32 sequence-number
+        // wraparound: the (seq, len) dedup key must not confuse pre-wrap
+        // and post-wrap segments, and duplicates on either side of the
+        // boundary are still stored once.
+        let mut t = CaptureTable::new();
+        let key = CaptureKey::connected(sa(3, 3306), Port(5000));
+        t.enable(key, SimTime::ZERO);
+        for seq in [u32::MAX - 1, u32::MAX, 0, 1] {
+            assert!(t.try_capture(&tcp_seg(seq, 10)));
+            assert!(t.try_capture(&tcp_seg(seq, 10)), "dup at seq {seq} stolen");
+        }
+        assert_eq!(t.queued(&key), 4, "one entry per distinct seq");
+        assert_eq!(t.stats().duplicates, 4);
+    }
+
+    #[test]
+    fn drain_order_at_wraparound_is_numeric_not_modular() {
+        // The queue is keyed by raw (seq, len): post-wrap segments (0, 1)
+        // drain *before* pre-wrap ones (MAX-1, MAX). That is fine for
+        // re-injection — the receiving TCP reorders by sequence arithmetic
+        // — but it is a documented property of the capture queue, not
+        // modular 2^31 ordering.
+        let mut t = CaptureTable::new();
+        let key = CaptureKey::connected(sa(3, 3306), Port(5000));
+        t.enable(key, SimTime::ZERO);
+        for seq in [u32::MAX, 1, u32::MAX - 1, 0] {
+            t.try_capture(&tcp_seg(seq, 10));
+        }
+        let seqs: Vec<u32> = t
+            .disable_and_drain(&key)
+            .iter()
+            .map(|s| s.tcp_seq().unwrap())
+            .collect();
+        assert_eq!(seqs, vec![0, 1, u32::MAX - 1, u32::MAX]);
+    }
+
+    #[test]
+    fn same_seq_different_len_are_distinct_at_wraparound() {
+        // A shrunk retransmission at seq u32::MAX (different payload
+        // length) is a distinct queue entry, and the shorter one drains
+        // first within the same sequence number.
+        let mut t = CaptureTable::new();
+        let key = CaptureKey::connected(sa(3, 3306), Port(5000));
+        t.enable(key, SimTime::ZERO);
+        t.try_capture(&tcp_seg(u32::MAX, 24));
+        t.try_capture(&tcp_seg(u32::MAX, 8));
+        assert_eq!(t.queued(&key), 2);
+        assert_eq!(t.stats().duplicates, 0);
+        let lens: Vec<usize> = t
+            .disable_and_drain(&key)
+            .iter()
+            .map(|s| s.payload_len())
+            .collect();
+        assert_eq!(lens, vec![8, 24]);
+    }
 }
 
 #[cfg(test)]

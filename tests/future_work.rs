@@ -181,14 +181,14 @@ fn late_joining_node_receives_load() {
     let node2 = w.hosts[n2].stack.node;
     let mut cond = dvelm::lb::Conductor::new(node2, w.cfg.lb);
     let li = dvelm::lb::LoadInfo::new(node2, 5.0, 0, w.now());
-    let actions = cond.on_start(li);
+    let effects = cond.on_start(li);
     w.hosts[n2].conductor = Some(cond);
     // Route the discovery broadcast by hand (the world API wires conductors
     // at enable time; a late join replays the same steps).
     for h in [n0, n1] {
         let from = node2;
-        let msg = match actions[0] {
-            dvelm::lb::Action::Broadcast(m) => m,
+        let msg = match effects[0] {
+            dvelm::lb::LbEffect::Broadcast(m) => m,
             _ => panic!("discovery broadcasts"),
         };
         w.sched
