@@ -25,7 +25,7 @@ fn bench_policies(c: &mut Criterion) {
                     SimTime::ZERO,
                 ));
             }
-            b.iter(|| black_box(cfg.choose_destination(95.0, 70.0, &db)))
+            b.iter(|| black_box(cfg.choose_destination(95.0, 70.0, &db, &[])))
         });
     }
     g.bench_function("selection_100_procs", |b| {

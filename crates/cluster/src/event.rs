@@ -1,5 +1,6 @@
 //! The world's event alphabet.
 
+use dvelm_faults::Fault;
 use dvelm_lb::LbMsg;
 use dvelm_net::NodeId;
 use dvelm_proc::Pid;
@@ -13,8 +14,11 @@ pub enum Event {
     PacketArrival { host: usize, seg: Segment },
     /// A socket retransmission timer fires.
     SockTimer { host: usize, sock: SockId, gen: u64 },
-    /// One iteration of an application's real-time loop.
-    AppTick { host: usize, pid: Pid },
+    /// One iteration of an application's real-time loop. `gen` names the
+    /// tick chain: events from a chain that was replaced (the process was
+    /// suspended and resumed, killed and restarted) are stale and ignored,
+    /// so a resumed process never double-ticks.
+    AppTick { host: usize, pid: Pid, gen: u64 },
     /// An application consumes readable data from one of its sockets.
     AppRead { host: usize, pid: Pid, sock: SockId },
     /// A conductor daemon's periodic tick (monitor + heartbeat + policies).
@@ -29,4 +33,10 @@ pub enum Event {
     MigrationStep { mig: u64 },
     /// A translation rule reaches an in-cluster peer (transd, §II-B).
     InstallXlate { host: usize, rule: XlateRule },
+    /// A translation-rule revocation reaches a peer (abort rollback).
+    RemoveXlate { host: usize, rule: XlateRule },
+    /// A scheduled fault fires (see [`World::install_fault_plan`]).
+    ///
+    /// [`World::install_fault_plan`]: crate::World::install_fault_plan
+    Fault { fault: Fault },
 }

@@ -26,11 +26,19 @@ pub struct ProcEntry {
     pub suspended: bool,
     /// Real-time loop period, µs.
     pub tick_period_us: u64,
+    /// Generation of the live tick chain; `Event::AppTick` events stamped
+    /// with an older generation are stale and dropped.
+    pub tick_gen: u64,
 }
 
 /// One simulated machine.
 pub struct Host {
     pub kind: HostKind,
+    /// False once the host crashed ([`World::crash_node`]): events targeting
+    /// it are discarded and it no longer appears on the fabric.
+    ///
+    /// [`World::crash_node`]: crate::World::crash_node
+    pub alive: bool,
     pub stack: HostStack,
     pub procs: HashMap<Pid, ProcEntry>,
     pub conductor: Option<Conductor>,
@@ -48,6 +56,7 @@ impl Host {
     pub fn new(kind: HostKind, stack: HostStack) -> Host {
         Host {
             kind,
+            alive: true,
             stack,
             procs: HashMap::new(),
             conductor: None,

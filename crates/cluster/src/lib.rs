@@ -47,6 +47,7 @@ pub mod host;
 pub mod world;
 
 pub use app::{App, AppCtx};
+pub use dvelm_faults::{Fault, FaultPlan};
 pub use event::Event;
 pub use host::{Host, HostKind, ProcEntry};
-pub use world::{MigId, World, WorldConfig};
+pub use world::{MigId, MigrationOutcome, PacketLogEntry, Recovery, World, WorldConfig};

@@ -3,10 +3,14 @@
 use crate::app::{App, AppCtx};
 use crate::event::Event;
 use crate::host::{Host, HostKind, ProcEntry};
-use dvelm_lb::{Conductor, LbEffect, LbMsg, LoadInfo, PolicyConfig};
+use dvelm_faults::{Fault, FaultPlan};
+use dvelm_lb::{Conductor, LbEffect, LbMsg, LoadInfo, PolicyConfig, StrategyPreference};
 use dvelm_metrics::TraceRecorder;
-use dvelm_migrate::{CostModel, Effect, EffectBuf, MigrationEngine, Side, StepIo, Strategy};
-use dvelm_net::{BroadcastRouter, ClusterSwitch, Ip, NodeId, Port, SockAddr};
+use dvelm_migrate::{
+    AbortIo, AbortReason, AbortRecovery, CostModel, Effect, EffectBuf, MigrationAborted,
+    MigrationEngine, PhaseId, Side, StepIo, Strategy,
+};
+use dvelm_net::{BroadcastRouter, ClusterSwitch, Ip, LossModel, NodeId, Port, SockAddr};
 use dvelm_proc::{Fd, FdEntry, Pid, Process};
 use dvelm_sim::{DetRng, Scheduler, SimTime};
 use dvelm_stack::{HostStack, Segment, SockId, StackEffect};
@@ -55,6 +59,61 @@ struct MigTask {
     recorder: TraceRecorder,
 }
 
+/// How the process of an aborted migration fared — the payload-free mirror
+/// of [`AbortRecovery`] (which carries the surviving [`Process`] image),
+/// suitable for querying after the fact via
+/// [`World::migration_outcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// Precopy abort: the source copy never stopped running.
+    SourceKeptRunning,
+    /// Freeze-phase abort before detach: the frozen source copy resumed.
+    ResumedOnSource,
+    /// Post-detach abort: sockets reinstalled and process restored on the
+    /// source from the captured image; captured packets drained into it.
+    RestoredOnSource,
+    /// The source died too: only the captured image survived (kept in
+    /// [`World::lost_images`], cold-restartable elsewhere).
+    ImageOnly,
+    /// Nothing survives.
+    Lost,
+}
+
+impl From<&AbortRecovery> for Recovery {
+    fn from(r: &AbortRecovery) -> Recovery {
+        match r {
+            AbortRecovery::SourceKeptRunning => Recovery::SourceKeptRunning,
+            AbortRecovery::ResumedOnSource => Recovery::ResumedOnSource,
+            AbortRecovery::RestoredOnSource(_) => Recovery::RestoredOnSource,
+            AbortRecovery::ImageOnly(_) => Recovery::ImageOnly,
+            AbortRecovery::Lost => Recovery::Lost,
+        }
+    }
+}
+
+/// Terminal state of a migration, kept per [`MigId`] after the task is
+/// gone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MigrationOutcome {
+    /// The migration completed; its report is `World::reports[report]`.
+    Completed { report: usize },
+    /// The migration aborted in `phase` because of `reason`; its report
+    /// (with [`is_aborted`](dvelm_migrate::MigrationReport::is_aborted) set)
+    /// is also in `World::reports`.
+    Aborted {
+        phase: PhaseId,
+        reason: AbortReason,
+        recovery: Recovery,
+    },
+}
+
+impl MigrationOutcome {
+    /// Whether the migration completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, MigrationOutcome::Completed { .. })
+    }
+}
+
 /// One transmitted-frame record (the tcpdump of Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacketLogEntry {
@@ -79,6 +138,17 @@ pub struct World {
     migrating: HashSet<Pid>,
     next_mig: MigId,
     next_pid: u64,
+    /// Terminal state of every finished migration, by id.
+    outcomes: HashMap<MigId, MigrationOutcome>,
+    /// Process images orphaned by aborts whose source host died (sockets
+    /// lost, BLCR semantics); cold-restart fodder.
+    pub lost_images: Vec<Process>,
+    /// Hosts whose conductor hears no control messages until the instant
+    /// ([`Fault::CtrlBlackout`]).
+    ctrl_dark_until: HashMap<usize, SimTime>,
+    /// Monotonic stamp for `Event::AppTick` chains (see
+    /// [`Event::AppTick`]).
+    next_tick_gen: u64,
     /// Completed migration reports, derived from each task's recorder.
     pub reports: Vec<dvelm_migrate::MigrationReport>,
     /// Transmit log (when a filter is enabled).
@@ -103,6 +173,10 @@ impl World {
             migrating: HashSet::new(),
             next_mig: 1,
             next_pid: 1,
+            outcomes: HashMap::new(),
+            lost_images: Vec::new(),
+            ctrl_dark_until: HashMap::new(),
+            next_tick_gen: 0,
             reports: Vec::new(),
             packet_log: Vec::new(),
             log_port: None,
@@ -217,6 +291,7 @@ impl World {
         self.next_pid += 1;
         let process = Process::new(pid, name, text_pages, data_pages);
         let period = app.tick_period_us();
+        let gen = self.fresh_tick_gen();
         self.hosts[host].procs.insert(
             pid,
             ProcEntry {
@@ -224,12 +299,47 @@ impl World {
                 app,
                 suspended: false,
                 tick_period_us: period,
+                tick_gen: gen,
             },
         );
         let offset = self.rng.range_u64(0, period.max(1));
         self.sched
-            .schedule_after(offset, Event::AppTick { host, pid });
+            .schedule_after(offset, Event::AppTick { host, pid, gen });
         pid
+    }
+
+    /// A stamp for a new tick chain; every chain gets its own so events of
+    /// a replaced chain are recognizably stale.
+    fn fresh_tick_gen(&mut self) -> u64 {
+        self.next_tick_gen += 1;
+        self.next_tick_gen
+    }
+
+    /// Start a fresh real-time-loop chain for `pid` (after restore, resume
+    /// or restart), invalidating any still-scheduled ticks of older chains.
+    fn restart_ticks(&mut self, host: usize, pid: Pid) {
+        let gen = self.fresh_tick_gen();
+        let Some(entry) = self.hosts[host].procs.get_mut(&pid) else {
+            return;
+        };
+        entry.tick_gen = gen;
+        self.sched
+            .schedule_after(0, Event::AppTick { host, pid, gen });
+    }
+
+    /// Schedule reads draining whatever queued on `pid`'s sockets (after a
+    /// freeze ends, queued-up data does not announce itself again).
+    fn drain_proc_sockets(&mut self, host: usize, pid: Pid) {
+        let Some(entry) = self.hosts[host].procs.get(&pid) else {
+            return;
+        };
+        let socks: Vec<SockId> = entry.process.fds.sockets().map(|(_, s)| s).collect();
+        for sock in socks {
+            self.sched.schedule_after(
+                self.cfg.app_read_delay_us,
+                Event::AppRead { host, pid, sock },
+            );
+        }
     }
 
     /// Which host currently runs `pid`.
@@ -310,6 +420,9 @@ impl World {
         if src_host == dst_host {
             return None;
         }
+        if !self.hosts[src_host].alive || !self.hosts[dst_host].alive {
+            return None;
+        }
         // One migration per process at a time; the pid index makes the
         // duplicate check O(1) regardless of how many tasks are in flight.
         if !self.migrating.insert(pid) {
@@ -383,9 +496,20 @@ impl World {
     }
 
     /// Detach an empty server node from the fabric (it stops receiving
-    /// broadcast copies and leaves the switch). Panics if it still hosts
-    /// processes — drain first.
+    /// broadcast copies and leaves the switch). Migrations still targeting
+    /// the node are aborted first (their processes return to their
+    /// sources). Panics if it still hosts processes — drain first.
     pub fn detach_node(&mut self, host: usize) {
+        let mut migs: Vec<MigId> = self
+            .migrations
+            .iter()
+            .filter(|(_, t)| t.src == host || t.dst == host)
+            .map(|(m, _)| *m)
+            .collect();
+        migs.sort_unstable();
+        for m in migs {
+            self.abort_migration(m, AbortReason::NodeDetached);
+        }
         assert!(
             self.hosts[host].procs.is_empty(),
             "detach of a non-empty node; drain_node first"
@@ -412,8 +536,14 @@ impl World {
     }
 
     /// Crash a process: the process and all its sockets vanish from its
-    /// host (peers see silence, then retransmission timeouts).
+    /// host (peers see silence, then retransmission timeouts). A migration
+    /// in flight for the pid is aborted first, so engine-held state
+    /// (captures, in-flight sockets, peer rules) is cleaned up rather than
+    /// leaked.
     pub fn kill_process(&mut self, pid: Pid) -> bool {
+        if let Some(mig) = self.migration_of(pid) {
+            self.abort_migration(mig, AbortReason::ProcessKilled);
+        }
         let Some(h) = self.host_of(pid) else {
             return false;
         };
@@ -444,6 +574,7 @@ impl World {
         let pid = process.pid;
         self.next_pid = self.next_pid.max(pid.0 + 1);
         let period = app.tick_period_us();
+        let gen = self.fresh_tick_gen();
         self.hosts[host].procs.insert(
             pid,
             ProcEntry {
@@ -451,10 +582,237 @@ impl World {
                 app,
                 suspended: false,
                 tick_period_us: period,
+                tick_gen: gen,
             },
         );
-        self.sched.schedule_after(0, Event::AppTick { host, pid });
+        self.sched
+            .schedule_after(0, Event::AppTick { host, pid, gen });
         pid
+    }
+
+    // ------------------------------------------------------------------
+    // fault injection and abort
+    // ------------------------------------------------------------------
+
+    /// The in-flight migration of `pid`, if any.
+    pub fn migration_of(&self, pid: Pid) -> Option<MigId> {
+        self.migrations
+            .iter()
+            .find(|(_, t)| t.pid == pid)
+            .map(|(m, _)| *m)
+    }
+
+    /// Whether an in-flight migration is past its detach point (the point
+    /// of no free return: an abort now restores from the captured image
+    /// instead of resuming the still-hashed source copy). `None` once the
+    /// migration finished or if the id is unknown.
+    pub fn migration_past_detach(&self, mig: MigId) -> Option<bool> {
+        self.migrations.get(&mig).map(|t| t.engine.past_detach())
+    }
+
+    /// Terminal state of a finished migration (`None` while still in
+    /// flight or for unknown ids).
+    pub fn migration_outcome(&self, mig: MigId) -> Option<MigrationOutcome> {
+        self.outcomes.get(&mig).copied()
+    }
+
+    /// Schedule every entry of a fault plan as a world event.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        for (at, fault) in plan.into_entries() {
+            self.sched.schedule_at(at, Event::Fault { fault });
+        }
+    }
+
+    /// Apply one fault right now (scheduled faults route here too).
+    pub fn inject_fault(&mut self, fault: Fault) {
+        let now = self.now();
+        match fault {
+            Fault::NodeCrash { host } => self.crash_node(host),
+            Fault::DownlinkLoss {
+                host,
+                model,
+                for_us,
+            } => {
+                let node = self.hosts[host].stack.node;
+                if self.hosts[host].kind == HostKind::Client {
+                    // Clients sit behind the shared WAN access network; the
+                    // router models its loss on every client link.
+                    self.router.set_client_loss(model);
+                } else if let Some(link) = self.router.node_downlink_mut(node) {
+                    link.set_loss(model);
+                } else if let Some(link) = self.switch.downlink_mut(node) {
+                    link.set_loss(model);
+                }
+                if for_us > 0 && model != LossModel::None {
+                    self.sched.schedule_after(
+                        for_us,
+                        Event::Fault {
+                            fault: Fault::DownlinkLoss {
+                                host,
+                                model: LossModel::None,
+                                for_us: 0,
+                            },
+                        },
+                    );
+                }
+            }
+            Fault::TransferStall { pid } => {
+                if let Some(mig) = self.migration_of(pid) {
+                    self.abort_migration(mig, AbortReason::TransferStalled);
+                }
+            }
+            Fault::CaptureInstallFail { host } => {
+                self.hosts[host].stack.capture.arm_enable_failures(1);
+            }
+            Fault::RestoreFail { host } => {
+                self.hosts[host].stack.arm_install_failures(1);
+            }
+            Fault::CtrlBlackout { host, for_us } => {
+                self.ctrl_dark_until.insert(host, now + for_us);
+            }
+        }
+    }
+
+    /// A host dies abruptly: every migration touching it aborts with the
+    /// phase-appropriate recovery, its processes and conductor vanish, and
+    /// it leaves the fabric. Events already queued for it are discarded on
+    /// delivery.
+    pub fn crash_node(&mut self, host: usize) {
+        if !self.hosts[host].alive {
+            return;
+        }
+        // Dead before the aborts run, so the engine sees its stack as gone.
+        self.hosts[host].alive = false;
+        let mut migs: Vec<(MigId, AbortReason)> = self
+            .migrations
+            .iter()
+            .filter(|(_, t)| t.src == host || t.dst == host)
+            .map(|(m, t)| {
+                let reason = if t.src == host {
+                    AbortReason::SourceCrashed
+                } else {
+                    AbortReason::DestinationCrashed
+                };
+                (*m, reason)
+            })
+            .collect();
+        migs.sort_unstable_by_key(|(m, _)| *m);
+        for (m, reason) in migs {
+            self.abort_migration(m, reason);
+        }
+        self.hosts[host].procs.clear();
+        self.hosts[host].sock_owner.clear();
+        self.hosts[host].conductor = None;
+        let node = self.hosts[host].stack.node;
+        match self.hosts[host].kind {
+            HostKind::Server => {
+                self.router.detach_node(node);
+                self.switch.detach(node);
+            }
+            HostKind::Database => self.switch.detach(node),
+            // Client WAN links stay up; frames die at the dead host.
+            HostKind::Client => {}
+        }
+    }
+
+    /// Abort an in-flight migration: the engine emits its compensating
+    /// effects (rollback, resume or restore-on-source, see the engine's
+    /// module docs) and the terminal [`Effect::Aborted`], which routes
+    /// through the same dispatch path as every other effect. Returns false
+    /// for unknown/finished ids.
+    pub fn abort_migration(&mut self, mig: MigId, reason: AbortReason) -> bool {
+        let now = self.now();
+        let Some(task) = self.migrations.get_mut(&mig) else {
+            return false;
+        };
+        let (src, dst, pid) = (task.src, task.dst, task.pid);
+        let mut buf = EffectBuf::new();
+        {
+            let (lo, hi) = if src < dst { (src, dst) } else { (dst, src) };
+            let (left, right) = self.hosts.split_at_mut(hi);
+            let (src_host, dst_host) = if src < dst {
+                (&mut left[lo], &mut right[0])
+            } else {
+                (&mut right[0], &mut left[lo])
+            };
+            let src_stack = src_host.alive.then_some(&mut src_host.stack);
+            let dst_stack = dst_host.alive.then_some(&mut dst_host.stack);
+            task.engine.abort(
+                reason,
+                AbortIo {
+                    now,
+                    src_stack,
+                    dst_stack,
+                },
+                &mut buf,
+            );
+        }
+        let effects = buf.take();
+        for (at, effect) in &effects {
+            task.recorder.observe(*at, effect);
+        }
+        if let Some(log) = &mut self.effect_log {
+            for (at, effect) in &effects {
+                log.push(render_effect(mig, *at, effect));
+            }
+        }
+        for (_, effect) in effects {
+            self.apply_effect(mig, src, dst, pid, effect);
+        }
+        true
+    }
+
+    /// Terminal bookkeeping of an abort, driven by [`Effect::Aborted`]
+    /// (always the migration's last effect).
+    fn finish_abort(&mut self, mig: MigId, src: usize, pid: Pid, aborted: MigrationAborted) {
+        let MigrationAborted {
+            phase,
+            reason,
+            recovery,
+        } = aborted;
+        let task = self
+            .migrations
+            .remove(&mig)
+            .expect("aborting an active migration");
+        self.migrating.remove(&pid);
+        let recovery_tag = Recovery::from(&recovery);
+        match recovery {
+            // The source copy never stopped (precopy abort) or was resumed
+            // via Effect::ResumeApp (which already restarted its ticks).
+            AbortRecovery::SourceKeptRunning | AbortRecovery::ResumedOnSource => {}
+            AbortRecovery::RestoredOnSource(process) => {
+                // The rebuilt process: its fd table names the sockets the
+                // engine reinstalled on the source stack.
+                if let Some(entry) = self.hosts[src].procs.get_mut(&pid) {
+                    entry.process = process;
+                    entry.suspended = false;
+                }
+                self.hosts[src].unindex_proc_sockets(pid);
+                self.hosts[src].reindex_proc_sockets(pid);
+                self.restart_ticks(src, pid);
+                self.drain_proc_sockets(src, pid);
+            }
+            AbortRecovery::ImageOnly(process) => self.lost_images.push(process),
+            AbortRecovery::Lost => {}
+        }
+        self.reports.push(task.recorder.into_report());
+        self.outcomes.insert(
+            mig,
+            MigrationOutcome::Aborted {
+                phase,
+                reason,
+                recovery: recovery_tag,
+            },
+        );
+        // The sender-side conductor learns of the failure (blacklists the
+        // destination, schedules the retry with backoff).
+        let now = self.now();
+        if self.hosts[src].alive {
+            if let Some(c) = self.hosts[src].conductor.as_mut() {
+                let effects = c.on_migration_finished(now, false);
+                self.apply_lb_effects(src, effects);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -480,6 +838,23 @@ impl World {
     }
 
     fn dispatch(&mut self, event: Event) {
+        // Events addressed to a crashed host die at its doorstep.
+        let target_host = match &event {
+            Event::PacketArrival { host, .. }
+            | Event::SockTimer { host, .. }
+            | Event::AppTick { host, .. }
+            | Event::AppRead { host, .. }
+            | Event::ConductorTick { host }
+            | Event::LbMessage { host, .. }
+            | Event::InstallXlate { host, .. }
+            | Event::RemoveXlate { host, .. } => Some(*host),
+            Event::MigrationStep { .. } | Event::Fault { .. } => None,
+        };
+        if let Some(h) = target_host {
+            if !self.hosts[h].alive {
+                return;
+            }
+        }
         match event {
             Event::PacketArrival { host, seg } => {
                 let now = self.now();
@@ -491,7 +866,7 @@ impl World {
                 let fx = self.hosts[host].stack.on_timer(sock, gen, now);
                 self.apply_effects(host, fx);
             }
-            Event::AppTick { host, pid } => self.on_app_tick(host, pid),
+            Event::AppTick { host, pid, gen } => self.on_app_tick(host, pid, gen),
             Event::AppRead { host, pid, sock } => self.on_app_read(host, pid, sock),
             Event::ConductorTick { host } => self.on_conductor_tick(host),
             Event::LbMessage { host, from, msg } => self.on_lb_message(host, from, msg),
@@ -499,6 +874,14 @@ impl World {
             Event::InstallXlate { host, rule } => {
                 self.hosts[host].stack.xlate.install(rule);
             }
+            Event::RemoveXlate { host, rule } => {
+                self.hosts[host].stack.xlate.remove(
+                    rule.peer_local,
+                    rule.old_remote_ip,
+                    rule.remote_port,
+                );
+            }
+            Event::Fault { fault } => self.inject_fault(fault),
         }
     }
 
@@ -534,17 +917,20 @@ impl World {
         Some(r)
     }
 
-    fn on_app_tick(&mut self, host: usize, pid: Pid) {
+    fn on_app_tick(&mut self, host: usize, pid: Pid, gen: u64) {
         let Some(entry) = self.hosts[host].procs.get(&pid) else {
             return; // process moved away or exited; its new host rescheduled
         };
+        if entry.tick_gen != gen {
+            return; // stale chain: the process was resumed/restarted since
+        }
         if entry.suspended {
             return; // frozen: the tick chain resumes after restore
         }
         let period = entry.tick_period_us;
         self.with_app(host, pid, |app, ctx| app.on_tick(ctx));
         self.sched
-            .schedule_after(period, Event::AppTick { host, pid });
+            .schedule_after(period, Event::AppTick { host, pid, gen });
     }
 
     fn on_app_read(&mut self, host: usize, pid: Pid, sock: SockId) {
@@ -615,6 +1001,10 @@ impl World {
         if self.hosts[host].conductor.is_none() {
             return;
         }
+        // A control blackout (Fault::CtrlBlackout) swallows the message.
+        if self.ctrl_dark_until.get(&host).is_some_and(|&u| now < u) {
+            return;
+        }
         let local = self.local_load(host, now);
         let effects = self.hosts[host]
             .conductor
@@ -649,6 +1039,11 @@ impl World {
                     }
                 }
                 LbEffect::Send(dest, msg) => {
+                    // The destination may have crashed or left (e.g. MigDone
+                    // toward a dead receiver): the frame goes dark.
+                    if !self.switch.is_attached(dest) {
+                        continue;
+                    }
                     if let Some(at) =
                         self.switch
                             .unicast(now, node, dest, msg.wire_bytes(), &mut self.rng)
@@ -665,11 +1060,24 @@ impl World {
                         }
                     }
                 }
-                LbEffect::StartMigration { pid, dest } => {
+                LbEffect::StartMigration { pid, dest, prefer } => {
                     let Some(dst_host) = self.host_by_node(dest) else {
                         continue;
                     };
-                    let strategy = self.cfg.strategy;
+                    // Map the conductor's preference onto the configured
+                    // strategy, never exceeding it: retries degrade toward
+                    // per-socket iteration.
+                    let strategy = match prefer {
+                        StrategyPreference::Incremental => self.cfg.strategy,
+                        StrategyPreference::Collective => {
+                            if self.cfg.strategy == Strategy::Iterative {
+                                Strategy::Iterative
+                            } else {
+                                Strategy::Collective
+                            }
+                        }
+                        StrategyPreference::Iterative => Strategy::Iterative,
+                    };
                     if self.begin_migration(pid, dst_host, strategy).is_none() {
                         // Could not start (pid vanished): release both sides.
                         if let Some(c) = self.hosts[host].conductor.as_mut() {
@@ -785,10 +1193,43 @@ impl World {
                 };
                 self.apply_stack_effect(host, effect);
             }
+            Effect::ResumeApp => {
+                if let Some(entry) = self.hosts[src].procs.get_mut(&pid) {
+                    entry.suspended = false;
+                }
+                // The old tick chain died at suspension; start a new one and
+                // drain whatever queued on the sockets during the freeze.
+                self.restart_ticks(src, pid);
+                self.drain_proc_sockets(src, pid);
+            }
+            Effect::RevokeXlate { peer, rule } => {
+                // Mirror of SendXlate: recall the rule from whichever host
+                // got it. One extra microsecond on top of the control
+                // latency guarantees the revoke lands after a simultaneous
+                // install of the same rule.
+                let owner = self.hosts.iter().position(|h| {
+                    h.stack.has_established(
+                        rule.peer_local,
+                        dvelm_net::SockAddr {
+                            ip: rule.old_remote_ip,
+                            port: rule.remote_port,
+                        },
+                    )
+                });
+                let target = owner.or_else(|| self.host_by_node(peer));
+                if let Some(h) = target {
+                    self.sched.schedule_after(
+                        self.cfg.ctrl_latency_us + 1,
+                        Event::RemoveXlate { host: h, rule },
+                    );
+                }
+            }
             Effect::Complete(complete) => self.finish_migration(mig, complete.process),
+            Effect::Aborted(aborted) => self.finish_abort(mig, src, pid, aborted),
             // Trace-only effects: the recorder already folded them.
             Effect::PhaseEntered(_)
             | Effect::InstallCapture { .. }
+            | Effect::RemoveCapture { .. }
             | Effect::SocketDetached { .. }
             | Effect::Shipped { .. }
             | Effect::PacketReinjected => {}
@@ -824,31 +1265,22 @@ impl World {
                 app: old.app,
                 suspended: false,
                 tick_period_us,
+                tick_gen: old.tick_gen,
             },
         );
         self.hosts[dst].reindex_proc_sockets(pid);
         self.reports.push(recorder.into_report());
+        self.outcomes.insert(
+            mig,
+            MigrationOutcome::Completed {
+                report: self.reports.len() - 1,
+            },
+        );
 
         // Resume the real-time loop on the destination and drain anything
         // that queued up during the freeze.
-        self.sched
-            .schedule_after(0, Event::AppTick { host: dst, pid });
-        let socks: Vec<SockId> = self.hosts[dst].procs[&pid]
-            .process
-            .fds
-            .sockets()
-            .map(|(_, s)| s)
-            .collect();
-        for sock in socks {
-            self.sched.schedule_after(
-                self.cfg.app_read_delay_us,
-                Event::AppRead {
-                    host: dst,
-                    pid,
-                    sock,
-                },
-            );
-        }
+        self.restart_ticks(dst, pid);
+        self.drain_proc_sockets(dst, pid);
 
         // Tell the sender-side conductor (which releases the receiver via
         // MigDone).
@@ -979,6 +1411,14 @@ impl World {
 fn render_effect(mig: MigId, at: SimTime, effect: &Effect) -> String {
     match effect {
         Effect::Complete(_) => format!("{}us mig={} Complete", at.as_micros(), mig),
+        Effect::Aborted(a) => format!(
+            "{}us mig={} Aborted {{ phase: {:?}, reason: {}, recovery: {} }}",
+            at.as_micros(),
+            mig,
+            a.phase,
+            a.reason.label(),
+            a.recovery.label(),
+        ),
         e => format!("{}us mig={} {:?}", at.as_micros(), mig, e),
     }
 }

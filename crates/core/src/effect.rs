@@ -26,13 +26,29 @@
 //! * [`Effect::Complete`] is always the final effect of a migration, after
 //!   every destination-side stack effect of the restore step.
 //!
+//! On an abort ([`MigrationEngine::abort`](crate::MigrationEngine::abort) or
+//! a failure detected inside a step) the compensating effects follow the
+//! same discipline:
+//!
+//! * [`Effect::RevokeXlate`] requests precede [`Effect::ResumeApp`] so a
+//!   peer rule removal is already in flight before the application can send
+//!   again (the owner schedules removal one control latency later, like
+//!   installation);
+//! * [`Effect::ResumeApp`] precedes any source-side [`Effect::Stack`]
+//!   effects of the rollback, mirroring [`Effect::SuspendApp`];
+//! * [`Effect::Aborted`] is always the final effect of an aborted
+//!   migration — a migration emits exactly one of `Complete` / `Aborted`,
+//!   never both.
+//!
 //! Purely observational effects ([`Effect::PhaseEntered`],
-//! [`Effect::InstallCapture`], [`Effect::Shipped`],
-//! [`Effect::SocketDetached`], [`Effect::PacketReinjected`]) require no
-//! owner action; they exist for the trace spine.
+//! [`Effect::InstallCapture`], [`Effect::RemoveCapture`],
+//! [`Effect::Shipped`], [`Effect::SocketDetached`],
+//! [`Effect::PacketReinjected`]) require no owner action; they exist for
+//! the trace spine.
 
 use crate::engine::MigrationComplete;
 use dvelm_net::NodeId;
+use dvelm_proc::Process;
 use dvelm_sim::SimTime;
 use dvelm_stack::capture::CaptureKey;
 use dvelm_stack::xlate::XlateRule;
@@ -109,6 +125,85 @@ impl PhaseId {
     }
 }
 
+/// Why a migration was aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The destination node crashed mid-migration.
+    DestinationCrashed,
+    /// The source node crashed mid-migration.
+    SourceCrashed,
+    /// The transfer link partitioned or stalled past the deadline.
+    TransferStalled,
+    /// A capture entry could not be enabled on the destination stack.
+    CaptureInstallFailed,
+    /// A socket could not be installed on the destination during restore.
+    RestoreFailed,
+    /// The migrating process was killed while the migration was in flight.
+    ProcessKilled,
+    /// The source or destination node was administratively detached.
+    NodeDetached,
+}
+
+impl AbortReason {
+    /// Human-readable label, stable across releases.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::DestinationCrashed => "destination crashed",
+            AbortReason::SourceCrashed => "source crashed",
+            AbortReason::TransferStalled => "transfer stalled",
+            AbortReason::CaptureInstallFailed => "capture install failed",
+            AbortReason::RestoreFailed => "restore failed",
+            AbortReason::ProcessKilled => "process killed",
+            AbortReason::NodeDetached => "node detached",
+        }
+    }
+}
+
+/// What survives an aborted migration. The variants are ordered from
+/// cheapest (nothing ever stopped) to total loss.
+#[derive(Debug)]
+pub enum AbortRecovery {
+    /// Abort landed during precopy: the source copy never stopped running.
+    /// Shipped state is discarded; nothing was installed anywhere.
+    SourceKeptRunning,
+    /// The application was suspended (freeze begun) but its sockets never
+    /// left the source stack: the owner resumes the threads in place.
+    ResumedOnSource,
+    /// Sockets had already been detached; the process was rebuilt on the
+    /// source from the captured image, its sockets reinstalled there, and
+    /// captured packets re-injected. The owner re-adopts it on the source.
+    RestoredOnSource(Process),
+    /// The source is gone too: only the captured image survives. The owner
+    /// may cold-restart it elsewhere (sockets are lost, BLCR semantics).
+    ImageOnly(Process),
+    /// Nothing survives (abort before any image was captured, source dead).
+    Lost,
+}
+
+impl AbortRecovery {
+    /// Human-readable label, stable across releases.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AbortRecovery::SourceKeptRunning => "source kept running",
+            AbortRecovery::ResumedOnSource => "resumed on source",
+            AbortRecovery::RestoredOnSource(_) => "restored on source",
+            AbortRecovery::ImageOnly(_) => "image only",
+            AbortRecovery::Lost => "lost",
+        }
+    }
+}
+
+/// Final result of an aborted migration, carried by [`Effect::Aborted`].
+#[derive(Debug)]
+pub struct MigrationAborted {
+    /// The protocol phase the migration died in.
+    pub phase: PhaseId,
+    /// Why it was aborted.
+    pub reason: AbortReason,
+    /// What survived, and where.
+    pub recovery: AbortRecovery,
+}
+
 /// One side effect of a migration step.
 #[derive(Debug)]
 pub enum Effect {
@@ -146,6 +241,23 @@ pub enum Effect {
     /// timestamp is the report's `resumed_at`. The owner moves the restored
     /// process (and its application state) to the destination node.
     Complete(MigrationComplete),
+    /// Rollback: the suspended application must resume executing on the
+    /// source (the counterpart of [`Effect::SuspendApp`]). Emitted at most
+    /// once per migration, and only on an abort whose recovery is
+    /// [`AbortRecovery::ResumedOnSource`].
+    ResumeApp,
+    /// Rollback: a capture entry was disabled on the destination stack
+    /// (the counterpart of [`Effect::InstallCapture`]). Trace-only.
+    RemoveCapture { key: CaptureKey },
+    /// Rollback: ask the in-cluster peer to remove a previously delivered
+    /// translation rule (the counterpart of [`Effect::SendXlate`]); removal
+    /// should happen one control-message latency later.
+    RevokeXlate { peer: NodeId, rule: XlateRule },
+    /// The migration aborted. Always the last effect of an aborted
+    /// migration (mutually exclusive with [`Effect::Complete`]); its
+    /// timestamp closes the trace. The owner acts on
+    /// [`MigrationAborted::recovery`].
+    Aborted(MigrationAborted),
 }
 
 /// Consumer of the ordered, timestamped effect stream of one migration.

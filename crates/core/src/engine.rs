@@ -35,14 +35,39 @@
 //!                  re-injected, threads resumed — freeze ends
 //! ```
 //!
+//! An abort ([`MigrationEngine::abort`], or a capture/restore failure the
+//! engine detects itself) replaces the remaining phases with compensating
+//! effects, phase-dependent (§III's free-rollback property: until the
+//! freeze-phase commit the source copy is still authoritative):
+//!
+//! ```text
+//! aborted in       effects emitted (in order)
+//! ──────────       ──────────────────────────
+//! precopy          Aborted(SourceKeptRunning) — the app never stopped;
+//!                  shipped state is discarded, nothing was installed
+//! FreezeCapture    [RemoveCapture…], [RevokeXlate…], ResumeApp,
+//!                  Aborted(ResumedOnSource) — captures disabled on the
+//!                  destination, peer rules recalled, threads resumed on
+//!                  the still-intact source sockets
+//! FreezeDetach /   [RevokeXlate…], [Stack(Src)…], [RemoveCapture,
+//! Restore          [PacketReinjected, Stack(Src)…]…],
+//!                  Aborted(RestoredOnSource) — sockets reinstalled on the
+//!                  source from the in-flight copies, captured packets
+//!                  re-injected there, threads resumed
+//! (source dead)    Aborted(Lost) pre-detach, Aborted(ImageOnly) after —
+//!                  only the captured image survives (cold-restart fodder)
+//! ```
+//!
 //! The engine keeps no measurement state of its own: a
 //! `dvelm_metrics::TraceRecorder` consuming the same stream derives the
 //! `MigrationReport` (freeze time, byte classes, phase log) from the effects
 //! above. `SuspendApp`'s timestamp is `frozen_at`; `Complete`'s is
-//! `resumed_at`.
+//! `resumed_at`; `Aborted`'s closes the trace of a failed migration.
 
 use crate::cost::CostModel;
-use crate::effect::{ByteClass, Effect, EffectSink, PhaseId, Side};
+use crate::effect::{
+    AbortReason, AbortRecovery, ByteClass, Effect, EffectSink, MigrationAborted, PhaseId, Side,
+};
 use crate::strategy::Strategy;
 use dvelm_ckpt::{
     apply_update, full_checkpoint, incremental_update, restore_process, IncrementalTracker,
@@ -70,6 +95,19 @@ pub struct StepIo<'a> {
     pub proc: &'a mut Process,
 }
 
+/// Mutable world access for an abort. Unlike [`StepIo`], either stack may
+/// be gone (`None` signals a dead host) and the source process is not
+/// touched directly — thread resumption travels through
+/// [`Effect::ResumeApp`] so the owner controls tick rescheduling.
+pub struct AbortIo<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The source node's stack, if that node is still alive.
+    pub src_stack: Option<&'a mut HostStack>,
+    /// The destination node's stack, if that node is still alive.
+    pub dst_stack: Option<&'a mut HostStack>,
+}
+
 /// What the owner must do after a step. Everything else — suspension,
 /// translation requests, stack effects, completion — arrives through the
 /// [`EffectSink`] passed to [`MigrationEngine::step`].
@@ -95,6 +133,7 @@ enum Phase {
     Detach,
     Restore,
     Done,
+    Aborted,
 }
 
 /// The live-migration engine.
@@ -126,6 +165,13 @@ pub struct MigrationEngine {
     /// *other* migrated endpoints), carried along so zone↔zone connections
     /// survive even when both ends migrate.
     carried_rules: Vec<XlateRule>,
+    /// Translation rules already sent to peers (replayed as
+    /// [`Effect::RevokeXlate`] on abort).
+    sent_rules: Vec<(NodeId, XlateRule)>,
+    /// Self-rules the *source* held for these sockets (from an earlier
+    /// migration onto it), taken at detach so restore-on-source can
+    /// reinstate them.
+    src_self_rules: Vec<SelfXlateRule>,
     src_jiffies_at_detach: Jiffies,
 }
 
@@ -156,6 +202,8 @@ impl MigrationEngine {
             in_flight: Vec::new(),
             self_rules: Vec::new(),
             carried_rules: Vec::new(),
+            sent_rules: Vec::new(),
+            src_self_rules: Vec::new(),
             src_jiffies_at_detach: Jiffies(0),
         }
     }
@@ -163,6 +211,23 @@ impl MigrationEngine {
     /// Whether the migration has completed.
     pub fn is_done(&self) -> bool {
         self.phase == Phase::Done
+    }
+
+    /// Whether the migration was aborted.
+    pub fn is_aborted(&self) -> bool {
+        self.phase == Phase::Aborted
+    }
+
+    /// Whether the migration is over, one way or the other.
+    pub fn is_finished(&self) -> bool {
+        self.is_done() || self.is_aborted()
+    }
+
+    /// Whether the source sockets have already been detached — the point of
+    /// no free return: an abort after this restores from the captured image
+    /// instead of simply resuming the source copy.
+    pub fn past_detach(&self) -> bool {
+        matches!(self.phase, Phase::Restore | Phase::Done)
     }
 
     /// Execute the current phase, emitting its effects into `sink`. The
@@ -175,8 +240,177 @@ impl MigrationEngine {
             Phase::CaptureRequest => self.step_capture_request(io, sink),
             Phase::Detach => self.step_detach(io, sink),
             Phase::Restore => self.step_restore(io, sink),
-            Phase::Done => StepPlan::default(),
+            Phase::Done | Phase::Aborted => StepPlan::default(),
         }
+    }
+
+    /// Abort the migration, emitting the phase-dependent compensating
+    /// effects (see the module docs) and finally [`Effect::Aborted`]. Safe
+    /// to call in any phase; a no-op once the migration is finished.
+    pub fn abort(&mut self, reason: AbortReason, io: AbortIo<'_>, sink: &mut dyn EffectSink) {
+        let AbortIo {
+            now,
+            src_stack,
+            dst_stack,
+        } = io;
+        let (phase, recovery) = match self.phase {
+            Phase::Done | Phase::Aborted => return,
+            // Precopy: the source copy never stopped; just drop the staged
+            // image. Nothing was installed anywhere yet.
+            Phase::Start | Phase::PrecopyIter | Phase::CaptureRequest => {
+                let phase = if self.phase == Phase::Start {
+                    PhaseId::PrecopyFull
+                } else {
+                    PhaseId::PrecopyIter
+                };
+                self.staged = None;
+                let recovery = if src_stack.is_some() {
+                    AbortRecovery::SourceKeptRunning
+                } else {
+                    AbortRecovery::Lost
+                };
+                (phase, recovery)
+            }
+            // Capture step ran: app frozen, captures enabled on the
+            // destination, rules sent — but sockets are still hashed on the
+            // source. Tear the remote state down and resume in place.
+            Phase::Detach => {
+                self.rollback_remote_state(now, dst_stack, sink);
+                self.staged = None;
+                self.self_rules.clear();
+                let recovery = if src_stack.is_some() {
+                    sink.emit(now, Effect::ResumeApp);
+                    AbortRecovery::ResumedOnSource
+                } else {
+                    AbortRecovery::Lost
+                };
+                (PhaseId::FreezeCapture, recovery)
+            }
+            // Detach ran: sockets are in flight, the source holds nothing.
+            // Rebuild on the source from the captured image if it lives.
+            Phase::Restore => {
+                let recovery = self.abort_restore(now, src_stack, dst_stack, sink);
+                (PhaseId::FreezeDetach, recovery)
+            }
+        };
+        self.phase = Phase::Aborted;
+        sink.emit(
+            now,
+            Effect::Aborted(MigrationAborted {
+                phase,
+                reason,
+                recovery,
+            }),
+        );
+    }
+
+    /// Recall translation rules from peers and (if the destination lives)
+    /// disable its capture entries, discarding anything queued.
+    fn rollback_remote_state(
+        &mut self,
+        now: SimTime,
+        dst_stack: Option<&mut HostStack>,
+        sink: &mut dyn EffectSink,
+    ) {
+        for (peer, rule) in self.sent_rules.drain(..) {
+            sink.emit(now, Effect::RevokeXlate { peer, rule });
+        }
+        if let Some(dst) = dst_stack {
+            for key in self.capture_keys.drain(..) {
+                dst.capture.disable_and_drain(&key);
+                sink.emit(now, Effect::RemoveCapture { key });
+            }
+        } else {
+            self.capture_keys.clear();
+        }
+    }
+
+    /// Post-detach abort: reinstall the in-flight sockets on the source,
+    /// drain the destination captures into it, resume the staged process.
+    fn abort_restore(
+        &mut self,
+        now: SimTime,
+        src_stack: Option<&mut HostStack>,
+        mut dst_stack: Option<&mut HostStack>,
+        sink: &mut dyn EffectSink,
+    ) -> AbortRecovery {
+        for (peer, rule) in self.sent_rules.drain(..) {
+            sink.emit(now, Effect::RevokeXlate { peer, rule });
+        }
+        self.self_rules.clear();
+        let Some(src) = src_stack else {
+            // Source gone too: discard the remote residue; only the image
+            // survives (its sockets are lost — BLCR semantics).
+            if let Some(dst) = dst_stack.as_deref_mut() {
+                for key in self.capture_keys.drain(..) {
+                    dst.capture.disable_and_drain(&key);
+                    sink.emit(now, Effect::RemoveCapture { key });
+                }
+            } else {
+                self.capture_keys.clear();
+            }
+            self.in_flight.clear();
+            return match self.staged.take() {
+                Some(img) => AbortRecovery::ImageOnly(img),
+                None => AbortRecovery::Lost,
+            };
+        };
+
+        let mut staged = self
+            .staged
+            .take()
+            .expect("staged process exists past detach");
+        // The sockets left the source at `src_jiffies_at_detach`; shift
+        // their timestamps by the source time that passed since (§V-C1
+        // applied homeward).
+        let delta = src.jiffies(now).delta(self.src_jiffies_at_detach);
+        for (fd, mut sock) in self.in_flight.drain(..) {
+            sock.apply_jiffies_delta(delta);
+            let (sid, fx) = src.install_socket(sock, now);
+            for effect in fx {
+                sink.emit(
+                    now,
+                    Effect::Stack {
+                        side: Side::Src,
+                        effect,
+                    },
+                );
+            }
+            staged.fds.insert_at(fd, dvelm_proc::FdEntry::Socket(sid));
+        }
+        // Reinstate the self-rules the source held for these sockets from
+        // an earlier migration onto it, and this process's view of other
+        // migrated peers.
+        for rule in self.src_self_rules.drain(..) {
+            src.xlate.install_self(rule);
+        }
+        for rule in self.carried_rules.drain(..) {
+            src.xlate.install(rule);
+        }
+        // Packets captured on the destination while the sockets were in
+        // transit are re-injected on the source — nothing is dropped.
+        if let Some(dst) = dst_stack {
+            for key in self.capture_keys.drain(..) {
+                let segs = dst.capture.disable_and_drain(&key);
+                sink.emit(now, Effect::RemoveCapture { key });
+                for seg in segs {
+                    sink.emit(now, Effect::PacketReinjected);
+                    for effect in src.reinject(seg, now) {
+                        sink.emit(
+                            now,
+                            Effect::Stack {
+                                side: Side::Src,
+                                effect,
+                            },
+                        );
+                    }
+                }
+            }
+        } else {
+            self.capture_keys.clear();
+        }
+        staged.resume_all();
+        AbortRecovery::RestoredOnSource(staged)
     }
 
     // ------------------------------------------------------------------
@@ -320,30 +554,31 @@ impl MigrationEngine {
         // round-trips are accounted in the detach phase.)
         self.capture_keys.clear();
         self.self_rules.clear();
+        let mut install_failed = false;
         for (_, _, sock) in Self::migratable_sockets(io.proc, io.src_stack) {
             let local = sock.local();
             let key = match sock.remote() {
                 Some(remote) => CaptureKey::connected(remote, local.port),
                 None => CaptureKey::any_remote(local.port),
             };
+            if !io.dst_stack.capture.try_enable(key, io.now) {
+                install_failed = true;
+                break;
+            }
             self.capture_keys.push(key);
-            io.dst_stack.capture.enable(key, io.now);
             sink.emit(io.now, Effect::InstallCapture { key });
 
             // In-cluster connection: the peer needs a translation rule and
             // the destination a self-rule (§III-C, §V-D).
             if let Some(remote) = sock.remote() {
                 if let Some(peer_node) = remote.ip.local_host() {
+                    let rule = XlateRule::new(remote, local.ip, io.dst_stack.local_ip, local.port);
+                    self.sent_rules.push((peer_node, rule));
                     sink.emit(
                         io.now,
                         Effect::SendXlate {
                             peer: peer_node,
-                            rule: XlateRule::new(
-                                remote,
-                                local.ip,
-                                io.dst_stack.local_ip,
-                                local.port,
-                            ),
+                            rule,
                         },
                     );
                     self.self_rules.push(SelfXlateRule {
@@ -362,6 +597,36 @@ impl MigrationEngine {
                     effect,
                 },
             );
+        }
+
+        if install_failed {
+            // A capture hook the destination refused means packets would be
+            // lost during detach: the migration cannot proceed safely. Roll
+            // the remote state back and resume in place — the source
+            // sockets were never touched.
+            self.staged = None;
+            self.self_rules.clear();
+            for (peer, rule) in self.sent_rules.drain(..) {
+                sink.emit(io.now, Effect::RevokeXlate { peer, rule });
+            }
+            for key in self.capture_keys.drain(..) {
+                io.dst_stack.capture.disable_and_drain(&key);
+                sink.emit(io.now, Effect::RemoveCapture { key });
+            }
+            sink.emit(io.now, Effect::ResumeApp);
+            io.proc.resume_all();
+            self.phase = Phase::Aborted;
+            sink.emit(
+                io.now,
+                Effect::Aborted(MigrationAborted {
+                    phase: PhaseId::FreezeCapture,
+                    reason: AbortReason::CaptureInstallFailed,
+                    recovery: AbortRecovery::ResumedOnSource,
+                }),
+            );
+            return StepPlan {
+                next_step_after_us: None,
+            };
         }
 
         let n = self.capture_keys.len() as u64;
@@ -410,10 +675,12 @@ impl MigrationEngine {
                 .src_stack
                 .detach_socket(sid)
                 .expect("socket listed in fd table exists");
-            // Remove any destination-side rules this host held for it (no
-            // residual dependencies on re-migration), and carry along its
-            // view of other migrated peers.
-            io.src_stack.xlate.remove_self(sock.local());
+            // Take any destination-side rules this host held for it (no
+            // residual dependencies on re-migration; kept around so an
+            // abort can reinstate them), and carry along its view of other
+            // migrated peers.
+            self.src_self_rules
+                .extend(io.src_stack.xlate.take_self_rules_for(sock.local()));
             self.carried_rules
                 .extend(io.src_stack.xlate.take_rules_for(sock.local()));
             let parked_nonempty = match &sock {
@@ -484,21 +751,66 @@ impl MigrationEngine {
             .jiffies(io.now)
             .delta(self.src_jiffies_at_detach);
 
-        for (fd, mut sock) in self.in_flight.drain(..) {
+        let mut installed: Vec<(Fd, SockId)> = Vec::new();
+        let mut failure: Option<(Fd, Socket)> = None;
+        let mut remaining = std::mem::take(&mut self.in_flight).into_iter();
+        for (fd, mut sock) in remaining.by_ref() {
             sock.apply_jiffies_delta(delta);
-            let (sid, fx) = io.dst_stack.install_socket(sock, io.now);
-            for effect in fx {
-                sink.emit(
-                    io.now,
-                    Effect::Stack {
-                        side: Side::Dst,
-                        effect,
-                    },
-                );
+            match io.dst_stack.try_install_socket(sock, io.now) {
+                Ok((sid, fx)) => {
+                    for effect in fx {
+                        sink.emit(
+                            io.now,
+                            Effect::Stack {
+                                side: Side::Dst,
+                                effect,
+                            },
+                        );
+                    }
+                    installed.push((fd, sid));
+                }
+                Err(mut sock) => {
+                    sock.apply_jiffies_delta(-delta);
+                    failure = Some((fd, sock));
+                    break;
+                }
             }
-            // Reattach "to the right file descriptor of the process": the
-            // BLCR-restored fd table has these slots empty (sockets were
-            // omitted from the image).
+        }
+        if let Some((fd, sock)) = failure {
+            // A socket the destination cannot rehash strands the whole
+            // restore: unwind the partial install (reversing the timestamp
+            // shift) and fall back to the source, which is still alive.
+            let mut back: Vec<(Fd, Socket)> = Vec::new();
+            for (fd, sid) in installed {
+                let mut sock = io
+                    .dst_stack
+                    .detach_socket(sid)
+                    .expect("socket installed moments ago exists");
+                sock.apply_jiffies_delta(-delta);
+                back.push((fd, sock));
+            }
+            back.push((fd, sock));
+            back.extend(remaining);
+            self.in_flight = back;
+            self.staged = Some(staged);
+            let recovery = self.abort_restore(io.now, Some(io.src_stack), Some(io.dst_stack), sink);
+            self.phase = Phase::Aborted;
+            sink.emit(
+                io.now,
+                Effect::Aborted(MigrationAborted {
+                    phase: PhaseId::Restore,
+                    reason: AbortReason::RestoreFailed,
+                    recovery,
+                }),
+            );
+            return StepPlan {
+                next_step_after_us: None,
+            };
+        }
+        // Reattach "to the right file descriptor of the process": the
+        // BLCR-restored fd table has these slots empty (sockets were
+        // omitted from the image).
+        for (fd, sid) in installed {
             staged.fds.insert_at(fd, dvelm_proc::FdEntry::Socket(sid));
         }
         for rule in self.self_rules.drain(..) {

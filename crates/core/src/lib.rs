@@ -51,8 +51,11 @@ pub mod report;
 pub mod strategy;
 
 pub use cost::CostModel;
-pub use effect::{ByteClass, Effect, EffectBuf, EffectSink, PhaseId, Side};
-pub use engine::{MigrationComplete, MigrationEngine, StepIo, StepPlan};
+pub use effect::{
+    AbortReason, AbortRecovery, ByteClass, Effect, EffectBuf, EffectSink, MigrationAborted,
+    PhaseId, Side,
+};
+pub use engine::{AbortIo, MigrationComplete, MigrationEngine, StepIo, StepPlan};
 pub use model::{predict_freeze_us, predict_total_us, WorkloadProfile};
 pub use report::MigrationReport;
 pub use strategy::Strategy;

@@ -1,5 +1,6 @@
 //! Per-migration measurement record — the numbers behind Fig. 4, 5b and 5c.
 
+use crate::effect::{AbortReason, PhaseId};
 use crate::strategy::Strategy;
 use dvelm_proc::Pid;
 use dvelm_sim::SimTime;
@@ -40,6 +41,10 @@ pub struct MigrationReport {
     /// Protocol-phase entry instants, in order — the Fig. 3 timeline of this
     /// particular migration.
     pub phase_log: Vec<(&'static str, SimTime)>,
+    /// `Some((phase, reason))` if the migration was aborted rather than
+    /// completed; `resumed_at` then records the rollback instant, and every
+    /// shipped byte counts as [`wasted_bytes`](Self::wasted_bytes).
+    pub aborted: Option<(PhaseId, AbortReason)>,
 }
 
 impl MigrationReport {
@@ -60,6 +65,22 @@ impl MigrationReport {
             packets_reinjected: 0,
             parked_nonempty_sockets: 0,
             phase_log: Vec::new(),
+            aborted: None,
+        }
+    }
+
+    /// Whether the migration aborted instead of completing.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.is_some()
+    }
+
+    /// Bytes shipped that bought nothing — the rollback cost of an aborted
+    /// migration (zero for a completed one).
+    pub fn wasted_bytes(&self) -> u64 {
+        if self.is_aborted() {
+            self.total_bytes()
+        } else {
+            0
         }
     }
 

@@ -178,11 +178,20 @@ fn run_migration(
                 }
                 Effect::Stack { effect, .. } => world.pump(vec![effect]),
                 Effect::Complete(c) => restored = Some(c.process),
+                Effect::Aborted(a) => {
+                    panic!(
+                        "no abort expected in the happy-path harness: {:?}",
+                        a.reason
+                    )
+                }
                 Effect::PhaseEntered(_)
                 | Effect::InstallCapture { .. }
+                | Effect::RemoveCapture { .. }
                 | Effect::SocketDetached { .. }
                 | Effect::Shipped { .. }
-                | Effect::PacketReinjected => {}
+                | Effect::PacketReinjected
+                | Effect::ResumeApp
+                | Effect::RevokeXlate { .. } => {}
             }
         }
         if let Some(process) = restored {

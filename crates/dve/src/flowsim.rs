@@ -189,7 +189,7 @@ pub fn run_flow_sim(cfg: &FlowSimConfig) -> FlowSimResult {
                     let out = conductors[i].on_msg(now, NodeId(src as u32), msg, li);
                     queue.extend(out.into_iter().map(|a| (i, a)));
                 }
-                LbEffect::StartMigration { pid, dest } => {
+                LbEffect::StartMigration { pid, dest, .. } => {
                     started.push((src, pid, dest.0 as usize));
                 }
             }

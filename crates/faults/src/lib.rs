@@ -1,0 +1,166 @@
+//! Scripted fault injection against a running cluster simulation.
+//!
+//! A [`FaultPlan`] is a deterministic schedule of [`Fault`]s: the owner (the
+//! `World` in `dvelm-cluster`) installs the plan, turning each entry into an
+//! event at its instant, and handles the fault when it fires. The plan
+//! itself knows nothing about the world — it is plain data, so tests can
+//! build, inspect and replay plans without a simulation.
+//!
+//! The vocabulary covers the failure modes the migration protocol must
+//! survive (§III's rollback property, plus the orchestration layer above):
+//!
+//! * [`Fault::NodeCrash`] — a host dies mid-anything; migrations touching
+//!   it must abort with phase-appropriate recovery;
+//! * [`Fault::DownlinkLoss`] — partition or correlated loss burst on a
+//!   node's downlink (reuses [`LossModel`], including
+//!   [`LossModel::Burst`]);
+//! * [`Fault::TransferStall`] — the in-flight migration of a pid stalls
+//!   past its deadline and is aborted by the orchestrator;
+//! * [`Fault::CaptureInstallFail`] / [`Fault::RestoreFail`] — the
+//!   destination kernel refuses a capture hook / socket rehash;
+//! * [`Fault::CtrlBlackout`] — a node's conductor stops hearing control
+//!   messages (heartbeats, negotiation) for a while.
+
+use dvelm_net::LossModel;
+use dvelm_proc::Pid;
+use dvelm_sim::SimTime;
+
+/// One injectable fault. Hosts are named by their index in the world's host
+/// table (the same indices `World::add_server_node` hands out).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The host dies: processes are lost, its stack stops answering, and
+    /// every migration touching it aborts.
+    NodeCrash { host: usize },
+    /// Install `model` on the host's downlink for `for_us` µs, then restore
+    /// lossless delivery (`for_us == 0` leaves it installed forever).
+    DownlinkLoss {
+        host: usize,
+        model: LossModel,
+        for_us: u64,
+    },
+    /// Abort the in-flight migration of `pid` as stalled (the orchestration
+    /// deadline fired). No-op if that pid is not migrating.
+    TransferStall { pid: Pid },
+    /// The host's kernel refuses the next capture-hook installation, so a
+    /// migration entering its freeze phase toward this destination aborts.
+    CaptureInstallFail { host: usize },
+    /// The host's kernel refuses the next socket rehash, so a migration
+    /// restoring onto this destination falls back to its source.
+    RestoreFail { host: usize },
+    /// The host's conductor hears no control messages for `for_us` µs.
+    CtrlBlackout { host: usize, for_us: u64 },
+}
+
+impl Fault {
+    /// Human-readable label, stable across releases.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::NodeCrash { .. } => "node crash",
+            Fault::DownlinkLoss { .. } => "downlink loss",
+            Fault::TransferStall { .. } => "transfer stall",
+            Fault::CaptureInstallFail { .. } => "capture install fail",
+            Fault::RestoreFail { .. } => "restore fail",
+            Fault::CtrlBlackout { .. } => "control blackout",
+        }
+    }
+}
+
+/// A deterministic schedule of faults, built fluently:
+///
+/// ```
+/// use dvelm_faults::{Fault, FaultPlan};
+/// use dvelm_sim::SimTime;
+///
+/// let plan = FaultPlan::new()
+///     .at(SimTime::from_millis(500), Fault::CaptureInstallFail { host: 1 })
+///     .at(SimTime::from_secs(2), Fault::NodeCrash { host: 1 });
+/// assert_eq!(plan.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    entries: Vec<(SimTime, Fault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule `fault` at `at` (entries may be added in any order; the
+    /// owner's event queue establishes firing order).
+    pub fn at(mut self, at: SimTime, fault: Fault) -> FaultPlan {
+        self.entries.push((at, fault));
+        self
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn entries(&self) -> &[(SimTime, Fault)] {
+        &self.entries
+    }
+
+    /// Consume the plan, yielding its entries sorted by instant (ties keep
+    /// insertion order), ready for scheduling.
+    pub fn into_entries(self) -> Vec<(SimTime, Fault)> {
+        let mut entries = self.entries;
+        entries.sort_by_key(|(at, _)| *at);
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builds_and_sorts() {
+        let plan = FaultPlan::new()
+            .at(SimTime::from_secs(3), Fault::NodeCrash { host: 2 })
+            .at(SimTime::from_secs(1), Fault::TransferStall { pid: Pid(7) })
+            .at(
+                SimTime::from_secs(1),
+                Fault::CtrlBlackout {
+                    host: 0,
+                    for_us: 1_000,
+                },
+            );
+        assert!(!plan.is_empty());
+        assert_eq!(plan.len(), 3);
+        let entries = plan.into_entries();
+        assert_eq!(entries[0].0, SimTime::from_secs(1));
+        assert!(
+            matches!(entries[0].1, Fault::TransferStall { .. }),
+            "ties keep insertion order"
+        );
+        assert!(matches!(entries[2].1, Fault::NodeCrash { host: 2 }));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Fault::NodeCrash { host: 0 }.label(), "node crash");
+        assert_eq!(
+            Fault::DownlinkLoss {
+                host: 0,
+                model: LossModel::Bernoulli(0.5),
+                for_us: 0
+            }
+            .label(),
+            "downlink loss"
+        );
+        assert_eq!(
+            Fault::TransferStall { pid: Pid(1) }.label(),
+            "transfer stall"
+        );
+    }
+}

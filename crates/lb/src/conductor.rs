@@ -51,6 +51,45 @@ impl LbMsg {
     }
 }
 
+/// How aggressive a socket-migration strategy the conductor asks the
+/// migration daemon for. Independent of the daemon's strategy vocabulary
+/// (this crate cannot depend on it): the runtime maps the preference onto
+/// its configured strategy, never exceeding it. Retries degrade one level
+/// per failed attempt — if socket diff tracking (the incremental-collective
+/// optimization) is what faults, the plain collective transfer still goes
+/// through, and per-socket iteration is the conservative last resort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyPreference {
+    /// Full speed: socket deltas shipped during precopy.
+    Incremental,
+    /// No socket diff tracking: one collective transfer in the freeze phase.
+    Collective,
+    /// Per-socket iteration — slowest, fewest moving parts.
+    Iterative,
+}
+
+impl StrategyPreference {
+    /// One level more conservative (saturates at [`Iterative`](Self::Iterative)).
+    pub fn degrade(self) -> StrategyPreference {
+        match self {
+            StrategyPreference::Incremental => StrategyPreference::Collective,
+            StrategyPreference::Collective | StrategyPreference::Iterative => {
+                StrategyPreference::Iterative
+            }
+        }
+    }
+
+    /// The preference for attempt `n` (1-based): full speed first, one
+    /// degradation per retry.
+    pub fn for_attempt(n: u32) -> StrategyPreference {
+        match n {
+            0 | 1 => StrategyPreference::Incremental,
+            2 => StrategyPreference::Collective,
+            _ => StrategyPreference::Iterative,
+        }
+    }
+}
+
 /// What the runtime must do for the conductor.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LbEffect {
@@ -59,7 +98,11 @@ pub enum LbEffect {
     /// Unicast to one peer.
     Send(NodeId, LbMsg),
     /// Hand the process to the migration daemon, destination decided.
-    StartMigration { pid: Pid, dest: NodeId },
+    StartMigration {
+        pid: Pid,
+        dest: NodeId,
+        prefer: StrategyPreference,
+    },
 }
 
 /// Migration-protocol state of a conductor.
@@ -95,6 +138,20 @@ pub struct LbStats {
     pub requests_rejected: u64,
     pub migrations_completed: u64,
     pub migrations_failed: u64,
+    /// Retry attempts fired after a failed migration.
+    pub retries: u64,
+    /// Migrations given up after `retry_max_attempts` failed attempts.
+    pub migrations_abandoned: u64,
+}
+
+/// A failed migration waiting for its backoff to elapse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RetryState {
+    pid: Pid,
+    /// Failed attempts so far (the next attempt is number `failures + 1`).
+    failures: u32,
+    /// Earliest instant the retry may fire.
+    not_before: SimTime,
 }
 
 /// The conductor daemon of one node.
@@ -110,6 +167,11 @@ pub struct Conductor {
     phase: ConductorPhase,
     last_heartbeat: Option<SimTime>,
     stats: LbStats,
+    /// Destinations of failed migrations, embargoed until the instant.
+    blacklist: Vec<(NodeId, SimTime)>,
+    /// At most one failed migration awaits retry at a time (the conductor
+    /// runs at most one migration at a time to begin with).
+    retry: Option<RetryState>,
 }
 
 impl Conductor {
@@ -123,6 +185,8 @@ impl Conductor {
             phase: ConductorPhase::Idle,
             last_heartbeat: None,
             stats: LbStats::default(),
+            blacklist: Vec::new(),
+            retry: None,
         }
     }
 
@@ -134,6 +198,27 @@ impl Conductor {
     /// Counters.
     pub fn stats(&self) -> LbStats {
         self.stats
+    }
+
+    /// Destinations currently embargoed after failed migrations.
+    pub fn blacklisted(&self, now: SimTime) -> Vec<NodeId> {
+        self.blacklist
+            .iter()
+            .filter(|(_, until)| *until > now)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// The pid of a failed migration awaiting its backoff, if any.
+    pub fn retry_pending(&self) -> Option<Pid> {
+        self.retry.map(|r| r.pid)
+    }
+
+    /// Exponential backoff before attempt `failures + 1`.
+    fn backoff_us(&self, failures: u32) -> u64 {
+        self.cfg
+            .retry_backoff_base_us
+            .saturating_mul(1u64 << failures.saturating_sub(1).min(16))
     }
 
     /// The known membership (self + peers), for tree construction.
@@ -158,6 +243,7 @@ impl Conductor {
     ) -> Vec<LbEffect> {
         let mut effects = Vec::new();
         self.peers.expire(now, self.cfg.peer_stale_us);
+        self.blacklist.retain(|(_, until)| *until > now);
 
         // Information policy: periodic broadcast, doubling as heartbeat.
         let due = match self.last_heartbeat {
@@ -199,11 +285,65 @@ impl Conductor {
             _ => {}
         }
 
-        // Transfer policy, sender side.
+        // Retry policy: a failed migration whose backoff elapsed bypasses
+        // the transfer policy — the decision to move the process already
+        // fell; only the destination (and strategy preference) may change.
         if self.phase == ConductorPhase::Idle {
+            if let Some(retry) = self.retry {
+                if now >= retry.not_before {
+                    let avg = self.peers.cluster_average(local.cpu_pct);
+                    let exclude = self.blacklisted(now);
+                    let dest =
+                        self.cfg
+                            .choose_destination(local.cpu_pct, avg, &self.peers, &exclude);
+                    let share = procs.iter().find(|(p, _)| *p == retry.pid).map(|(_, s)| *s);
+                    match (dest, share) {
+                        (Some(dest), Some(share)) => {
+                            self.phase = ConductorPhase::AwaitingAccept {
+                                dest,
+                                pid: retry.pid,
+                                since: now,
+                            };
+                            self.stats.retries += 1;
+                            self.stats.requests_sent += 1;
+                            effects.push(LbEffect::Send(
+                                dest,
+                                LbMsg::MigRequest {
+                                    pid: retry.pid,
+                                    share,
+                                    sender_load: local.cpu_pct,
+                                },
+                            ));
+                        }
+                        (None, Some(_)) => {
+                            // Nowhere to go right now: wait one more backoff
+                            // without burning an attempt.
+                            self.retry = Some(RetryState {
+                                not_before: now + self.backoff_us(retry.failures),
+                                ..retry
+                            });
+                        }
+                        (_, None) => {
+                            // The process is gone (killed, or moved some
+                            // other way): nothing left to retry.
+                            self.retry = None;
+                        }
+                    }
+                    return effects;
+                }
+            }
+        }
+
+        // Transfer policy, sender side. A pending retry owns the conductor's
+        // single migration slot — no fresh migration starts under it.
+        if self.phase == ConductorPhase::Idle && self.retry.is_none() {
             let avg = self.peers.cluster_average(local.cpu_pct);
             if self.cfg.should_initiate(local.cpu_pct, avg) {
-                if let Some(dest) = self.cfg.choose_destination(local.cpu_pct, avg, &self.peers) {
+                let exclude = self.blacklisted(now);
+                if let Some(dest) =
+                    self.cfg
+                        .choose_destination(local.cpu_pct, avg, &self.peers, &exclude)
+                {
                     if let Some(pid) = self.cfg.choose_process(local.cpu_pct, avg, procs) {
                         let share = procs
                             .iter()
@@ -287,15 +427,32 @@ impl Conductor {
             LbMsg::MigAccept => match self.phase {
                 ConductorPhase::AwaitingAccept { dest, pid, since } if dest == from => {
                     self.phase = ConductorPhase::Sending { dest, pid, since };
-                    vec![LbEffect::StartMigration { pid, dest }]
+                    // Retries ask for one level less of socket-migration
+                    // machinery per failed attempt.
+                    let prefer = match self.retry {
+                        Some(r) if r.pid == pid => StrategyPreference::for_attempt(r.failures + 1),
+                        _ => StrategyPreference::Incremental,
+                    };
+                    vec![LbEffect::StartMigration { pid, dest, prefer }]
                 }
                 // Stale accept (we already timed out): release the receiver.
                 _ => vec![LbEffect::Send(from, LbMsg::MigDone { success: false })],
             },
             LbMsg::MigReject => {
-                if let ConductorPhase::AwaitingAccept { dest, .. } = self.phase {
+                if let ConductorPhase::AwaitingAccept { dest, pid, .. } = self.phase {
                     if dest == from {
                         self.phase = ConductorPhase::Idle;
+                        // A rejected retry waits a flat base backoff before
+                        // asking again — the rejection is the receiver's
+                        // load talking, not a failure of ours.
+                        if let Some(r) = self.retry {
+                            if r.pid == pid {
+                                self.retry = Some(RetryState {
+                                    not_before: now + self.cfg.retry_backoff_base_us,
+                                    ..r
+                                });
+                            }
+                        }
                     }
                 }
                 Vec::new()
@@ -321,16 +478,44 @@ impl Conductor {
     }
 
     /// The migration daemon reports the sender-side outcome.
+    ///
+    /// Success enters calm-down and clears any pending retry. Failure
+    /// blacklists the destination, and either schedules a retry with
+    /// exponential backoff (staying out of calm-down so the retry can fire)
+    /// or — once `retry_max_attempts` attempts failed — abandons the
+    /// migration and calms down.
     pub fn on_migration_finished(&mut self, now: SimTime, success: bool) -> Vec<LbEffect> {
-        if let ConductorPhase::Sending { dest, .. } = self.phase {
+        if let ConductorPhase::Sending { dest, pid, .. } = self.phase {
             if success {
                 self.stats.migrations_completed += 1;
+                if self.retry.map(|r| r.pid) == Some(pid) {
+                    self.retry = None;
+                }
+                self.phase = ConductorPhase::CalmDown {
+                    until: now + self.cfg.calm_down_us,
+                };
             } else {
                 self.stats.migrations_failed += 1;
+                self.blacklist.push((dest, now + self.cfg.blacklist_us));
+                let failures = match self.retry {
+                    Some(r) if r.pid == pid => r.failures + 1,
+                    _ => 1,
+                };
+                if failures >= self.cfg.retry_max_attempts {
+                    self.stats.migrations_abandoned += 1;
+                    self.retry = None;
+                    self.phase = ConductorPhase::CalmDown {
+                        until: now + self.cfg.calm_down_us,
+                    };
+                } else {
+                    self.retry = Some(RetryState {
+                        pid,
+                        failures,
+                        not_before: now + self.backoff_us(failures),
+                    });
+                    self.phase = ConductorPhase::Idle;
+                }
             }
-            self.phase = ConductorPhase::CalmDown {
-                until: now + self.cfg.calm_down_us,
-            };
             vec![LbEffect::Send(dest, LbMsg::MigDone { success })]
         } else {
             Vec::new()
@@ -566,5 +751,247 @@ mod tests {
         let li = LoadInfo::new(NodeId(0), 50.0, 20, SimTime::from_secs(1));
         c.on_msg(SimTime::from_secs(1), NodeId(1), LbMsg::Leave, li);
         assert!(c.peers.is_empty());
+    }
+
+    #[test]
+    fn strategy_preference_degrades_per_attempt() {
+        assert_eq!(
+            StrategyPreference::for_attempt(1),
+            StrategyPreference::Incremental
+        );
+        assert_eq!(
+            StrategyPreference::for_attempt(2),
+            StrategyPreference::Collective
+        );
+        assert_eq!(
+            StrategyPreference::for_attempt(3),
+            StrategyPreference::Iterative
+        );
+        assert_eq!(
+            StrategyPreference::for_attempt(9),
+            StrategyPreference::Iterative
+        );
+        assert_eq!(
+            StrategyPreference::Iterative.degrade(),
+            StrategyPreference::Iterative,
+            "saturates"
+        );
+    }
+
+    /// Drives one sender conductor through: attempt 1 (fails) → backoff →
+    /// attempt 2 to a non-blacklisted peer with a degraded preference
+    /// (fails) → doubled backoff → attempt 3 (fails) → abandoned.
+    #[test]
+    fn fault_failed_migration_retries_with_backoff_and_blacklist() {
+        let cfg = PolicyConfig::default();
+        let mut c = Conductor::new(NodeId(0), cfg);
+        let local = |cpu: f64, at: SimTime| LoadInfo::new(NodeId(0), cpu, 20, at);
+        let learn = |c: &mut Conductor, at: SimTime| {
+            c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, at));
+            c.peers.update(LoadInfo::new(NodeId(2), 45.0, 20, at));
+        };
+        let procs = [(Pid(7), 10.0)];
+
+        // Attempt 1: the mirror peer (node1) is chosen.
+        let t1 = SimTime::from_secs(1);
+        learn(&mut c, t1);
+        let out = c.on_tick(t1, local(95.0, t1), &procs);
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, LbEffect::Send(NodeId(1), LbMsg::MigRequest { .. }))));
+        let out = c.on_msg(t1, NodeId(1), LbMsg::MigAccept, local(95.0, t1));
+        assert_eq!(
+            out,
+            vec![LbEffect::StartMigration {
+                pid: Pid(7),
+                dest: NodeId(1),
+                prefer: StrategyPreference::Incremental,
+            }]
+        );
+        let out = c.on_migration_finished(t1, false);
+        assert_eq!(
+            out,
+            vec![LbEffect::Send(NodeId(1), LbMsg::MigDone { success: false })]
+        );
+        assert_eq!(c.phase(), ConductorPhase::Idle, "failure skips calm-down");
+        assert_eq!(c.retry_pending(), Some(Pid(7)));
+        assert_eq!(c.blacklisted(t1), vec![NodeId(1)]);
+        assert_eq!(c.stats().migrations_failed, 1);
+
+        // Inside the backoff window nothing fires — not even a fresh
+        // transfer-policy migration (the retry owns the slot).
+        let t2 = t1 + SECOND;
+        learn(&mut c, t2);
+        let out = c.on_tick(t2, local(95.0, t2), &procs);
+        assert!(
+            !out.iter()
+                .any(|e| matches!(e, LbEffect::Send(_, LbMsg::MigRequest { .. }))),
+            "backoff not elapsed: {out:?}"
+        );
+
+        // Attempt 2 fires after the base backoff, skipping the blacklisted
+        // node1 and degrading to the collective strategy.
+        let t3 = t1 + cfg.retry_backoff_base_us;
+        learn(&mut c, t3);
+        let out = c.on_tick(t3, local(95.0, t3), &procs);
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, LbEffect::Send(NodeId(2), LbMsg::MigRequest { .. }))));
+        assert_eq!(c.stats().retries, 1);
+        let out = c.on_msg(t3, NodeId(2), LbMsg::MigAccept, local(95.0, t3));
+        assert_eq!(
+            out,
+            vec![LbEffect::StartMigration {
+                pid: Pid(7),
+                dest: NodeId(2),
+                prefer: StrategyPreference::Collective,
+            }]
+        );
+        c.on_migration_finished(t3, false);
+        assert_eq!(c.retry_pending(), Some(Pid(7)));
+
+        // Both peers are blacklisted now; a new one shows up for attempt 3,
+        // which only fires after the *doubled* backoff.
+        let t4 = t3 + cfg.retry_backoff_base_us;
+        learn(&mut c, t4);
+        c.peers.update(LoadInfo::new(NodeId(3), 40.0, 20, t4));
+        let out = c.on_tick(t4, local(95.0, t4), &procs);
+        assert!(
+            !out.iter()
+                .any(|e| matches!(e, LbEffect::Send(_, LbMsg::MigRequest { .. }))),
+            "second backoff is doubled: {out:?}"
+        );
+        let t5 = t3 + 2 * cfg.retry_backoff_base_us;
+        learn(&mut c, t5);
+        c.peers.update(LoadInfo::new(NodeId(3), 40.0, 20, t5));
+        let out = c.on_tick(t5, local(95.0, t5), &procs);
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, LbEffect::Send(NodeId(3), LbMsg::MigRequest { .. }))));
+        assert_eq!(c.stats().retries, 2);
+        let out = c.on_msg(t5, NodeId(3), LbMsg::MigAccept, local(95.0, t5));
+        assert_eq!(
+            out,
+            vec![LbEffect::StartMigration {
+                pid: Pid(7),
+                dest: NodeId(3),
+                prefer: StrategyPreference::Iterative,
+            }]
+        );
+
+        // Third failure reaches retry_max_attempts: abandoned, calm-down.
+        c.on_migration_finished(t5, false);
+        assert_eq!(c.retry_pending(), None);
+        assert_eq!(c.stats().migrations_abandoned, 1);
+        assert!(matches!(c.phase(), ConductorPhase::CalmDown { .. }));
+    }
+
+    #[test]
+    fn fault_retry_waits_when_everyone_is_blacklisted() {
+        let cfg = PolicyConfig::default();
+        let mut c = Conductor::new(NodeId(0), cfg);
+        let local = |at: SimTime| LoadInfo::new(NodeId(0), 95.0, 20, at);
+        let procs = [(Pid(7), 10.0)];
+        let t1 = SimTime::from_secs(1);
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t1));
+        c.on_tick(t1, local(t1), &procs);
+        c.on_msg(t1, NodeId(1), LbMsg::MigAccept, local(t1));
+        c.on_migration_finished(t1, false);
+
+        // Only peer is blacklisted: the due retry re-arms without burning an
+        // attempt.
+        let t2 = t1 + cfg.retry_backoff_base_us;
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t2));
+        let out = c.on_tick(t2, local(t2), &procs);
+        assert!(!out
+            .iter()
+            .any(|e| matches!(e, LbEffect::Send(_, LbMsg::MigRequest { .. }))));
+        assert_eq!(c.retry_pending(), Some(Pid(7)), "retry survives");
+        assert_eq!(c.stats().retries, 0, "no attempt burned");
+
+        // Once the embargo lapses the retry goes back to the same peer.
+        let t3 = t1 + cfg.blacklist_us;
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t3));
+        let out = c.on_tick(t3, local(t3), &procs);
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, LbEffect::Send(NodeId(1), LbMsg::MigRequest { .. }))));
+        assert_eq!(c.stats().retries, 1);
+    }
+
+    #[test]
+    fn fault_retry_for_killed_process_is_dropped() {
+        let cfg = PolicyConfig::default();
+        let mut c = Conductor::new(NodeId(0), cfg);
+        let local = |at: SimTime| LoadInfo::new(NodeId(0), 95.0, 20, at);
+        let t1 = SimTime::from_secs(1);
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t1));
+        c.on_tick(t1, local(t1), &[(Pid(7), 10.0)]);
+        c.on_msg(t1, NodeId(1), LbMsg::MigAccept, local(t1));
+        c.on_migration_finished(t1, false);
+        assert_eq!(c.retry_pending(), Some(Pid(7)));
+
+        // The process list no longer contains Pid(7) when the retry is due.
+        let t2 = t1 + cfg.retry_backoff_base_us;
+        c.peers.update(LoadInfo::new(NodeId(2), 40.0, 20, t2));
+        let out = c.on_tick(t2, local(t2), &[(Pid(9), 10.0)]);
+        assert!(!out
+            .iter()
+            .any(|e| matches!(e, LbEffect::Send(_, LbMsg::MigRequest { .. }))));
+        assert_eq!(c.retry_pending(), None);
+    }
+
+    #[test]
+    fn fault_rejected_retry_rearms_flat_backoff() {
+        let cfg = PolicyConfig::default();
+        let mut c = Conductor::new(NodeId(0), cfg);
+        let local = |at: SimTime| LoadInfo::new(NodeId(0), 95.0, 20, at);
+        let procs = [(Pid(7), 10.0)];
+        let t1 = SimTime::from_secs(1);
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t1));
+        c.on_tick(t1, local(t1), &procs);
+        c.on_msg(t1, NodeId(1), LbMsg::MigAccept, local(t1));
+        c.on_migration_finished(t1, false);
+
+        // Retry fires toward node2, which rejects.
+        let t2 = t1 + cfg.retry_backoff_base_us;
+        c.peers.update(LoadInfo::new(NodeId(2), 40.0, 20, t2));
+        c.on_tick(t2, local(t2), &procs);
+        assert!(matches!(c.phase(), ConductorPhase::AwaitingAccept { .. }));
+        c.on_msg(t2, NodeId(2), LbMsg::MigReject, local(t2));
+        assert_eq!(c.phase(), ConductorPhase::Idle);
+        assert_eq!(c.retry_pending(), Some(Pid(7)), "rejection keeps the retry");
+        assert_eq!(c.stats().migrations_failed, 1, "a rejection is no failure");
+
+        // It re-arms with the flat base backoff, then fires again.
+        let t3 = t2 + cfg.retry_backoff_base_us;
+        c.peers.update(LoadInfo::new(NodeId(2), 40.0, 20, t3));
+        let out = c.on_tick(t3, local(t3), &procs);
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, LbEffect::Send(NodeId(2), LbMsg::MigRequest { .. }))));
+        assert_eq!(c.stats().retries, 2);
+    }
+
+    #[test]
+    fn fault_success_clears_pending_retry() {
+        let cfg = PolicyConfig::default();
+        let mut c = Conductor::new(NodeId(0), cfg);
+        let local = |at: SimTime| LoadInfo::new(NodeId(0), 95.0, 20, at);
+        let procs = [(Pid(7), 10.0)];
+        let t1 = SimTime::from_secs(1);
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t1));
+        c.on_tick(t1, local(t1), &procs);
+        c.on_msg(t1, NodeId(1), LbMsg::MigAccept, local(t1));
+        c.on_migration_finished(t1, false);
+
+        let t2 = t1 + cfg.retry_backoff_base_us;
+        c.peers.update(LoadInfo::new(NodeId(2), 40.0, 20, t2));
+        c.on_tick(t2, local(t2), &procs);
+        c.on_msg(t2, NodeId(2), LbMsg::MigAccept, local(t2));
+        c.on_migration_finished(t2, true);
+        assert_eq!(c.retry_pending(), None);
+        assert_eq!(c.stats().migrations_completed, 1);
+        assert!(matches!(c.phase(), ConductorPhase::CalmDown { .. }));
     }
 }

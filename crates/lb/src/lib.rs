@@ -48,7 +48,7 @@ pub mod peers;
 pub mod policy;
 pub mod spanning;
 
-pub use conductor::{Conductor, ConductorPhase, LbEffect, LbMsg};
+pub use conductor::{Conductor, ConductorPhase, LbEffect, LbMsg, LbStats, StrategyPreference};
 pub use info::LoadInfo;
 pub use monitor::LoadMonitor;
 pub use peers::PeerDb;

@@ -28,6 +28,14 @@ pub struct PolicyConfig {
     pub migration_timeout_us: u64,
     /// Smallest process CPU share worth migrating, CPU %.
     pub min_process_share: f64,
+    /// First retry of a failed migration waits this long; each further
+    /// attempt doubles it (exponential backoff), µs.
+    pub retry_backoff_base_us: u64,
+    /// Total attempts (first + retries) before a migration is abandoned.
+    pub retry_max_attempts: u32,
+    /// A destination involved in a failed migration is not chosen again for
+    /// this long, µs.
+    pub blacklist_us: u64,
 }
 
 impl Default for PolicyConfig {
@@ -42,6 +50,9 @@ impl Default for PolicyConfig {
             negotiation_timeout_us: 500 * MILLISECOND,
             migration_timeout_us: 10 * SECOND,
             min_process_share: 0.5,
+            retry_backoff_base_us: 2 * SECOND,
+            retry_max_attempts: 3,
+            blacklist_us: 30 * SECOND,
         }
     }
 }
@@ -65,16 +76,19 @@ impl PolicyConfig {
     /// opposite side of the cluster average — ideally about as much lighter
     /// as the sender is heavier, so both converge to the average after the
     /// migration. Returns the peer minimizing the distance to that mirror
-    /// target, restricted to peers below the average.
+    /// target, restricted to peers below the average. Peers in `exclude`
+    /// (blacklisted after a failed migration) are never chosen.
     pub fn choose_destination(
         &self,
         local_cpu: f64,
         cluster_avg: f64,
         peers: &PeerDb,
+        exclude: &[NodeId],
     ) -> Option<NodeId> {
         let target = cluster_avg - (local_cpu - cluster_avg);
         peers
             .iter()
+            .filter(|li| !exclude.contains(&li.node))
             .filter(|li| li.cpu_pct < cluster_avg - self.receiver_margin)
             .min_by(|a, b| {
                 let da = (a.cpu_pct - target).abs();
@@ -143,7 +157,10 @@ mod tests {
         // local 90, avg 75 → target 60. Peers at 73, 62, 40: 62 is closest
         // to the mirror target.
         let db = peers(&[(1, 73.0), (2, 62.0), (3, 40.0)]);
-        assert_eq!(cfg.choose_destination(90.0, 75.0, &db), Some(NodeId(2)));
+        assert_eq!(
+            cfg.choose_destination(90.0, 75.0, &db, &[]),
+            Some(NodeId(2))
+        );
     }
 
     #[test]
@@ -151,7 +168,24 @@ mod tests {
         let cfg = PolicyConfig::default();
         // avg 85, margin 2 → only peers below 83 qualify; none do.
         let db = peers(&[(1, 84.0), (2, 90.0)]);
-        assert_eq!(cfg.choose_destination(95.0, 85.0, &db), None);
+        assert_eq!(cfg.choose_destination(95.0, 85.0, &db, &[]), None);
+    }
+
+    #[test]
+    fn fault_location_skips_blacklisted_peers() {
+        let cfg = PolicyConfig::default();
+        let db = peers(&[(1, 73.0), (2, 62.0), (3, 40.0)]);
+        // The mirror-image peer (node 2) is blacklisted: the next-best
+        // qualifying peer wins instead.
+        assert_eq!(
+            cfg.choose_destination(90.0, 75.0, &db, &[NodeId(2)]),
+            Some(NodeId(3))
+        );
+        // Everyone blacklisted: nowhere to go.
+        assert_eq!(
+            cfg.choose_destination(90.0, 75.0, &db, &[NodeId(1), NodeId(2), NodeId(3)]),
+            None
+        );
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub struct TraceRecorder {
     report: MigrationReport,
     spans: Vec<PhaseSpan>,
     captures_enabled: u32,
+    captures_removed: u32,
     xlate_rules_sent: u32,
+    xlate_rules_revoked: u32,
     finished: bool,
 }
 
@@ -67,7 +69,9 @@ impl TraceRecorder {
             report: MigrationReport::new(pid, strategy, started_at),
             spans: Vec::new(),
             captures_enabled: 0,
+            captures_removed: 0,
             xlate_rules_sent: 0,
+            xlate_rules_revoked: 0,
             finished: false,
         }
     }
@@ -146,6 +150,24 @@ impl TraceRecorder {
                 }
                 self.finished = true;
             }
+            Effect::ResumeApp => self.report.resumed_at = at,
+            Effect::RemoveCapture { .. } => self.captures_removed += 1,
+            Effect::RevokeXlate { .. } => self.xlate_rules_revoked += 1,
+            Effect::Aborted(a) => {
+                self.report.aborted = Some((a.phase, a.reason));
+                // The rollback instant closes the trace: an abort whose
+                // recovery resumed or restored the source copy ends the
+                // application's unresponsive interval here, so `freeze_us`
+                // measures downtime for aborted migrations too.
+                self.report.resumed_at = at;
+                if let Some(open) = self.spans.last_mut() {
+                    if open.exited_at.is_none() {
+                        open.exited_at = Some(at);
+                    }
+                }
+                self.report.phase_log.push(("aborted", at));
+                self.finished = true;
+            }
         }
     }
 
@@ -164,9 +186,19 @@ impl TraceRecorder {
         self.captures_enabled
     }
 
+    /// Capture entries rolled back by an abort.
+    pub fn captures_removed(&self) -> u32 {
+        self.captures_removed
+    }
+
     /// Translation rules sent to in-cluster peers.
     pub fn xlate_rules_sent(&self) -> u32 {
         self.xlate_rules_sent
+    }
+
+    /// Translation rules recalled from peers by an abort.
+    pub fn xlate_rules_revoked(&self) -> u32 {
+        self.xlate_rules_revoked
     }
 
     /// The derived report so far (complete once [`finished`](Self::finished)).
@@ -310,6 +342,53 @@ mod tests {
         assert_eq!(spans[1].duration_us(), 0);
         assert_eq!(spans[1].sockets_touched, 1);
         assert_eq!(r.captures_enabled(), 1);
+    }
+
+    #[test]
+    fn abort_closes_the_trace() {
+        use dvelm_migrate::{AbortReason, AbortRecovery, MigrationAborted};
+        let mut r = recorder();
+        r.observe(t(1_000), &Effect::PhaseEntered(PhaseId::PrecopyFull));
+        r.observe(t(5_000), &Effect::PhaseEntered(PhaseId::FreezeCapture));
+        r.observe(t(5_000), &Effect::SuspendApp);
+        r.observe(
+            t(5_000),
+            &Effect::InstallCapture {
+                key: dvelm_stack::capture::CaptureKey::any_remote(dvelm_net::Port(80)),
+            },
+        );
+        r.observe(
+            t(7_000),
+            &Effect::RemoveCapture {
+                key: dvelm_stack::capture::CaptureKey::any_remote(dvelm_net::Port(80)),
+            },
+        );
+        r.observe(t(7_000), &Effect::ResumeApp);
+        assert!(!r.finished());
+        r.observe(
+            t(7_000),
+            &Effect::Aborted(MigrationAborted {
+                phase: PhaseId::FreezeCapture,
+                reason: AbortReason::DestinationCrashed,
+                recovery: AbortRecovery::ResumedOnSource,
+            }),
+        );
+        assert!(r.finished());
+        assert_eq!(r.captures_removed(), 1);
+        let report = r.into_report();
+        assert!(report.is_aborted());
+        assert_eq!(
+            report.aborted,
+            Some((PhaseId::FreezeCapture, AbortReason::DestinationCrashed))
+        );
+        assert_eq!(report.frozen_at, t(5_000));
+        assert_eq!(report.resumed_at, t(7_000));
+        assert_eq!(report.freeze_us(), 2_000, "abort downtime is measured");
+        assert_eq!(
+            report.phase_log.last(),
+            Some(&("aborted", t(7_000))),
+            "the abort is on the phase log"
+        );
     }
 
     #[test]

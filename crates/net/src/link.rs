@@ -23,6 +23,11 @@ pub enum LossModel {
     /// Drop every frame submitted in `[from, to)` — a blackout window, used
     /// to model the unprotected socket-migration gap in ablation tests.
     Window { from: SimTime, to: SimTime },
+    /// Correlated loss: each frame starts a drop burst with probability `p`;
+    /// once a burst starts, that frame and the next `burst - 1` frames are
+    /// all dropped. Models the bursty congestion/partition events fault
+    /// injection cares about (`Bernoulli(p)` ≡ `Burst { p, burst: 1 }`).
+    Burst { p: f64, burst: u32 },
 }
 
 /// Per-link transfer counters.
@@ -44,6 +49,8 @@ pub struct Link {
     /// One-way latency in microseconds.
     pub latency_us: u64,
     loss: LossModel,
+    /// Frames left in the current [`LossModel::Burst`] drop burst.
+    burst_left: u32,
     busy_until: SimTime,
     stats: LinkStats,
 }
@@ -56,6 +63,7 @@ impl Link {
             bandwidth,
             latency_us,
             loss: LossModel::None,
+            burst_left: 0,
             busy_until: SimTime::ZERO,
             stats: LinkStats::default(),
         }
@@ -77,9 +85,11 @@ impl Link {
         self
     }
 
-    /// Replace the loss model on an existing link.
+    /// Replace the loss model on an existing link. Any in-progress drop
+    /// burst is forgotten.
     pub fn set_loss(&mut self, loss: LossModel) {
         self.loss = loss;
+        self.burst_left = 0;
     }
 
     /// Microseconds needed to serialize `bytes` onto the wire (≥ 1).
@@ -97,6 +107,17 @@ impl Link {
             LossModel::None => false,
             LossModel::Bernoulli(p) => rng.chance(p),
             LossModel::Window { from, to } => now >= from && now < to,
+            LossModel::Burst { p, burst } => {
+                if self.burst_left > 0 {
+                    self.burst_left -= 1;
+                    true
+                } else if rng.chance(p) {
+                    self.burst_left = burst.saturating_sub(1);
+                    true
+                } else {
+                    false
+                }
+            }
         };
         if dropped {
             self.stats.dropped += 1;
@@ -199,6 +220,54 @@ mod tests {
         assert!(l.transmit(SimTime::from_millis(10), 10, &mut r).is_none());
         assert!(l.transmit(SimTime::from_millis(19), 10, &mut r).is_none());
         assert!(l.transmit(SimTime::from_millis(20), 10, &mut r).is_some());
+    }
+
+    #[test]
+    fn fault_burst_loss_drops_whole_runs() {
+        // With p small but burst large, drops come in contiguous runs of
+        // exactly `burst` frames (no run can start inside a run).
+        let mut l = Link::new(GIGE_BANDWIDTH, 0).with_loss(LossModel::Burst { p: 0.02, burst: 8 });
+        let mut r = rng();
+        let outcomes: Vec<bool> = (0..5_000)
+            .map(|i| {
+                l.transmit(SimTime::from_micros(i * 100), 100, &mut r)
+                    .is_none()
+            })
+            .collect();
+        let mut runs = Vec::new();
+        let mut len = 0u32;
+        for dropped in &outcomes {
+            if *dropped {
+                len += 1;
+            } else if len > 0 {
+                runs.push(len);
+                len = 0;
+            }
+        }
+        if len > 0 {
+            runs.push(len);
+        }
+        assert!(!runs.is_empty(), "some bursts occurred");
+        assert!(
+            runs.iter().all(|r| *r >= 8),
+            "every drop run spans at least one full burst: {runs:?}"
+        );
+        assert_eq!(
+            l.stats().dropped,
+            outcomes.iter().filter(|d| **d).count() as u64
+        );
+    }
+
+    #[test]
+    fn fault_set_loss_forgets_burst_in_progress() {
+        let mut l = Link::new(GIGE_BANDWIDTH, 0).with_loss(LossModel::Burst { p: 1.0, burst: 100 });
+        let mut r = rng();
+        assert!(l.transmit(SimTime::ZERO, 10, &mut r).is_none());
+        l.set_loss(LossModel::None);
+        assert!(
+            l.transmit(SimTime::from_micros(1), 10, &mut r).is_some(),
+            "clearing the model ends the burst immediately"
+        );
     }
 
     #[test]

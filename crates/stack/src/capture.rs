@@ -62,6 +62,8 @@ pub struct CaptureStats {
     pub captured: u64,
     pub duplicates: u64,
     pub reinjected: u64,
+    /// Enable attempts refused by an armed failure (fault injection).
+    pub install_failures: u64,
 }
 
 /// The per-host capture table consulted by the `LOCAL_IN` hook.
@@ -69,6 +71,9 @@ pub struct CaptureStats {
 pub struct CaptureTable {
     entries: HashMap<CaptureKey, CaptureEntry>,
     stats: CaptureStats,
+    /// Fault injection: the next this many [`try_enable`](Self::try_enable)
+    /// calls fail (a hook registration the kernel refused).
+    armed_failures: u32,
 }
 
 impl CaptureTable {
@@ -86,6 +91,25 @@ impl CaptureTable {
             enabled_at: now,
             duplicates: 0,
         });
+    }
+
+    /// Fallible [`enable`](Self::enable): fails (returning `false`) while
+    /// armed failures remain. The infallible `enable` ignores arming, so
+    /// existing callers are unaffected.
+    pub fn try_enable(&mut self, key: CaptureKey, now: SimTime) -> bool {
+        if self.armed_failures > 0 {
+            self.armed_failures -= 1;
+            self.stats.install_failures += 1;
+            return false;
+        }
+        self.enable(key, now);
+        true
+    }
+
+    /// Fault injection: make the next `n` [`try_enable`](Self::try_enable)
+    /// calls fail.
+    pub fn arm_enable_failures(&mut self, n: u32) {
+        self.armed_failures = n;
     }
 
     /// Number of enabled entries.
@@ -282,6 +306,51 @@ mod tests {
         t.enable(key, SimTime::from_millis(5));
         assert_eq!(t.queued(&key), 1);
         assert_eq!(t.enabled_at(&key), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn fault_armed_enable_failures_then_recover() {
+        let mut t = CaptureTable::new();
+        let key = CaptureKey::connected(sa(3, 3306), Port(5000));
+        t.arm_enable_failures(2);
+        assert!(!t.try_enable(key, SimTime::ZERO));
+        assert!(!t.try_enable(key, SimTime::ZERO));
+        assert!(t.try_enable(key, SimTime::ZERO), "arming is consumed");
+        assert!(t.is_enabled(&key));
+        assert_eq!(t.stats().install_failures, 2);
+        // The infallible path never fails, armed or not.
+        t.arm_enable_failures(1);
+        t.enable(CaptureKey::any_remote(Port(80)), SimTime::ZERO);
+        assert!(t.is_enabled(&CaptureKey::any_remote(Port(80))));
+    }
+
+    #[test]
+    fn fault_burst_retransmissions_dedup_and_drain_in_order() {
+        // A correlated loss burst during the freeze window makes the client
+        // retransmit the same flight several times, interleaved with new
+        // data once the burst lifts. Every arrival is stolen, duplicates
+        // are stored once, and the drain is still strictly in-order — the
+        // property reinjection after an abort or a restore relies on.
+        let mut t = CaptureTable::new();
+        let key = CaptureKey::connected(sa(3, 3306), Port(5000));
+        t.enable(key, SimTime::ZERO);
+        // Three identical retransmissions of a 3-segment flight...
+        for _ in 0..3 {
+            for seq in [100, 110, 120] {
+                assert!(t.try_capture(&tcp_seg(seq, 10)));
+            }
+        }
+        // ...then the burst lifts and new data arrives out of order.
+        t.try_capture(&tcp_seg(140, 10));
+        t.try_capture(&tcp_seg(130, 10));
+        assert_eq!(t.queued(&key), 5, "flight stored once + 2 new segments");
+        assert_eq!(t.stats().duplicates, 6);
+        let seqs: Vec<u32> = t
+            .disable_and_drain(&key)
+            .iter()
+            .map(|s| s.tcp_seq().unwrap())
+            .collect();
+        assert_eq!(seqs, vec![100, 110, 120, 130, 140]);
     }
 
     #[test]

@@ -89,6 +89,9 @@ pub struct HostStack {
     stamp: u64,
     iss_rng: DetRng,
     stats: StackStats,
+    /// Fault injection: the next this many
+    /// [`try_install_socket`](Self::try_install_socket) calls fail.
+    install_failures_armed: u32,
 }
 
 impl HostStack {
@@ -111,6 +114,7 @@ impl HostStack {
             stamp: 0,
             iss_rng: DetRng::new(seed ^ 0x5049_4c43_4f54_5350),
             stats: StackStats::default(),
+            install_failures_armed: 0,
         }
     }
 
@@ -636,6 +640,29 @@ impl HostStack {
             None => Vec::new(),
         };
         (sid, fx)
+    }
+
+    /// Fallible [`install_socket`](Self::install_socket): while armed
+    /// failures remain the socket is handed back untouched (nothing was
+    /// hashed, no timer armed). The infallible `install_socket` ignores
+    /// arming, so existing callers are unaffected.
+    #[allow(clippy::result_large_err)] // the Err *is* the unconsumed socket
+    pub fn try_install_socket(
+        &mut self,
+        sock: Socket,
+        now: SimTime,
+    ) -> Result<(SockId, Vec<StackEffect>), Socket> {
+        if self.install_failures_armed > 0 {
+            self.install_failures_armed -= 1;
+            return Err(sock);
+        }
+        Ok(self.install_socket(sock, now))
+    }
+
+    /// Fault injection: make the next `n`
+    /// [`try_install_socket`](Self::try_install_socket) calls fail.
+    pub fn arm_install_failures(&mut self, n: u32) {
+        self.install_failures_armed = n;
     }
 
     // ------------------------------------------------------------------

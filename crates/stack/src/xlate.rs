@@ -155,6 +155,18 @@ impl XlateTable {
         self.self_rules.iter().any(|r| r.sock_local.ip == ip)
     }
 
+    /// Remove and return the destination-side rules for a socket that is
+    /// migrating away — like [`remove_self`](Self::remove_self), but the
+    /// caller keeps the rules so an aborted migration can reinstate them.
+    pub fn take_self_rules_for(&mut self, sock_local: SockAddr) -> Vec<SelfXlateRule> {
+        let (taken, kept): (Vec<SelfXlateRule>, Vec<SelfXlateRule>) = self
+            .self_rules
+            .iter()
+            .partition(|r| r.sock_local == sock_local);
+        self.self_rules = kept;
+        taken
+    }
+
     /// Remove and return the peer-side rules whose local endpoint is
     /// `peer_local` — used when the process owning that endpoint migrates:
     /// its view of *other* migrated peers must travel with it.

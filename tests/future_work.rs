@@ -285,6 +285,12 @@ fn node_drain_and_leave() {
     let migs = w.drain_node(n0, Strategy::IncrementalCollective);
     assert_eq!(migs.len(), 4, "every process gets a migration");
     w.run_for(5 * SECOND);
+    for mig in &migs {
+        let outcome = w
+            .migration_outcome(*mig)
+            .expect("drain migration reached a terminal state");
+        assert!(outcome.is_completed(), "drain must not abort: {outcome:?}");
+    }
     assert!(w.hosts[n0].procs.is_empty(), "node drained");
     assert_eq!(w.hosts[n0].stack.socket_count(), 0);
     for pid in &pids {
