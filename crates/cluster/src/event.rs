@@ -39,4 +39,7 @@ pub enum Event {
     ///
     /// [`World::install_fault_plan`]: crate::World::install_fault_plan
     Fault { fault: Fault },
+    /// Periodic sweep evicting stale translation rules on every live host
+    /// (only scheduled when `WorldConfig::xlate_gc_ttl_us` is set).
+    XlateGc,
 }

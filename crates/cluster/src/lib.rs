@@ -50,4 +50,6 @@ pub use app::{App, AppCtx};
 pub use dvelm_faults::{Fault, FaultPlan};
 pub use event::Event;
 pub use host::{Host, HostKind, ProcEntry};
-pub use world::{MigId, MigrationOutcome, PacketLogEntry, Recovery, World, WorldConfig};
+pub use world::{
+    MigId, MigrationOutcome, PacketLogEntry, Recovery, ResourceUsage, World, WorldConfig,
+};

@@ -4,16 +4,19 @@ use crate::app::{App, AppCtx};
 use crate::event::Event;
 use crate::host::{Host, HostKind, ProcEntry};
 use dvelm_faults::{Fault, FaultPlan};
-use dvelm_lb::{Conductor, LbEffect, LbMsg, LoadInfo, PolicyConfig, StrategyPreference};
+use dvelm_lb::{
+    AdmissionConfig, AdmissionControl, Conductor, LbEffect, LbMsg, LoadInfo, PolicyConfig,
+    StrategyPreference,
+};
 use dvelm_metrics::TraceRecorder;
 use dvelm_migrate::{
     AbortIo, AbortReason, AbortRecovery, CostModel, Effect, EffectBuf, MigrationAborted,
-    MigrationEngine, PhaseId, Side, StepIo, Strategy,
+    MigrationEngine, OverloadGuard, PhaseId, Side, StepIo, Strategy,
 };
 use dvelm_net::{BroadcastRouter, ClusterSwitch, Ip, LossModel, NodeId, Port, SockAddr};
-use dvelm_proc::{Fd, FdEntry, Pid, Process};
+use dvelm_proc::{Fd, FdEntry, Pid, Process, PAGE_SIZE};
 use dvelm_sim::{DetRng, Scheduler, SimTime};
-use dvelm_stack::{HostStack, Segment, SockId, StackEffect};
+use dvelm_stack::{CaptureBudget, HostStack, PressureKind, Segment, SockId, StackEffect};
 use std::collections::{HashMap, HashSet};
 
 /// A migration task identifier.
@@ -33,6 +36,18 @@ pub struct WorldConfig {
     pub app_read_delay_us: u64,
     /// One-way latency of control messages (xlate requests, lb messages), µs.
     pub ctrl_latency_us: u64,
+    /// Cluster-wide migration admission budgets (default: unlimited — the
+    /// paper-prototype behaviour).
+    pub admission: AdmissionConfig,
+    /// Per-migration overload guard (deadline + precopy convergence);
+    /// default disabled.
+    pub overload_guard: OverloadGuard,
+    /// Capture-queue budget installed on every host stack; default
+    /// unlimited.
+    pub capture_budget: CaptureBudget,
+    /// When set, translation rules unused for this long are periodically
+    /// evicted (default `None`: rules live until revoked).
+    pub xlate_gc_ttl_us: Option<u64>,
 }
 
 impl Default for WorldConfig {
@@ -45,6 +60,10 @@ impl Default for WorldConfig {
             conductor_tick_us: 500_000,
             app_read_delay_us: 100,
             ctrl_latency_us: 75,
+            admission: AdmissionConfig::UNLIMITED,
+            overload_guard: OverloadGuard::DISABLED,
+            capture_budget: CaptureBudget::UNLIMITED,
+            xlate_gc_ttl_us: None,
         }
     }
 }
@@ -114,6 +133,22 @@ impl MigrationOutcome {
     }
 }
 
+/// Snapshot of the resources bounded by the overload machinery (see
+/// [`World::resource_usage`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceUsage {
+    /// Migrations currently admitted and in flight.
+    pub active_migrations: usize,
+    /// Checkpoint-image bytes in flight, summed over all destinations.
+    pub inflight_image_bytes: u64,
+    /// Packets parked in capture queues, cluster-wide.
+    pub queued_capture_packets: u64,
+    /// Bytes parked in capture queues, cluster-wide.
+    pub queued_capture_bytes: u64,
+    /// Hosts currently under a [`Fault::Overload`] surge.
+    pub surged_hosts: usize,
+}
+
 /// One transmitted-frame record (the tcpdump of Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacketLogEntry {
@@ -146,6 +181,12 @@ pub struct World {
     /// Hosts whose conductor hears no control messages until the instant
     /// ([`Fault::CtrlBlackout`]).
     ctrl_dark_until: HashMap<usize, SimTime>,
+    /// The migration admission ledger (semaphores + image-byte budgets),
+    /// consulted in [`begin_migration`](World::begin_migration).
+    admission: AdmissionControl,
+    /// Hosts under a traffic surge ([`Fault::Overload`]): tick-rate
+    /// multiplier per host index.
+    surge: HashMap<usize, u32>,
     /// Monotonic stamp for `Event::AppTick` chains (see
     /// [`Event::AppTick`]).
     next_tick_gen: u64,
@@ -162,9 +203,14 @@ impl World {
     /// An empty world.
     pub fn new(cfg: WorldConfig) -> World {
         let rng = DetRng::new(cfg.seed);
+        let mut sched = Scheduler::new();
+        if let Some(ttl) = cfg.xlate_gc_ttl_us {
+            sched.schedule_after(ttl.max(1), Event::XlateGc);
+        }
+        let admission = AdmissionControl::new(cfg.admission);
         World {
             cfg,
-            sched: Scheduler::new(),
+            sched,
             hosts: Vec::new(),
             router: BroadcastRouter::default_testbed(),
             switch: ClusterSwitch::gige(),
@@ -176,6 +222,8 @@ impl World {
             outcomes: HashMap::new(),
             lost_images: Vec::new(),
             ctrl_dark_until: HashMap::new(),
+            admission,
+            surge: HashMap::new(),
             next_tick_gen: 0,
             reports: Vec::new(),
             packet_log: Vec::new(),
@@ -219,7 +267,8 @@ impl World {
     pub fn add_server_node(&mut self) -> usize {
         let node = self.next_node();
         let jiffies_base = self.rng.fork(node.0 as u64 ^ 0x1ff).next_u64() % 100_000_000;
-        let stack = HostStack::server_node(node, jiffies_base, self.cfg.seed ^ node.0 as u64);
+        let mut stack = HostStack::server_node(node, jiffies_base, self.cfg.seed ^ node.0 as u64);
+        stack.capture.set_budget(self.cfg.capture_budget);
         self.router.attach_node(node);
         self.switch.attach(node);
         self.hosts.push(Host::new(HostKind::Server, stack));
@@ -230,7 +279,8 @@ impl World {
     pub fn add_client_host(&mut self) -> usize {
         let node = self.next_node();
         let jiffies_base = self.rng.fork(node.0 as u64 ^ 0x2ff).next_u64() % 100_000_000;
-        let stack = HostStack::client_host(node, jiffies_base, self.cfg.seed ^ node.0 as u64);
+        let mut stack = HostStack::client_host(node, jiffies_base, self.cfg.seed ^ node.0 as u64);
+        stack.capture.set_budget(self.cfg.capture_budget);
         self.router.attach_client(node);
         self.hosts.push(Host::new(HostKind::Client, stack));
         self.hosts.len() - 1
@@ -241,13 +291,14 @@ impl World {
         let node = self.next_node();
         let jiffies_base = self.rng.fork(node.0 as u64 ^ 0x3ff).next_u64() % 100_000_000;
         let local = Ip::local_of(node);
-        let stack = HostStack::new(
+        let mut stack = HostStack::new(
             node,
             local,
             local,
             jiffies_base,
             self.cfg.seed ^ node.0 as u64,
         );
+        stack.capture.set_budget(self.cfg.capture_budget);
         self.switch.attach(node);
         self.hosts.push(Host::new(HostKind::Database, stack));
         self.hosts.len() - 1
@@ -428,14 +479,27 @@ impl World {
         if !self.migrating.insert(pid) {
             return None;
         }
-        let engine = MigrationEngine::new(
-            pid,
-            self.hosts[src_host].stack.node,
-            self.hosts[dst_host].stack.node,
-            strategy,
-            self.cfg.cost,
-        );
+        // Admission control: the ledger bounds cluster/per-node concurrency
+        // and the in-flight image bytes a destination must hold. Budgets
+        // against the full address space — the worst case the receiver pays.
         let mig = self.next_mig;
+        let image_bytes = self.hosts[src_host]
+            .procs
+            .get(&pid)
+            .map(|e| e.process.addr_space.total_pages() as u64 * PAGE_SIZE)
+            .unwrap_or(0);
+        let src_node = self.hosts[src_host].stack.node;
+        let dst_node = self.hosts[dst_host].stack.node;
+        if self
+            .admission
+            .admit(mig, src_node, dst_node, image_bytes)
+            .is_err()
+        {
+            self.migrating.remove(&pid);
+            return None;
+        }
+        let mut engine = MigrationEngine::new(pid, src_node, dst_node, strategy, self.cfg.cost);
+        engine.guard = self.cfg.overload_guard;
         self.next_mig += 1;
         self.migrations.insert(
             mig,
@@ -454,6 +518,31 @@ impl World {
     /// Number of migrations in progress.
     pub fn active_migrations(&self) -> usize {
         self.migrations.len()
+    }
+
+    /// The admission ledger (budgets, occupancy, denial counters).
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.admission
+    }
+
+    /// A consistent snapshot of the resources the overload machinery
+    /// budgets, for invariant checks in tests.
+    pub fn resource_usage(&self) -> ResourceUsage {
+        let mut queued_capture_packets = 0u64;
+        let mut queued_capture_bytes = 0u64;
+        for h in &self.hosts {
+            if h.alive {
+                queued_capture_packets += h.stack.capture.total_queued_packets() as u64;
+                queued_capture_bytes += h.stack.capture.total_queued_bytes() as u64;
+            }
+        }
+        ResourceUsage {
+            active_migrations: self.migrations.len(),
+            inflight_image_bytes: self.admission.inflight_by_destination().values().sum(),
+            queued_capture_packets,
+            queued_capture_bytes,
+            surged_hosts: self.surge.len(),
+        }
     }
 
     /// Gracefully drain a server node ("machines may join and leave at any
@@ -670,6 +759,45 @@ impl World {
             Fault::CtrlBlackout { host, for_us } => {
                 self.ctrl_dark_until.insert(host, now + for_us);
             }
+            Fault::Overload {
+                host,
+                factor,
+                for_us,
+            } => {
+                if !self.hosts[host].alive {
+                    return;
+                }
+                if factor <= 1 {
+                    self.surge.remove(&host);
+                } else {
+                    self.surge.insert(host, factor);
+                    if for_us > 0 {
+                        // Self-scheduled restore, like DownlinkLoss.
+                        self.sched.schedule_after(
+                            for_us,
+                            Event::Fault {
+                                fault: Fault::Overload {
+                                    host,
+                                    factor: 1,
+                                    for_us: 0,
+                                },
+                            },
+                        );
+                    }
+                }
+                // Restart every tick chain so the new rate takes effect now
+                // rather than after the currently scheduled tick.
+                let pids: Vec<Pid> = self.hosts[host].procs.keys().copied().collect();
+                for pid in pids {
+                    if self.hosts[host]
+                        .procs
+                        .get(&pid)
+                        .is_some_and(|e| !e.suspended)
+                    {
+                        self.restart_ticks(host, pid);
+                    }
+                }
+            }
         }
     }
 
@@ -775,6 +903,7 @@ impl World {
             .remove(&mig)
             .expect("aborting an active migration");
         self.migrating.remove(&pid);
+        self.admission.release(mig);
         let recovery_tag = Recovery::from(&recovery);
         match recovery {
             // The source copy never stopped (precopy abort) or was resumed
@@ -848,7 +977,7 @@ impl World {
             | Event::LbMessage { host, .. }
             | Event::InstallXlate { host, .. }
             | Event::RemoveXlate { host, .. } => Some(*host),
-            Event::MigrationStep { .. } | Event::Fault { .. } => None,
+            Event::MigrationStep { .. } | Event::Fault { .. } | Event::XlateGc => None,
         };
         if let Some(h) = target_host {
             if !self.hosts[h].alive {
@@ -860,6 +989,7 @@ impl World {
                 let now = self.now();
                 let fx = self.hosts[host].stack.on_rx(seg, now);
                 self.apply_effects(host, fx);
+                self.drain_capture_pressure(host);
             }
             Event::SockTimer { host, sock, gen } => {
                 let now = self.now();
@@ -882,6 +1012,60 @@ impl World {
                 );
             }
             Event::Fault { fault } => self.inject_fault(fault),
+            Event::XlateGc => {
+                let Some(ttl) = self.cfg.xlate_gc_ttl_us else {
+                    return;
+                };
+                let now = self.now();
+                for h in &mut self.hosts {
+                    if h.alive {
+                        h.stack.xlate.gc(now, ttl);
+                    }
+                }
+                self.sched.schedule_after(ttl.max(1), Event::XlateGc);
+            }
+        }
+    }
+
+    /// Turn capture-queue pressure recorded by `host`'s stack into
+    /// [`Effect::QueuePressure`] on the migration whose destination this
+    /// host is, and abort it (reason [`AbortReason::Overloaded`]) when the
+    /// hard-fail shed policy refused a TCP segment whose state dedup could
+    /// not have recovered.
+    fn drain_capture_pressure(&mut self, host: usize) {
+        let events = self.hosts[host].stack.capture.take_pressure_events();
+        if events.is_empty() {
+            return;
+        }
+        let now = self.now();
+        for ev in events {
+            // The owning migration: capture hooks only exist on a
+            // migration's destination stack; with several in flight toward
+            // the same host, the lowest id is the one that installed first.
+            let mig = self
+                .migrations
+                .iter()
+                .filter(|(_, t)| t.dst == host)
+                .map(|(m, _)| *m)
+                .min();
+            let Some(mig) = mig else {
+                continue; // hook outlived its migration; nothing to charge
+            };
+            let effect = Effect::QueuePressure {
+                key: ev.key,
+                queued_packets: ev.queued_packets,
+                queued_bytes: ev.queued_bytes,
+                shed_packets: ev.shed_packets,
+            };
+            if let Some(task) = self.migrations.get_mut(&mig) {
+                task.recorder.observe(now, &effect);
+            }
+            if let Some(log) = &mut self.effect_log {
+                log.push(render_effect(mig, now, &effect));
+            }
+            if ev.kind == PressureKind::HardFail {
+                self.abort_migration(mig, AbortReason::Overloaded);
+            }
         }
     }
 
@@ -927,7 +1111,10 @@ impl World {
         if entry.suspended {
             return; // frozen: the tick chain resumes after restore
         }
-        let period = entry.tick_period_us;
+        // A surged host ([`Fault::Overload`]) ticks `factor`× faster: the
+        // same app logic runs more often, multiplying send and dirty rates.
+        let factor = self.surge.get(&host).copied().unwrap_or(1).max(1) as u64;
+        let period = (entry.tick_period_us / factor).max(1);
         self.with_app(host, pid, |app, ctx| app.on_tick(ctx));
         self.sched
             .schedule_after(period, Event::AppTick { host, pid, gen });
@@ -1232,6 +1419,7 @@ impl World {
             | Effect::RemoveCapture { .. }
             | Effect::SocketDetached { .. }
             | Effect::Shipped { .. }
+            | Effect::QueuePressure { .. }
             | Effect::PacketReinjected => {}
         }
     }
@@ -1249,6 +1437,7 @@ impl World {
             ..
         } = task;
         self.migrating.remove(&pid);
+        self.admission.release(mig);
 
         // Move the application object; replace the process with the restored
         // one. The source keeps nothing (no residual dependencies).

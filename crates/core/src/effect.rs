@@ -142,6 +142,14 @@ pub enum AbortReason {
     ProcessKilled,
     /// The source or destination node was administratively detached.
     NodeDetached,
+    /// A resource budget was exhausted: the migration deadline expired or a
+    /// capture queue hit a hard-fail budget. Backing off is cheaper than
+    /// buffering further.
+    Overloaded,
+    /// The precopy loop stopped converging: the dirty-diff rate exceeded
+    /// the drain rate for N consecutive rounds, so freezing would mean an
+    /// unbounded freeze payload. The source keeps running instead.
+    NonConverging,
 }
 
 impl AbortReason {
@@ -155,6 +163,8 @@ impl AbortReason {
             AbortReason::RestoreFailed => "restore failed",
             AbortReason::ProcessKilled => "process killed",
             AbortReason::NodeDetached => "node detached",
+            AbortReason::Overloaded => "overloaded",
+            AbortReason::NonConverging => "precopy not converging",
         }
     }
 }
@@ -235,6 +245,20 @@ pub enum Effect {
     },
     /// Bytes moved between the hosts. Trace-only.
     Shipped { class: ByteClass, bytes: u64 },
+    /// A destination capture queue hit its budget and shed or refused
+    /// packets. Trace-only — the trace spine's view of pressure building.
+    /// Never emitted under the default (unlimited) budget, so fault-free
+    /// streams are unchanged.
+    QueuePressure {
+        /// The capture entry under pressure.
+        key: CaptureKey,
+        /// Packets queued after the incident.
+        queued_packets: u64,
+        /// Payload bytes queued after the incident.
+        queued_bytes: u64,
+        /// Packets shed or refused by the incident.
+        shed_packets: u64,
+    },
     /// One captured packet was re-injected on the destination. Trace-only.
     PacketReinjected,
     /// The migration finished. Always the last effect of a migration; its

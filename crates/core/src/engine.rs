@@ -117,6 +117,29 @@ pub struct StepPlan {
     pub next_step_after_us: Option<u64>,
 }
 
+/// Overload-protection knobs for one migration. The default disables both
+/// guards, reproducing the paper's (unguarded) behaviour exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverloadGuard {
+    /// Wall-clock budget: when a precopy round begins more than this many
+    /// µs after the migration started, abort with
+    /// [`AbortReason::Overloaded`] instead of starting the round.
+    pub deadline_us: Option<u64>,
+    /// Convergence guard: abort with [`AbortReason::NonConverging`] after
+    /// this many *consecutive* precopy rounds whose dirty diff failed to
+    /// shrink — the dirty rate has caught up with the drain rate, so
+    /// freezing would ship an ever-growing payload.
+    pub max_stagnant_rounds: Option<u32>,
+}
+
+impl OverloadGuard {
+    /// Both guards off (the default).
+    pub const DISABLED: OverloadGuard = OverloadGuard {
+        deadline_us: None,
+        max_stagnant_rounds: None,
+    };
+}
+
 /// Final result of a migration, carried by [`Effect::Complete`].
 #[derive(Debug)]
 pub struct MigrationComplete {
@@ -173,6 +196,14 @@ pub struct MigrationEngine {
     /// reinstate them.
     src_self_rules: Vec<SelfXlateRule>,
     src_jiffies_at_detach: Jiffies,
+    /// Overload protection (deadline + convergence guard), off by default.
+    pub guard: OverloadGuard,
+    /// When the first step ran (the deadline's epoch).
+    started_at: Option<SimTime>,
+    /// Consecutive precopy rounds whose dirty diff did not shrink.
+    stagnant_rounds: u32,
+    /// Dirty-diff bytes of the previous precopy round.
+    last_round_bytes: Option<u64>,
 }
 
 impl MigrationEngine {
@@ -205,6 +236,10 @@ impl MigrationEngine {
             sent_rules: Vec::new(),
             src_self_rules: Vec::new(),
             src_jiffies_at_detach: Jiffies(0),
+            guard: OverloadGuard::DISABLED,
+            started_at: None,
+            stagnant_rounds: 0,
+            last_round_bytes: None,
         }
     }
 
@@ -427,6 +462,7 @@ impl MigrationEngine {
     }
 
     fn step_start(&mut self, io: StepIo<'_>, sink: &mut dyn EffectSink) -> StepPlan {
+        self.started_at = Some(io.now);
         sink.emit(io.now, Effect::PhaseEntered(PhaseId::PrecopyFull));
         // Live checkpoint request: signal; all threads return to userspace
         // (guaranteeing empty backlogs/prequeues, §V-C1), then the helper
@@ -474,6 +510,14 @@ impl MigrationEngine {
     }
 
     fn step_precopy(&mut self, io: StepIo<'_>, sink: &mut dyn EffectSink) -> StepPlan {
+        // Deadline guard: abort *before* spending another round. The source
+        // copy is authoritative throughout precopy, so this is the free
+        // rollback (§III) — drop the staged image, nothing was installed.
+        if let (Some(deadline), Some(start)) = (self.guard.deadline_us, self.started_at) {
+            if io.now.saturating_since(start) > deadline {
+                return self.abort_in_precopy(io.now, AbortReason::Overloaded, sink);
+            }
+        }
         sink.emit(io.now, Effect::PhaseEntered(PhaseId::PrecopyIter));
         let update = incremental_update(&mut self.tracker, io.proc);
         let staged = self
@@ -513,6 +557,23 @@ impl MigrationEngine {
 
         let delay = self.cost.serialize_us(bytes) + self.cost.transfer_us(bytes);
 
+        // Convergence guard: under overload the dirty diff stops shrinking
+        // round over round (the round length is floored by its own transfer
+        // time, so a dirty rate above the drain rate produces monotonically
+        // non-decreasing diffs). N consecutive stagnant rounds → abort
+        // rather than freeze with an unbounded payload.
+        if let Some(max_stagnant) = self.guard.max_stagnant_rounds {
+            match self.last_round_bytes {
+                // A zero diff is convergence, not stagnation.
+                Some(prev) if bytes > 0 && bytes >= prev => self.stagnant_rounds += 1,
+                _ => self.stagnant_rounds = 0,
+            }
+            self.last_round_bytes = Some(bytes);
+            if self.stagnant_rounds >= max_stagnant {
+                return self.abort_in_precopy(io.now, AbortReason::NonConverging, sink);
+            }
+        }
+
         // "In each subsequent iteration the loop timeout is decreased. When
         // it reaches a threshold (currently 20 ms) it signals the
         // application threads for final checkpointing."
@@ -522,6 +583,29 @@ impl MigrationEngine {
         }
         StepPlan {
             next_step_after_us: Some(self.loop_timeout_us.max(delay)),
+        }
+    }
+
+    /// In-step abort during precopy: the app never stopped, nothing was
+    /// installed anywhere — drop the staged image and close the stream.
+    fn abort_in_precopy(
+        &mut self,
+        now: SimTime,
+        reason: AbortReason,
+        sink: &mut dyn EffectSink,
+    ) -> StepPlan {
+        self.staged = None;
+        self.phase = Phase::Aborted;
+        sink.emit(
+            now,
+            Effect::Aborted(MigrationAborted {
+                phase: PhaseId::PrecopyIter,
+                reason,
+                recovery: AbortRecovery::SourceKeptRunning,
+            }),
+        );
+        StepPlan {
+            next_step_after_us: None,
         }
     }
 

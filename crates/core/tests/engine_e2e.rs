@@ -191,6 +191,7 @@ fn run_migration(
                 | Effect::Shipped { .. }
                 | Effect::PacketReinjected
                 | Effect::ResumeApp
+                | Effect::QueuePressure { .. }
                 | Effect::RevokeXlate { .. } => {}
             }
         }

@@ -19,7 +19,10 @@
 //! * [`Fault::CaptureInstallFail`] / [`Fault::RestoreFail`] — the
 //!   destination kernel refuses a capture hook / socket rehash;
 //! * [`Fault::CtrlBlackout`] — a node's conductor stops hearing control
-//!   messages (heartbeats, negotiation) for a while.
+//!   messages (heartbeats, negotiation) for a while;
+//! * [`Fault::Overload`] — a traffic surge multiplies the tick (and hence
+//!   send/dirty) rate of everything on a host, driving capture queues,
+//!   precopy convergence and the admission path into their budgets.
 
 use dvelm_net::LossModel;
 use dvelm_proc::Pid;
@@ -50,6 +53,15 @@ pub enum Fault {
     RestoreFail { host: usize },
     /// The host's conductor hears no control messages for `for_us` µs.
     CtrlBlackout { host: usize, for_us: u64 },
+    /// Traffic surge: every client/application flow hosted on `host` ticks
+    /// `factor`× faster for `for_us` µs, multiplying its send rate and
+    /// dirty rate (a flash crowd hitting a zone). `factor <= 1` restores
+    /// the normal rate; `for_us == 0` leaves the surge installed forever.
+    Overload {
+        host: usize,
+        factor: u32,
+        for_us: u64,
+    },
 }
 
 impl Fault {
@@ -62,6 +74,7 @@ impl Fault {
             Fault::CaptureInstallFail { .. } => "capture install fail",
             Fault::RestoreFail { .. } => "restore fail",
             Fault::CtrlBlackout { .. } => "control blackout",
+            Fault::Overload { .. } => "overload",
         }
     }
 }
@@ -161,6 +174,15 @@ mod tests {
         assert_eq!(
             Fault::TransferStall { pid: Pid(1) }.label(),
             "transfer stall"
+        );
+        assert_eq!(
+            Fault::Overload {
+                host: 0,
+                factor: 4,
+                for_us: 0
+            }
+            .label(),
+            "overload"
         );
     }
 }

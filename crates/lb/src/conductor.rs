@@ -142,6 +142,13 @@ pub struct LbStats {
     pub retries: u64,
     /// Migrations given up after `retry_max_attempts` failed attempts.
     pub migrations_abandoned: u64,
+    /// Migration intents parked because every viable destination sat above
+    /// the admission high-water mark.
+    pub deferrals: u64,
+    /// Deferred intents later promoted into a real migration request.
+    pub deferred_promoted: u64,
+    /// Deferred intents shed because the bounded queue overflowed.
+    pub deferred_shed: u64,
 }
 
 /// A failed migration waiting for its backoff to elapse.
@@ -152,6 +159,17 @@ struct RetryState {
     failures: u32,
     /// Earliest instant the retry may fire.
     not_before: SimTime,
+}
+
+/// A migration intent parked by admission control: the transfer policy
+/// fired, but every viable destination was above the high-water mark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Deferred {
+    pid: Pid,
+    /// The process's CPU share when deferred — doubles as the priority
+    /// when the bounded queue must shed.
+    share: f64,
+    since: SimTime,
 }
 
 /// The conductor daemon of one node.
@@ -172,6 +190,9 @@ pub struct Conductor {
     /// At most one failed migration awaits retry at a time (the conductor
     /// runs at most one migration at a time to begin with).
     retry: Option<RetryState>,
+    /// Migration intents waiting for a destination to drain below the
+    /// admission high-water mark. Bounded by `cfg.max_deferred`.
+    deferred: Vec<Deferred>,
 }
 
 impl Conductor {
@@ -187,6 +208,7 @@ impl Conductor {
             stats: LbStats::default(),
             blacklist: Vec::new(),
             retry: None,
+            deferred: Vec::new(),
         }
     }
 
@@ -212,6 +234,39 @@ impl Conductor {
     /// The pid of a failed migration awaiting its backoff, if any.
     pub fn retry_pending(&self) -> Option<Pid> {
         self.retry.map(|r| r.pid)
+    }
+
+    /// Pids parked in the admission deferral queue.
+    pub fn deferred_pids(&self) -> Vec<Pid> {
+        self.deferred.iter().map(|d| d.pid).collect()
+    }
+
+    /// Park an intent; the bounded queue sheds the lowest-priority entry
+    /// (smallest CPU share — the candidate itself, if it is smallest).
+    fn defer(&mut self, pid: Pid, share: f64, now: SimTime) {
+        self.stats.deferrals += 1;
+        self.deferred.push(Deferred {
+            pid,
+            share,
+            since: now,
+        });
+        while self.deferred.len() > self.cfg.max_deferred {
+            let min_i = self
+                .deferred
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    a.1.share
+                        .partial_cmp(&b.1.share)
+                        .expect("CPU shares are finite")
+                        // Equal shares: shed the youngest intent.
+                        .then(b.1.since.cmp(&a.1.since))
+                })
+                .map(|(i, _)| i)
+                .expect("queue is non-empty");
+            self.deferred.remove(min_i);
+            self.stats.deferred_shed += 1;
+        }
     }
 
     /// Exponential backoff before attempt `failures + 1`.
@@ -293,9 +348,13 @@ impl Conductor {
                 if now >= retry.not_before {
                     let avg = self.peers.cluster_average(local.cpu_pct);
                     let exclude = self.blacklisted(now);
-                    let dest =
-                        self.cfg
-                            .choose_destination(local.cpu_pct, avg, &self.peers, &exclude);
+                    let dest = self.cfg.choose_destination_at(
+                        now,
+                        local.cpu_pct,
+                        avg,
+                        &self.peers,
+                        &exclude,
+                    );
                     let share = procs.iter().find(|(p, _)| *p == retry.pid).map(|(_, s)| *s);
                     match (dest, share) {
                         (Some(dest), Some(share)) => {
@@ -334,36 +393,102 @@ impl Conductor {
             }
         }
 
+        // Deferred intents: the transfer policy already fired for these;
+        // only a congested destination held them back. The moment a fresh
+        // sample shows a drained receiver, the highest-priority intent is
+        // promoted (it owns the Idle slot ahead of fresh policy decisions).
+        if self.phase == ConductorPhase::Idle && self.retry.is_none() && !self.deferred.is_empty() {
+            self.deferred
+                .retain(|d| procs.iter().any(|(p, _)| *p == d.pid));
+            let avg = self.peers.cluster_average(local.cpu_pct);
+            let exclude = self.blacklisted(now);
+            if let Some(dest) =
+                self.cfg
+                    .choose_destination_at(now, local.cpu_pct, avg, &self.peers, &exclude)
+            {
+                if let Some(max_i) = self
+                    .deferred
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        a.1.share
+                            .partial_cmp(&b.1.share)
+                            .expect("CPU shares are finite")
+                            // Equal shares: promote the oldest intent.
+                            .then(b.1.since.cmp(&a.1.since))
+                    })
+                    .map(|(i, _)| i)
+                {
+                    let d = self.deferred.remove(max_i);
+                    self.stats.deferred_promoted += 1;
+                    self.stats.requests_sent += 1;
+                    self.phase = ConductorPhase::AwaitingAccept {
+                        dest,
+                        pid: d.pid,
+                        since: now,
+                    };
+                    effects.push(LbEffect::Send(
+                        dest,
+                        LbMsg::MigRequest {
+                            pid: d.pid,
+                            share: d.share,
+                            sender_load: local.cpu_pct,
+                        },
+                    ));
+                    return effects;
+                }
+            }
+        }
+
         // Transfer policy, sender side. A pending retry owns the conductor's
         // single migration slot — no fresh migration starts under it.
         if self.phase == ConductorPhase::Idle && self.retry.is_none() {
             let avg = self.peers.cluster_average(local.cpu_pct);
             if self.cfg.should_initiate(local.cpu_pct, avg) {
                 let exclude = self.blacklisted(now);
-                if let Some(dest) =
-                    self.cfg
-                        .choose_destination(local.cpu_pct, avg, &self.peers, &exclude)
-                {
-                    if let Some(pid) = self.cfg.choose_process(local.cpu_pct, avg, procs) {
-                        let share = procs
-                            .iter()
-                            .find(|(p, _)| *p == pid)
-                            .map(|(_, s)| *s)
-                            .expect("selected pid comes from procs");
-                        self.phase = ConductorPhase::AwaitingAccept {
-                            dest,
-                            pid,
-                            since: now,
-                        };
-                        self.stats.requests_sent += 1;
-                        effects.push(LbEffect::Send(
-                            dest,
-                            LbMsg::MigRequest {
+                // A deferred intent owns its process; the selection policy
+                // only considers the rest.
+                let eligible: Vec<(Pid, f64)> = procs
+                    .iter()
+                    .copied()
+                    .filter(|(p, _)| !self.deferred.iter().any(|d| d.pid == *p))
+                    .collect();
+                if let Some(pid) = self.cfg.choose_process(local.cpu_pct, avg, &eligible) {
+                    let share = eligible
+                        .iter()
+                        .find(|(p, _)| *p == pid)
+                        .map(|(_, s)| *s)
+                        .expect("selected pid comes from procs");
+                    match self.cfg.choose_destination_at(
+                        now,
+                        local.cpu_pct,
+                        avg,
+                        &self.peers,
+                        &exclude,
+                    ) {
+                        Some(dest) => {
+                            self.phase = ConductorPhase::AwaitingAccept {
+                                dest,
                                 pid,
-                                share,
-                                sender_load: local.cpu_pct,
-                            },
-                        ));
+                                since: now,
+                            };
+                            self.stats.requests_sent += 1;
+                            effects.push(LbEffect::Send(
+                                dest,
+                                LbMsg::MigRequest {
+                                    pid,
+                                    share,
+                                    sender_load: local.cpu_pct,
+                                },
+                            ));
+                        }
+                        None if self
+                            .cfg
+                            .viable_but_congested(now, avg, &self.peers, &exclude) =>
+                        {
+                            self.defer(pid, share, now);
+                        }
+                        None => {}
                     }
                 }
             }
@@ -971,6 +1096,135 @@ mod tests {
             .iter()
             .any(|e| matches!(e, LbEffect::Send(NodeId(2), LbMsg::MigRequest { .. }))));
         assert_eq!(c.stats().retries, 2);
+    }
+
+    #[test]
+    fn congested_destination_defers_then_promotes() {
+        let cfg = PolicyConfig {
+            dest_high_water: 60.0,
+            ..PolicyConfig::default()
+        };
+        let mut c = Conductor::new(NodeId(0), cfg);
+        let local = |at: SimTime| LoadInfo::new(NodeId(0), 95.0, 20, at);
+        let procs = [(Pid(7), 10.0)];
+
+        // The only peer is below the average but above the high water:
+        // the intent parks instead of firing.
+        let t1 = SimTime::from_secs(1);
+        c.peers.update(LoadInfo::new(NodeId(1), 65.0, 20, t1));
+        let out = c.on_tick(t1, local(t1), &procs);
+        assert!(!out
+            .iter()
+            .any(|e| matches!(e, LbEffect::Send(_, LbMsg::MigRequest { .. }))));
+        assert_eq!(c.deferred_pids(), vec![Pid(7)]);
+        assert_eq!(c.stats().deferrals, 1);
+        assert_eq!(c.phase(), ConductorPhase::Idle);
+
+        // Still congested: the intent stays parked, no duplicate deferral.
+        let t2 = t1 + SECOND;
+        c.peers.update(LoadInfo::new(NodeId(1), 65.0, 20, t2));
+        c.on_tick(t2, local(t2), &procs);
+        assert_eq!(c.stats().deferrals, 1);
+
+        // The receiver drains below the high water: promotion fires the
+        // parked request.
+        let t3 = t2 + SECOND;
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t3));
+        let out = c.on_tick(t3, local(t3), &procs);
+        assert!(out.iter().any(|e| matches!(
+            e,
+            LbEffect::Send(NodeId(1), LbMsg::MigRequest { pid: Pid(7), .. })
+        )));
+        assert!(c.deferred_pids().is_empty());
+        assert_eq!(c.stats().deferred_promoted, 1);
+        assert!(matches!(c.phase(), ConductorPhase::AwaitingAccept { .. }));
+    }
+
+    #[test]
+    fn deferral_queue_bounds_and_sheds_lowest_priority() {
+        let cfg = PolicyConfig {
+            dest_high_water: 60.0,
+            max_deferred: 1,
+            ..PolicyConfig::default()
+        };
+        let mut c = Conductor::new(NodeId(0), cfg);
+        let local = |at: SimTime| LoadInfo::new(NodeId(0), 95.0, 20, at);
+        // Two processes; the selection policy picks Pid(1) first (both are
+        // equally distant from the 15% target and ties keep list order).
+        let procs = [(Pid(1), 10.0), (Pid(2), 20.0)];
+
+        let t1 = SimTime::from_secs(1);
+        c.peers.update(LoadInfo::new(NodeId(1), 65.0, 20, t1));
+        c.on_tick(t1, local(t1), &procs);
+        assert_eq!(c.deferred_pids(), vec![Pid(1)]);
+
+        // Pid(1) is parked, so the next tick defers Pid(2); the bounded
+        // queue sheds the smaller-share intent.
+        let t2 = t1 + SECOND;
+        c.peers.update(LoadInfo::new(NodeId(1), 65.0, 20, t2));
+        c.on_tick(t2, local(t2), &procs);
+        assert_eq!(c.deferred_pids(), vec![Pid(2)], "lowest priority shed");
+        assert_eq!(c.stats().deferrals, 2);
+        assert_eq!(c.stats().deferred_shed, 1);
+
+        // Drain: the surviving (highest-priority) intent is promoted.
+        let t3 = t2 + SECOND;
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t3));
+        let out = c.on_tick(t3, local(t3), &procs);
+        assert!(out.iter().any(|e| matches!(
+            e,
+            LbEffect::Send(NodeId(1), LbMsg::MigRequest { pid: Pid(2), .. })
+        )));
+    }
+
+    #[test]
+    fn deferred_intent_for_killed_process_is_dropped() {
+        let cfg = PolicyConfig {
+            dest_high_water: 60.0,
+            ..PolicyConfig::default()
+        };
+        let mut c = Conductor::new(NodeId(0), cfg);
+        let local = |at: SimTime| LoadInfo::new(NodeId(0), 95.0, 20, at);
+        let t1 = SimTime::from_secs(1);
+        c.peers.update(LoadInfo::new(NodeId(1), 65.0, 20, t1));
+        c.on_tick(t1, local(t1), &[(Pid(7), 10.0)]);
+        assert_eq!(c.deferred_pids(), vec![Pid(7)]);
+
+        // The process vanished before the receiver drained.
+        let t2 = t1 + SECOND;
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t2));
+        let out = c.on_tick(t2, local(t2), &[(Pid(9), 0.1)]);
+        assert!(!out
+            .iter()
+            .any(|e| matches!(e, LbEffect::Send(_, LbMsg::MigRequest { .. }))));
+        assert!(c.deferred_pids().is_empty());
+        assert_eq!(c.stats().deferred_promoted, 0);
+    }
+
+    #[test]
+    fn stale_load_sample_blocks_initiation() {
+        let mut c = Conductor::new(NodeId(0), PolicyConfig::default());
+        let local = |at: SimTime| LoadInfo::new(NodeId(0), 95.0, 20, at);
+        // The peer's only sample is 3 s old at tick time: not yet expired
+        // from the db (5 s), but past the 2-heartbeat freshness window —
+        // it must not be chosen, and it is no reason to defer either.
+        let t0 = SimTime::from_secs(1);
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t0));
+        let t1 = SimTime::from_secs(4);
+        let out = c.on_tick(t1, local(t1), &[(Pid(7), 10.0)]);
+        assert!(!out
+            .iter()
+            .any(|e| matches!(e, LbEffect::Send(_, LbMsg::MigRequest { .. }))));
+        assert!(c.deferred_pids().is_empty());
+        assert_eq!(c.phase(), ConductorPhase::Idle);
+
+        // A fresh heartbeat restores eligibility.
+        let t2 = SimTime::from_secs(5);
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t2));
+        let out = c.on_tick(t2, local(t2), &[(Pid(7), 10.0)]);
+        assert!(out
+            .iter()
+            .any(|e| matches!(e, LbEffect::Send(NodeId(1), LbMsg::MigRequest { .. }))));
     }
 
     #[test]

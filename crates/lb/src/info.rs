@@ -29,6 +29,15 @@ impl LoadInfo {
             at,
         }
     }
+
+    /// Whether the sample is recent enough to base an admission or
+    /// placement decision on. A node whose latest sample is older than
+    /// `fresh_us` (the conductor uses 2× the heartbeat interval) may have
+    /// drifted arbitrarily far from the recorded load, so it is treated as
+    /// having no usable sample at all rather than a stale optimistic one.
+    pub fn is_fresh(&self, now: SimTime, fresh_us: u64) -> bool {
+        now.saturating_since(self.at) <= fresh_us
+    }
 }
 
 #[cfg(test)]
@@ -41,5 +50,16 @@ mod tests {
         assert_eq!(li.node, NodeId(3));
         assert_eq!(li.cpu_pct, 87.5);
         assert_eq!(li.nprocs, 20);
+    }
+
+    #[test]
+    fn freshness_is_a_closed_window() {
+        let li = LoadInfo::new(NodeId(1), 50.0, 4, SimTime::from_secs(10));
+        let fresh_us = 2_000_000;
+        assert!(li.is_fresh(SimTime::from_secs(10), fresh_us));
+        assert!(li.is_fresh(SimTime::from_secs(12), fresh_us));
+        assert!(!li.is_fresh(SimTime::from_micros(12_000_001), fresh_us));
+        // A sample "from the future" (sender clock ahead) is fresh.
+        assert!(li.is_fresh(SimTime::from_secs(9), fresh_us));
     }
 }

@@ -41,6 +41,7 @@
 //!     .any(|a| matches!(a, LbEffect::Send(NodeId(1), LbMsg::MigRequest { .. }))));
 //! ```
 
+pub mod admission;
 pub mod conductor;
 pub mod info;
 pub mod monitor;
@@ -48,6 +49,7 @@ pub mod peers;
 pub mod policy;
 pub mod spanning;
 
+pub use admission::{AdmissionConfig, AdmissionControl, AdmissionDenied, AdmissionStats};
 pub use conductor::{Conductor, ConductorPhase, LbEffect, LbMsg, LbStats, StrategyPreference};
 pub use info::LoadInfo;
 pub use monitor::LoadMonitor;

@@ -3,7 +3,7 @@
 use crate::peers::PeerDb;
 use dvelm_net::NodeId;
 use dvelm_proc::Pid;
-use dvelm_sim::{MILLISECOND, SECOND};
+use dvelm_sim::{SimTime, MILLISECOND, SECOND};
 
 /// Tunables of the load-balancing middleware.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +36,19 @@ pub struct PolicyConfig {
     /// A destination involved in a failed migration is not chosen again for
     /// this long, µs.
     pub blacklist_us: u64,
+    /// A peer's load sample older than this many heartbeat periods is
+    /// discarded for placement decisions — the node may have drifted
+    /// arbitrarily far from the recorded value, so it is ineligible as a
+    /// destination until a fresh sample arrives. `0` disables the check.
+    pub load_fresh_factor: u32,
+    /// Destination admission high-water mark, CPU %: a peer at or above
+    /// this is never sent a migration even if it sits below the cluster
+    /// average; the intent is *deferred* instead. `f64::INFINITY`
+    /// disables deferral (the paper-prototype behaviour).
+    pub dest_high_water: f64,
+    /// Bound on the deferral queue; when full, the lowest-priority
+    /// (smallest CPU share) intent is shed.
+    pub max_deferred: usize,
 }
 
 impl Default for PolicyConfig {
@@ -53,6 +66,9 @@ impl Default for PolicyConfig {
             retry_backoff_base_us: 2 * SECOND,
             retry_max_attempts: 3,
             blacklist_us: 30 * SECOND,
+            load_fresh_factor: 2,
+            dest_high_water: f64::INFINITY,
+            max_deferred: 8,
         }
     }
 }
@@ -96,6 +112,63 @@ impl PolicyConfig {
                 da.partial_cmp(&db).expect("CPU loads are finite")
             })
             .map(|li| li.node)
+    }
+
+    /// Freshness window for peer load samples, µs.
+    pub fn load_fresh_us(&self) -> u64 {
+        if self.load_fresh_factor == 0 {
+            u64::MAX
+        } else {
+            (self.load_fresh_factor as u64).saturating_mul(self.heartbeat_period_us)
+        }
+    }
+
+    /// Location policy with admission filters: like
+    /// [`choose_destination`](Self::choose_destination), but a peer is only
+    /// eligible if its load sample is fresh (see `load_fresh_factor`) and
+    /// its load is below the admission high-water mark.
+    pub fn choose_destination_at(
+        &self,
+        now: SimTime,
+        local_cpu: f64,
+        cluster_avg: f64,
+        peers: &PeerDb,
+        exclude: &[NodeId],
+    ) -> Option<NodeId> {
+        let fresh_us = self.load_fresh_us();
+        let target = cluster_avg - (local_cpu - cluster_avg);
+        peers
+            .iter()
+            .filter(|li| !exclude.contains(&li.node))
+            .filter(|li| li.is_fresh(now, fresh_us))
+            .filter(|li| li.cpu_pct < cluster_avg - self.receiver_margin)
+            .filter(|li| li.cpu_pct < self.dest_high_water)
+            .min_by(|a, b| {
+                let da = (a.cpu_pct - target).abs();
+                let db = (b.cpu_pct - target).abs();
+                da.partial_cmp(&db).expect("CPU loads are finite")
+            })
+            .map(|li| li.node)
+    }
+
+    /// Whether some peer would qualify as a destination (fresh, not
+    /// excluded, below the average) but is held back *only* by the
+    /// admission high-water mark. Distinguishes "defer and try again when
+    /// the receivers drain" from "there is nowhere to go at all".
+    pub fn viable_but_congested(
+        &self,
+        now: SimTime,
+        cluster_avg: f64,
+        peers: &PeerDb,
+        exclude: &[NodeId],
+    ) -> bool {
+        let fresh_us = self.load_fresh_us();
+        peers
+            .iter()
+            .filter(|li| !exclude.contains(&li.node))
+            .filter(|li| li.is_fresh(now, fresh_us))
+            .filter(|li| li.cpu_pct < cluster_avg - self.receiver_margin)
+            .any(|li| li.cpu_pct >= self.dest_high_water)
     }
 
     /// **Selection policy** (§IV-C): pick the process whose CPU consumption
@@ -186,6 +259,59 @@ mod tests {
             cfg.choose_destination(90.0, 75.0, &db, &[NodeId(1), NodeId(2), NodeId(3)]),
             None
         );
+    }
+
+    #[test]
+    fn stale_sample_makes_peer_ineligible() {
+        let cfg = PolicyConfig::default();
+        let mut db = PeerDb::new();
+        // Node 2 would be the mirror pick, but its sample is ancient.
+        db.update(LoadInfo::new(NodeId(1), 70.0, 20, SimTime::from_secs(10)));
+        db.update(LoadInfo::new(NodeId(2), 62.0, 20, SimTime::ZERO));
+        let now = SimTime::from_secs(10);
+        assert_eq!(
+            cfg.choose_destination_at(now, 90.0, 75.0, &db, &[]),
+            Some(NodeId(1)),
+            "stale node 2 skipped"
+        );
+        // The clock-agnostic variant still sees it (old behaviour).
+        assert_eq!(
+            cfg.choose_destination(90.0, 75.0, &db, &[]),
+            Some(NodeId(2))
+        );
+        // With the check disabled, staleness is ignored.
+        let lax = PolicyConfig {
+            load_fresh_factor: 0,
+            ..cfg
+        };
+        assert_eq!(
+            lax.choose_destination_at(now, 90.0, 75.0, &db, &[]),
+            Some(NodeId(2))
+        );
+    }
+
+    #[test]
+    fn high_water_mark_blocks_congested_destination() {
+        let cfg = PolicyConfig {
+            dest_high_water: 60.0,
+            ..PolicyConfig::default()
+        };
+        let now = SimTime::ZERO;
+        // Both below avg - margin, but only node 3 is under the high water.
+        let db = peers(&[(2, 62.0), (3, 40.0)]);
+        assert_eq!(
+            cfg.choose_destination_at(now, 90.0, 75.0, &db, &[]),
+            Some(NodeId(3))
+        );
+        // Every qualifying peer congested: no destination, but the caller
+        // can tell it is worth deferring.
+        let db = peers(&[(2, 62.0), (4, 65.0)]);
+        assert_eq!(cfg.choose_destination_at(now, 90.0, 75.0, &db, &[]), None);
+        assert!(cfg.viable_but_congested(now, 75.0, &db, &[]));
+        // No peer below the average at all: nothing to defer for.
+        let db = peers(&[(2, 80.0)]);
+        assert_eq!(cfg.choose_destination_at(now, 90.0, 75.0, &db, &[]), None);
+        assert!(!cfg.viable_but_congested(now, 75.0, &db, &[]));
     }
 
     #[test]

@@ -58,6 +58,13 @@ pub struct TraceRecorder {
     captures_removed: u32,
     xlate_rules_sent: u32,
     xlate_rules_revoked: u32,
+    pressure_events: u32,
+    shed_packets: u64,
+    peak_queued_packets: u64,
+    peak_queued_bytes: u64,
+    /// Whether a `SuspendApp` was observed — i.e. the application actually
+    /// stopped at some point.
+    suspended: bool,
     finished: bool,
 }
 
@@ -72,6 +79,11 @@ impl TraceRecorder {
             captures_removed: 0,
             xlate_rules_sent: 0,
             xlate_rules_revoked: 0,
+            pressure_events: 0,
+            shed_packets: 0,
+            peak_queued_packets: 0,
+            peak_queued_bytes: 0,
+            suspended: false,
             finished: false,
         }
     }
@@ -98,7 +110,10 @@ impl TraceRecorder {
                     self.report.precopy_iterations += 1;
                 }
             }
-            Effect::SuspendApp => self.report.frozen_at = at,
+            Effect::SuspendApp => {
+                self.report.frozen_at = at;
+                self.suspended = true;
+            }
             Effect::InstallCapture { .. } => {
                 self.captures_enabled += 1;
                 if let Some(open) = self.spans.last_mut() {
@@ -141,6 +156,17 @@ impl TraceRecorder {
                 }
             }
             Effect::Stack { .. } => {}
+            Effect::QueuePressure {
+                queued_packets,
+                queued_bytes,
+                shed_packets,
+                ..
+            } => {
+                self.pressure_events += 1;
+                self.shed_packets += shed_packets;
+                self.peak_queued_packets = self.peak_queued_packets.max(*queued_packets);
+                self.peak_queued_bytes = self.peak_queued_bytes.max(*queued_bytes);
+            }
             Effect::Complete(_) => {
                 self.report.resumed_at = at;
                 if let Some(open) = self.spans.last_mut() {
@@ -158,8 +184,13 @@ impl TraceRecorder {
                 // The rollback instant closes the trace: an abort whose
                 // recovery resumed or restored the source copy ends the
                 // application's unresponsive interval here, so `freeze_us`
-                // measures downtime for aborted migrations too.
-                self.report.resumed_at = at;
+                // measures downtime for aborted migrations too. A precopy
+                // abort never stopped the app — there is no unresponsive
+                // interval to close, so `resumed_at` stays at `frozen_at`
+                // and the freeze reads zero.
+                if self.suspended {
+                    self.report.resumed_at = at;
+                }
                 if let Some(open) = self.spans.last_mut() {
                     if open.exited_at.is_none() {
                         open.exited_at = Some(at);
@@ -199,6 +230,22 @@ impl TraceRecorder {
     /// Translation rules recalled from peers by an abort.
     pub fn xlate_rules_revoked(&self) -> u32 {
         self.xlate_rules_revoked
+    }
+
+    /// Capture-queue budget-pressure incidents observed on the stream.
+    pub fn pressure_events(&self) -> u32 {
+        self.pressure_events
+    }
+
+    /// Packets shed or refused by capture-queue budgets.
+    pub fn shed_packets(&self) -> u64 {
+        self.shed_packets
+    }
+
+    /// High-water mark of (packets, bytes) queued in a pressured capture
+    /// entry — zero unless pressure was observed.
+    pub fn peak_queue_occupancy(&self) -> (u64, u64) {
+        (self.peak_queued_packets, self.peak_queued_bytes)
     }
 
     /// The derived report so far (complete once [`finished`](Self::finished)).
@@ -389,6 +436,34 @@ mod tests {
             Some(&("aborted", t(7_000))),
             "the abort is on the phase log"
         );
+    }
+
+    #[test]
+    fn queue_pressure_is_folded() {
+        let mut r = recorder();
+        r.observe(t(0), &Effect::PhaseEntered(PhaseId::FreezeDetach));
+        let key = dvelm_stack::capture::CaptureKey::any_remote(dvelm_net::Port(80));
+        r.observe(
+            t(10),
+            &Effect::QueuePressure {
+                key,
+                queued_packets: 32,
+                queued_bytes: 4_096,
+                shed_packets: 3,
+            },
+        );
+        r.observe(
+            t(20),
+            &Effect::QueuePressure {
+                key,
+                queued_packets: 16,
+                queued_bytes: 8_192,
+                shed_packets: 1,
+            },
+        );
+        assert_eq!(r.pressure_events(), 2);
+        assert_eq!(r.shed_packets(), 4);
+        assert_eq!(r.peak_queue_occupancy(), (32, 8_192));
     }
 
     #[test]

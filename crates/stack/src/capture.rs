@@ -44,6 +44,118 @@ impl CaptureKey {
     }
 }
 
+/// What to do when a TCP capture queue hits its [`CaptureBudget`].
+///
+/// UDP always sheds oldest-first (datagram loss is part of the service
+/// model). TCP is the policy decision: the dedup key already coalesces
+/// retransmissions for free, so the only question is what happens to a
+/// *new* segment that does not fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpShedPolicy {
+    /// Refuse the new segment at the hook. The drop is indistinguishable
+    /// from wire loss: the sender's retransmission timer re-offers the
+    /// segment, and dedup stores it once when room exists (or it is
+    /// delivered normally once the socket is restored). No TCP state is
+    /// lost — recovery is deferred to the protocol.
+    CoalesceBySeq,
+    /// Never shed TCP under pressure: report a hard failure so the caller
+    /// aborts the migration instead (the compensating-effect rollback then
+    /// resumes the source copy, which ACKs normally). Use when deferring
+    /// to retransmission is unacceptable.
+    HardFail,
+}
+
+/// Byte/packet budget for one capture entry. The default is unlimited,
+/// which reproduces the paper's (unbounded) behaviour exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaptureBudget {
+    /// Max packets queued per entry (TCP + UDP together).
+    pub max_packets: usize,
+    /// Max payload bytes queued per entry.
+    pub max_bytes: usize,
+    /// What to do when a new TCP segment does not fit.
+    pub tcp_policy: TcpShedPolicy,
+}
+
+impl CaptureBudget {
+    /// No limits: capture everything, as the paper does.
+    pub const UNLIMITED: CaptureBudget = CaptureBudget {
+        max_packets: usize::MAX,
+        max_bytes: usize::MAX,
+        tcp_policy: TcpShedPolicy::CoalesceBySeq,
+    };
+
+    /// A bounded budget with the default (coalesce) TCP policy.
+    pub fn bounded(max_packets: usize, max_bytes: usize) -> CaptureBudget {
+        CaptureBudget {
+            max_packets,
+            max_bytes,
+            tcp_policy: TcpShedPolicy::CoalesceBySeq,
+        }
+    }
+
+    /// Whether this budget can ever shed.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_packets == usize::MAX && self.max_bytes == usize::MAX
+    }
+}
+
+impl Default for CaptureBudget {
+    fn default() -> CaptureBudget {
+        CaptureBudget::UNLIMITED
+    }
+}
+
+/// What [`CaptureTable::capture`] did with a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureOutcome {
+    /// No enabled entry matches; the hook passes the packet on.
+    NotMatched,
+    /// Stolen and queued.
+    Captured,
+    /// Stolen; an identical (seq, len) segment was already queued — stored
+    /// once (the coalesce that makes TCP shedding safe).
+    Duplicate,
+    /// Stolen and queued after shedding the oldest queued UDP datagram(s)
+    /// to make room.
+    CapturedShedOldest,
+    /// Refused under budget pressure. The packet must be treated as lost
+    /// on the wire; the transport (TCP retransmission) or the service
+    /// model (UDP best-effort) recovers.
+    RefusedRecoverable,
+    /// Refused under [`TcpShedPolicy::HardFail`]: queueing would exceed
+    /// the budget and shedding is forbidden. The caller must abort the
+    /// migration so the source copy resumes and ACKs the retransmission.
+    HardFailRefused,
+}
+
+/// Why a [`PressureEvent`] was recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PressureKind {
+    /// Oldest UDP datagram(s) shed to admit a new one.
+    ShedOldestUdp,
+    /// New UDP datagram refused (the queue is full of TCP segments or the
+    /// datagram alone exceeds the byte budget).
+    RefusedUdp,
+    /// New TCP segment refused; retransmission recovers it.
+    RefusedTcp,
+    /// New TCP segment refused under [`TcpShedPolicy::HardFail`].
+    HardFail,
+}
+
+/// A budget-pressure incident on one capture queue, recorded so the world
+/// can surface it on the owning migration's effect stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PressureEvent {
+    pub key: CaptureKey,
+    pub kind: PressureKind,
+    /// Occupancy after the incident.
+    pub queued_packets: u64,
+    pub queued_bytes: u64,
+    /// Packets shed or refused by this incident.
+    pub shed_packets: u64,
+}
+
 /// One enabled capture, with its queued packets.
 #[derive(Debug, Clone)]
 struct CaptureEntry {
@@ -54,6 +166,14 @@ struct CaptureEntry {
     enabled_at: SimTime,
     /// Packets discarded as duplicates.
     duplicates: u64,
+    /// Payload bytes currently queued (both queues).
+    queued_bytes: usize,
+}
+
+impl CaptureEntry {
+    fn queued_packets(&self) -> usize {
+        self.tcp_queue.len() + self.udp_queue.len()
+    }
 }
 
 /// Counters for tests and reporting.
@@ -64,6 +184,18 @@ pub struct CaptureStats {
     pub reinjected: u64,
     /// Enable attempts refused by an armed failure (fault injection).
     pub install_failures: u64,
+    /// UDP datagrams shed (oldest-first) or refused under budget pressure.
+    pub shed_udp: u64,
+    /// TCP segments refused under [`TcpShedPolicy::CoalesceBySeq`]
+    /// pressure (recovered by retransmission).
+    pub shed_tcp_refused: u64,
+    /// TCP segments refused under [`TcpShedPolicy::HardFail`] (each one
+    /// demands a migration abort).
+    pub hard_failures: u64,
+    /// High-water mark of packets queued in any single entry.
+    pub peak_queued_packets: u64,
+    /// High-water mark of payload bytes queued in any single entry.
+    pub peak_queued_bytes: u64,
 }
 
 /// The per-host capture table consulted by the `LOCAL_IN` hook.
@@ -74,6 +206,11 @@ pub struct CaptureTable {
     /// Fault injection: the next this many [`try_enable`](Self::try_enable)
     /// calls fail (a hook registration the kernel refused).
     armed_failures: u32,
+    /// Per-entry budget applied by [`capture`](Self::capture).
+    budget: CaptureBudget,
+    /// Pressure incidents since the last [`take_pressure_events`]
+    /// (Self::take_pressure_events) call.
+    pressure: Vec<PressureEvent>,
 }
 
 impl CaptureTable {
@@ -90,7 +227,18 @@ impl CaptureTable {
             udp_queue: Vec::new(),
             enabled_at: now,
             duplicates: 0,
+            queued_bytes: 0,
         });
+    }
+
+    /// Set the per-entry byte/packet budget (default: unlimited).
+    pub fn set_budget(&mut self, budget: CaptureBudget) {
+        self.budget = budget;
+    }
+
+    /// The budget [`capture`](Self::capture) enforces.
+    pub fn budget(&self) -> CaptureBudget {
+        self.budget
     }
 
     /// Fallible [`enable`](Self::enable): fails (returning `false`) while
@@ -136,36 +284,151 @@ impl CaptureTable {
     }
 
     /// Hook function: if the segment matches an enabled entry, steal it.
-    /// Returns `true` when stolen.
+    /// Returns `true` when stolen. Budget refusals return `false`: the
+    /// packet falls through the hook exactly as wire loss would.
     pub fn try_capture(&mut self, seg: &Segment) -> bool {
+        matches!(
+            self.capture(seg),
+            CaptureOutcome::Captured
+                | CaptureOutcome::Duplicate
+                | CaptureOutcome::CapturedShedOldest
+        )
+    }
+
+    /// Hook function with the full budget verdict. [`try_capture`]
+    /// (Self::try_capture) is the boolean view of this.
+    pub fn capture(&mut self, seg: &Segment) -> CaptureOutcome {
         let connected = CaptureKey::connected(seg.src, seg.dst.port);
         let wildcard = CaptureKey::any_remote(seg.dst.port);
-        let entry = match self.entries.get_mut(&connected) {
-            Some(e) => e,
-            None => match self.entries.get_mut(&wildcard) {
-                Some(e) => e,
-                None => return false,
-            },
+        let (key, entry) = if self.entries.contains_key(&connected) {
+            (connected, self.entries.get_mut(&connected).unwrap())
+        } else if self.entries.contains_key(&wildcard) {
+            (wildcard, self.entries.get_mut(&wildcard).unwrap())
+        } else {
+            return CaptureOutcome::NotMatched;
         };
+        let budget = self.budget;
         match &seg.transport {
             Transport::Tcp { seq, payload, .. } => {
-                let dedup_key = (*seq, payload.len() as u32);
-                if let std::collections::btree_map::Entry::Vacant(e) =
-                    entry.tcp_queue.entry(dedup_key)
-                {
-                    e.insert(seg.clone());
-                    self.stats.captured += 1;
-                } else {
+                let len = payload.len();
+                let dedup_key = (*seq, len as u32);
+                if entry.tcp_queue.contains_key(&dedup_key) {
+                    // Coalesce-by-seq: a retransmission of a queued segment
+                    // is free — stored once, no budget consumed.
                     entry.duplicates += 1;
                     self.stats.duplicates += 1;
+                    return CaptureOutcome::Duplicate;
                 }
+                if entry.queued_packets() + 1 > budget.max_packets
+                    || entry.queued_bytes.saturating_add(len) > budget.max_bytes
+                {
+                    let event = PressureEvent {
+                        key,
+                        kind: match budget.tcp_policy {
+                            TcpShedPolicy::CoalesceBySeq => PressureKind::RefusedTcp,
+                            TcpShedPolicy::HardFail => PressureKind::HardFail,
+                        },
+                        queued_packets: entry.queued_packets() as u64,
+                        queued_bytes: entry.queued_bytes as u64,
+                        shed_packets: 1,
+                    };
+                    self.pressure.push(event);
+                    return match budget.tcp_policy {
+                        TcpShedPolicy::CoalesceBySeq => {
+                            self.stats.shed_tcp_refused += 1;
+                            CaptureOutcome::RefusedRecoverable
+                        }
+                        TcpShedPolicy::HardFail => {
+                            self.stats.hard_failures += 1;
+                            CaptureOutcome::HardFailRefused
+                        }
+                    };
+                }
+                entry.tcp_queue.insert(dedup_key, seg.clone());
+                entry.queued_bytes += len;
+                self.stats.captured += 1;
+                self.note_peak(&key);
+                CaptureOutcome::Captured
             }
             Transport::Udp { .. } => {
+                let len = seg.payload_len();
+                let mut shed = 0u64;
+                // Drop-oldest: UDP datagrams are best-effort, so the most
+                // recent state wins (DVE position updates supersede older
+                // ones anyway).
+                while !entry.udp_queue.is_empty()
+                    && (entry.queued_packets() + 1 > budget.max_packets
+                        || entry.queued_bytes.saturating_add(len) > budget.max_bytes)
+                {
+                    let old = entry.udp_queue.remove(0);
+                    entry.queued_bytes -= old.payload_len();
+                    shed += 1;
+                    self.stats.shed_udp += 1;
+                }
+                if entry.queued_packets() + 1 > budget.max_packets
+                    || entry.queued_bytes.saturating_add(len) > budget.max_bytes
+                {
+                    // Full of TCP segments, or this datagram alone exceeds
+                    // the byte budget: refuse the newcomer instead.
+                    self.stats.shed_udp += 1;
+                    self.pressure.push(PressureEvent {
+                        key,
+                        kind: PressureKind::RefusedUdp,
+                        queued_packets: entry.queued_packets() as u64,
+                        queued_bytes: entry.queued_bytes as u64,
+                        shed_packets: shed + 1,
+                    });
+                    return CaptureOutcome::RefusedRecoverable;
+                }
                 entry.udp_queue.push(seg.clone());
+                entry.queued_bytes += len;
                 self.stats.captured += 1;
+                self.note_peak(&key);
+                if shed > 0 {
+                    let event = PressureEvent {
+                        key,
+                        kind: PressureKind::ShedOldestUdp,
+                        queued_packets: self.entries[&key].queued_packets() as u64,
+                        queued_bytes: self.entries[&key].queued_bytes as u64,
+                        shed_packets: shed,
+                    };
+                    self.pressure.push(event);
+                    CaptureOutcome::CapturedShedOldest
+                } else {
+                    CaptureOutcome::Captured
+                }
             }
         }
-        true
+    }
+
+    fn note_peak(&mut self, key: &CaptureKey) {
+        let entry = &self.entries[key];
+        let packets = entry.queued_packets() as u64;
+        let bytes = entry.queued_bytes as u64;
+        self.stats.peak_queued_packets = self.stats.peak_queued_packets.max(packets);
+        self.stats.peak_queued_bytes = self.stats.peak_queued_bytes.max(bytes);
+    }
+
+    /// Occupancy of one entry: (queued packets, queued payload bytes).
+    pub fn occupancy(&self, key: &CaptureKey) -> Option<(usize, usize)> {
+        self.entries
+            .get(key)
+            .map(|e| (e.queued_packets(), e.queued_bytes))
+    }
+
+    /// Total payload bytes queued across all entries.
+    pub fn total_queued_bytes(&self) -> usize {
+        self.entries.values().map(|e| e.queued_bytes).sum()
+    }
+
+    /// Total packets queued across all entries.
+    pub fn total_queued_packets(&self) -> usize {
+        self.entries.values().map(|e| e.queued_packets()).sum()
+    }
+
+    /// Drain the budget-pressure incidents recorded since the last call.
+    pub fn take_pressure_events(&mut self) -> Vec<PressureEvent> {
+        std::mem::take(&mut self.pressure)
     }
 
     /// Disable the entry and return its queued packets in reinjection order
@@ -389,6 +652,120 @@ mod tests {
             .map(|s| s.tcp_seq().unwrap())
             .collect();
         assert_eq!(seqs, vec![0, 1, u32::MAX - 1, u32::MAX]);
+    }
+
+    #[test]
+    fn udp_budget_sheds_oldest_first() {
+        let mut t = CaptureTable::new();
+        t.set_budget(CaptureBudget::bounded(3, usize::MAX));
+        let key = CaptureKey::any_remote(Port(27960));
+        t.enable(key, SimTime::ZERO);
+        for i in 0..5u8 {
+            let seg = Segment::udp(sa(8, 1000 + i as u16), sa(1, 27960), Bytes::from(vec![i]));
+            assert!(t.try_capture(&seg), "newest datagram always admitted");
+        }
+        assert_eq!(t.queued(&key), 3, "budget respected");
+        assert_eq!(t.stats().shed_udp, 2);
+        assert!(t.stats().peak_queued_packets <= 3);
+        let drained = t.disable_and_drain(&key);
+        // Oldest were shed: the three newest survive in arrival order.
+        let ports: Vec<u16> = drained.iter().map(|s| s.src.port.0).collect();
+        assert_eq!(ports, vec![1002, 1003, 1004]);
+        let pressure = t.take_pressure_events();
+        assert_eq!(pressure.len(), 2);
+        assert!(pressure
+            .iter()
+            .all(|p| p.kind == PressureKind::ShedOldestUdp && p.key == key));
+    }
+
+    #[test]
+    fn tcp_budget_refuses_new_but_coalesces_duplicates() {
+        let mut t = CaptureTable::new();
+        t.set_budget(CaptureBudget::bounded(2, usize::MAX));
+        let key = CaptureKey::connected(sa(3, 3306), Port(5000));
+        t.enable(key, SimTime::ZERO);
+        assert!(t.try_capture(&tcp_seg(100, 10)));
+        assert!(t.try_capture(&tcp_seg(110, 10)));
+        // A *new* segment is refused (wire loss: retransmission recovers)…
+        assert!(!t.try_capture(&tcp_seg(120, 10)));
+        // …but a retransmission of a queued one is still coalesced.
+        assert!(t.try_capture(&tcp_seg(100, 10)));
+        assert_eq!(t.queued(&key), 2);
+        assert_eq!(t.stats().shed_tcp_refused, 1);
+        assert_eq!(t.stats().duplicates, 1);
+        // Everything queued is intact and ordered: no TCP state was lost.
+        let seqs: Vec<u32> = t
+            .disable_and_drain(&key)
+            .iter()
+            .map(|s| s.tcp_seq().unwrap())
+            .collect();
+        assert_eq!(seqs, vec![100, 110]);
+        let pressure = t.take_pressure_events();
+        assert_eq!(pressure.len(), 1);
+        assert_eq!(pressure[0].kind, PressureKind::RefusedTcp);
+    }
+
+    #[test]
+    fn tcp_byte_budget_counts_payload() {
+        let mut t = CaptureTable::new();
+        t.set_budget(CaptureBudget::bounded(usize::MAX, 25));
+        let key = CaptureKey::connected(sa(3, 3306), Port(5000));
+        t.enable(key, SimTime::ZERO);
+        assert!(t.try_capture(&tcp_seg(100, 10)));
+        assert!(t.try_capture(&tcp_seg(110, 10)));
+        assert!(!t.try_capture(&tcp_seg(120, 10)), "26 bytes > 25 budget");
+        assert_eq!(t.occupancy(&key), Some((2, 20)));
+        assert_eq!(t.stats().peak_queued_bytes, 20);
+    }
+
+    #[test]
+    fn tcp_hard_fail_policy_signals_abort() {
+        let mut t = CaptureTable::new();
+        t.set_budget(CaptureBudget {
+            max_packets: 1,
+            max_bytes: usize::MAX,
+            tcp_policy: TcpShedPolicy::HardFail,
+        });
+        let key = CaptureKey::connected(sa(3, 3306), Port(5000));
+        t.enable(key, SimTime::ZERO);
+        assert_eq!(t.capture(&tcp_seg(100, 10)), CaptureOutcome::Captured);
+        assert_eq!(
+            t.capture(&tcp_seg(110, 10)),
+            CaptureOutcome::HardFailRefused
+        );
+        assert_eq!(t.stats().hard_failures, 1);
+        let pressure = t.take_pressure_events();
+        assert_eq!(pressure.len(), 1);
+        assert_eq!(pressure[0].kind, PressureKind::HardFail);
+        // The queue itself never exceeded its budget.
+        assert_eq!(t.queued(&key), 1);
+    }
+
+    #[test]
+    fn udp_refused_when_tcp_holds_the_budget() {
+        let mut t = CaptureTable::new();
+        t.set_budget(CaptureBudget::bounded(1, usize::MAX));
+        let key = CaptureKey::any_remote(Port(5000));
+        t.enable(key, SimTime::ZERO);
+        assert!(t.try_capture(&tcp_seg(100, 10)));
+        let udp = Segment::udp(sa(8, 1111), sa(1, 5000), Bytes::from_static(b"x"));
+        assert_eq!(t.capture(&udp), CaptureOutcome::RefusedRecoverable);
+        assert_eq!(t.queued(&key), 1, "TCP segment is never displaced by UDP");
+        assert_eq!(t.stats().shed_udp, 1);
+    }
+
+    #[test]
+    fn unlimited_budget_never_sheds() {
+        let mut t = CaptureTable::new();
+        assert!(t.budget().is_unlimited());
+        let key = CaptureKey::connected(sa(3, 3306), Port(5000));
+        t.enable(key, SimTime::ZERO);
+        for seq in 0..1000u32 {
+            assert!(t.try_capture(&tcp_seg(seq * 10, 10)));
+        }
+        assert_eq!(t.queued(&key), 1000);
+        assert!(t.take_pressure_events().is_empty());
+        assert_eq!(t.stats().shed_tcp_refused + t.stats().shed_udp, 0);
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub struct StackStats {
     pub rx_dropped_no_socket: u64,
     pub rx_dropped_bad_checksum: u64,
     pub rx_dropped_misrouted: u64,
+    /// Packets the capture hook refused under budget pressure (treated as
+    /// wire loss; TCP retransmission or UDP best-effort recovers).
+    pub rx_capture_shed: u64,
     pub reinjected: u64,
     pub tx_total: u64,
 }
@@ -470,13 +473,25 @@ impl HostStack {
         self.stats.rx_total += 1;
         for kind in self.netfilter.chain(HookPoint::LocalIn).to_vec() {
             match kind {
-                HookKind::Translate => self.xlate.incoming(&mut seg),
-                HookKind::Capture => {
-                    if self.capture.try_capture(&seg) {
+                HookKind::Translate => self.xlate.incoming_at(&mut seg, now),
+                HookKind::Capture => match self.capture.capture(&seg) {
+                    crate::capture::CaptureOutcome::NotMatched => {}
+                    crate::capture::CaptureOutcome::Captured
+                    | crate::capture::CaptureOutcome::Duplicate
+                    | crate::capture::CaptureOutcome::CapturedShedOldest => {
                         self.stats.rx_captured += 1;
                         return Vec::new();
                     }
-                }
+                    crate::capture::CaptureOutcome::RefusedRecoverable
+                    | crate::capture::CaptureOutcome::HardFailRefused => {
+                        // Budget refusal: the hook drops the packet as wire
+                        // loss. Pressure events record the incident; a
+                        // hard-fail one obliges the runtime to abort the
+                        // migration owning this capture.
+                        self.stats.rx_capture_shed += 1;
+                        return Vec::new();
+                    }
+                },
             }
         }
         if !seg.checksum_ok {

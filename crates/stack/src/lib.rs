@@ -31,7 +31,10 @@ pub mod tcp;
 pub mod udp;
 pub mod xlate;
 
-pub use capture::{CaptureKey, CaptureTable};
+pub use capture::{
+    CaptureBudget, CaptureKey, CaptureOutcome, CaptureTable, PressureEvent, PressureKind,
+    TcpShedPolicy,
+};
 pub use host::{HostStack, SockId, StackEffect, StackStats};
 pub use netfilter::{HookPoint, Verdict};
 pub use seg::{Segment, TcpFlags, Transport, IP_HEADER_LEN, TCP_HEADER_LEN, UDP_HEADER_LEN};

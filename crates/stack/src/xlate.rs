@@ -21,6 +21,7 @@
 
 use crate::seg::Segment;
 use dvelm_net::{Ip, Port, SockAddr};
+use dvelm_sim::SimTime;
 
 /// One translation rule, installed on the *peer's* host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,14 +80,41 @@ pub struct SelfXlateRule {
 pub struct XlateStats {
     pub rewritten_out: u64,
     pub rewritten_in: u64,
+    /// Peer rules evicted by TTL garbage collection ([`XlateTable::gc`]).
+    pub gc_evicted: u64,
+    /// Peer rules shed (least recently hit first) to respect `max_rules`.
+    pub shed_rules: u64,
+}
+
+/// A peer rule plus the liveness bookkeeping TTL GC needs. The timestamps
+/// live here, *outside* [`XlateRule`], so the rule itself stays `Copy +
+/// PartialEq` (it is embedded in effects and compared by tests).
+#[derive(Debug, Clone, Copy)]
+struct TimedRule {
+    rule: XlateRule,
+    /// Last time the rule matched a packet (or its install time).
+    last_hit: SimTime,
 }
 
 /// The per-host translation table, consulted on `LOCAL_OUT` and `LOCAL_IN`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct XlateTable {
-    rules: Vec<XlateRule>,
+    rules: Vec<TimedRule>,
     self_rules: Vec<SelfXlateRule>,
     stats: XlateStats,
+    /// Budget: max peer rules before least-recently-hit shedding.
+    max_rules: usize,
+}
+
+impl Default for XlateTable {
+    fn default() -> XlateTable {
+        XlateTable {
+            rules: Vec::new(),
+            self_rules: Vec::new(),
+            stats: XlateStats::default(),
+            max_rules: usize::MAX,
+        }
+    }
 }
 
 impl XlateTable {
@@ -98,22 +126,70 @@ impl XlateTable {
     /// Install a rule. A later rule for the same connection replaces the
     /// earlier one (re-migration of the same peer process).
     pub fn install(&mut self, rule: XlateRule) {
-        self.rules.retain(|r| {
-            !(r.peer_local == rule.peer_local
-                && r.remote_port == rule.remote_port
-                && r.old_remote_ip == rule.old_remote_ip)
+        self.install_at(rule, SimTime::ZERO);
+    }
+
+    /// [`install`](Self::install) with the installation time recorded, so
+    /// TTL GC can age the rule from `now` even if it never matches.
+    pub fn install_at(&mut self, rule: XlateRule, now: SimTime) {
+        self.rules.retain(|t| {
+            !(t.rule.peer_local == rule.peer_local
+                && t.rule.remote_port == rule.remote_port
+                && t.rule.old_remote_ip == rule.old_remote_ip)
         });
-        self.rules.push(rule);
+        self.rules.push(TimedRule {
+            rule,
+            last_hit: now,
+        });
+        // Budget: shed the least recently hit rule (never the newcomer).
+        while self.rules.len() > self.max_rules {
+            let oldest = self
+                .rules
+                .iter()
+                .enumerate()
+                .take(self.rules.len() - 1)
+                .min_by_key(|(_, t)| t.last_hit)
+                .map(|(i, _)| i);
+            match oldest {
+                Some(i) => {
+                    self.rules.remove(i);
+                    self.stats.shed_rules += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Cap the number of peer rules (default: unlimited). When an install
+    /// exceeds the cap, the least recently hit rule is shed.
+    pub fn set_max_rules(&mut self, max_rules: usize) {
+        self.max_rules = max_rules;
+    }
+
+    /// TTL garbage collection, driven by the world clock: evict peer rules
+    /// that have not matched a packet for longer than `ttl_us`. A closed
+    /// connection stops producing hits, so its (remote, port) entry ages
+    /// out instead of leaking forever; live connections refresh their rule
+    /// on every packet. Self-rules are never GC'd — they define a hosted
+    /// socket's identity, not a flow. Returns the evicted rules.
+    pub fn gc(&mut self, now: SimTime, ttl_us: u64) -> Vec<XlateRule> {
+        let (dead, live): (Vec<TimedRule>, Vec<TimedRule>) = self
+            .rules
+            .iter()
+            .partition(|t| now.saturating_since(t.last_hit) > ttl_us);
+        self.rules = live;
+        self.stats.gc_evicted += dead.len() as u64;
+        dead.into_iter().map(|t| t.rule).collect()
     }
 
     /// Remove every rule for the given connection; returns how many were
     /// removed.
     pub fn remove(&mut self, peer_local: SockAddr, old_remote_ip: Ip, remote_port: Port) -> usize {
         let before = self.rules.len();
-        self.rules.retain(|r| {
-            !(r.peer_local == peer_local
-                && r.old_remote_ip == old_remote_ip
-                && r.remote_port == remote_port)
+        self.rules.retain(|t| {
+            !(t.rule.peer_local == peer_local
+                && t.rule.old_remote_ip == old_remote_ip
+                && t.rule.remote_port == remote_port)
         });
         before - self.rules.len()
     }
@@ -171,10 +247,12 @@ impl XlateTable {
     /// `peer_local` — used when the process owning that endpoint migrates:
     /// its view of *other* migrated peers must travel with it.
     pub fn take_rules_for(&mut self, peer_local: SockAddr) -> Vec<XlateRule> {
-        let (taken, kept): (Vec<XlateRule>, Vec<XlateRule>) =
-            self.rules.iter().partition(|r| r.peer_local == peer_local);
+        let (taken, kept): (Vec<TimedRule>, Vec<TimedRule>) = self
+            .rules
+            .iter()
+            .partition(|t| t.rule.peer_local == peer_local);
         self.rules = kept;
-        taken
+        taken.into_iter().map(|t| t.rule).collect()
     }
 
     /// `LOCAL_OUT` hook: rewrite a locally-originated segment. A segment may
@@ -186,6 +264,12 @@ impl XlateTable {
     /// rewritten header destination only when the rule fixes the
     /// destination-cache entry.
     pub fn outgoing(&mut self, seg: &mut Segment) -> Ip {
+        self.outgoing_at(seg, SimTime::ZERO)
+    }
+
+    /// [`outgoing`](Self::outgoing) with the clock, so matched peer rules
+    /// refresh their TTL.
+    pub fn outgoing_at(&mut self, seg: &mut Segment, now: SimTime) -> Ip {
         let mut route = seg.dst.ip;
         // Self half: restore the wire source to this host's address.
         // (The source is always the socket's unrewritten identity here, so
@@ -202,16 +286,14 @@ impl XlateTable {
         // Peer half: send to wherever the remote endpoint lives now. The
         // source may already be rewritten, so match the peer's endpoint by
         // port.
-        let peer_hit = self
-            .rules
-            .iter()
-            .find(|r| {
-                seg.src.port == r.peer_local.port
-                    && seg.dst.ip == r.old_remote_ip
-                    && seg.dst.port == r.remote_port
-            })
-            .copied();
-        if let Some(rule) = peer_hit {
+        let peer_hit = self.rules.iter().position(|t| {
+            seg.src.port == t.rule.peer_local.port
+                && seg.dst.ip == t.rule.old_remote_ip
+                && seg.dst.port == t.rule.remote_port
+        });
+        if let Some(i) = peer_hit {
+            self.rules[i].last_hit = self.rules[i].last_hit.max(now);
+            let rule = self.rules[i].rule;
             seg.rewrite_dst_ip(rule.new_remote_ip, rule.fix_checksum);
             self.stats.rewritten_out += 1;
             route = if rule.fix_dst_cache {
@@ -231,6 +313,12 @@ impl XlateTable {
     /// remote's original identity) compose; ports anchor the matches because
     /// either address may still be in its on-wire form.
     pub fn incoming(&mut self, seg: &mut Segment) {
+        self.incoming_at(seg, SimTime::ZERO);
+    }
+
+    /// [`incoming`](Self::incoming) with the clock, so matched peer rules
+    /// refresh their TTL.
+    pub fn incoming_at(&mut self, seg: &mut Segment, now: SimTime) {
         let self_hit = self
             .self_rules
             .iter()
@@ -244,16 +332,14 @@ impl XlateTable {
             seg.rewrite_dst_ip(rule.sock_local.ip, true);
             self.stats.rewritten_in += 1;
         }
-        let peer_hit = self
-            .rules
-            .iter()
-            .find(|r| {
-                seg.dst.port == r.peer_local.port
-                    && seg.src.ip == r.new_remote_ip
-                    && seg.src.port == r.remote_port
-            })
-            .copied();
-        if let Some(rule) = peer_hit {
+        let peer_hit = self.rules.iter().position(|t| {
+            seg.dst.port == t.rule.peer_local.port
+                && seg.src.ip == t.rule.new_remote_ip
+                && seg.src.port == t.rule.remote_port
+        });
+        if let Some(i) = peer_hit {
+            self.rules[i].last_hit = self.rules[i].last_hit.max(now);
+            let rule = self.rules[i].rule;
             seg.rewrite_src_ip(rule.old_remote_ip, rule.fix_checksum);
             self.stats.rewritten_in += 1;
         }
@@ -412,6 +498,83 @@ mod tests {
         assert_eq!(t.remove(peer_local(), IP1, Port(5000)), 1);
         assert!(t.is_empty());
         assert_eq!(t.remove(peer_local(), IP1, Port(5000)), 0);
+    }
+
+    #[test]
+    fn gc_evicts_stale_rules_only() {
+        let mut t = XlateTable::new();
+        t.install_at(rule(), SimTime::ZERO);
+        let other = XlateRule::new(SockAddr::new(IP3, 4000), IP1, IP2, Port(5001));
+        t.install_at(other, SimTime::ZERO);
+
+        // Traffic keeps the first rule alive…
+        let mut seg = Segment::udp(peer_local(), SockAddr::new(IP1, 5000), Bytes::new());
+        t.outgoing_at(&mut seg, SimTime::from_secs(50));
+
+        // …so a GC at t=60s with ttl=30s evicts only the idle one.
+        let evicted = t.gc(SimTime::from_secs(60), 30_000_000);
+        assert_eq!(evicted, vec![other]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.stats().gc_evicted, 1);
+
+        // The survivor still translates.
+        let mut seg = Segment::udp(peer_local(), SockAddr::new(IP1, 5000), Bytes::new());
+        assert_eq!(t.outgoing_at(&mut seg, SimTime::from_secs(61)), IP2);
+    }
+
+    #[test]
+    fn gc_within_ttl_keeps_everything() {
+        let mut t = XlateTable::new();
+        t.install_at(rule(), SimTime::from_secs(10));
+        assert!(t.gc(SimTime::from_secs(30), 30_000_000).is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn gc_never_touches_self_rules() {
+        let mut t = XlateTable::new();
+        t.install_self(SelfXlateRule {
+            sock_local: SockAddr::new(IP1, 5000),
+            peer: peer_local(),
+            host_ip: IP2,
+        });
+        t.gc(SimTime::from_secs(1000), 1);
+        assert_eq!(t.self_rule_count(), 1);
+        assert!(t.owns_virtual(IP1));
+    }
+
+    #[test]
+    fn incoming_hits_refresh_ttl_too() {
+        let mut t = XlateTable::new();
+        t.install_at(rule(), SimTime::ZERO);
+        let mut seg = Segment::udp(SockAddr::new(IP2, 5000), peer_local(), Bytes::new());
+        t.incoming_at(&mut seg, SimTime::from_secs(50));
+        assert!(t.gc(SimTime::from_secs(60), 30_000_000).is_empty());
+    }
+
+    #[test]
+    fn rule_budget_sheds_least_recently_hit() {
+        let mut t = XlateTable::new();
+        t.set_max_rules(2);
+        let a = rule();
+        let b = XlateRule::new(SockAddr::new(IP3, 4000), IP1, IP2, Port(5001));
+        let c = XlateRule::new(SockAddr::new(IP3, 4001), IP1, IP2, Port(5002));
+        t.install_at(a, SimTime::ZERO);
+        t.install_at(b, SimTime::ZERO);
+        // `a` is hit at t=5s, so `b` is the least recently hit when `c`
+        // arrives.
+        let mut seg = Segment::udp(peer_local(), SockAddr::new(IP1, 5000), Bytes::new());
+        t.outgoing_at(&mut seg, SimTime::from_secs(5));
+        t.install_at(c, SimTime::from_secs(6));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.stats().shed_rules, 1);
+        // `a` and `c` survive; `b` no longer translates.
+        let mut seg = Segment::udp(
+            SockAddr::new(IP3, 4000),
+            SockAddr::new(IP1, 5001),
+            Bytes::new(),
+        );
+        assert_eq!(t.outgoing_at(&mut seg, SimTime::from_secs(7)), IP1);
     }
 }
 
