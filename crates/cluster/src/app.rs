@@ -39,7 +39,7 @@ impl AppCtx<'_> {
     /// Send a UDP datagram to an explicit destination.
     pub fn send_udp_to(&mut self, fd: Fd, dst: SockAddr, data: Bytes) {
         let sid = self.sock_of(fd).expect("send on unknown fd");
-        let fx = self.stack.udp_send_to(sid, dst, data);
+        let fx = self.stack.udp_send_to(sid, dst, data, self.now);
         self.effects.extend(fx);
     }
 

@@ -39,6 +39,11 @@ pub enum Event {
     ///
     /// [`World::install_fault_plan`]: crate::World::install_fault_plan
     Fault { fault: Fault },
+    /// A timed [`Fault::Overload`] surge expires. `gen` names the surge
+    /// installation that scheduled this restore: if a newer surge replaced
+    /// it on the same host in the meantime, the stale restore is ignored
+    /// instead of cutting the new surge short.
+    SurgeRestore { host: usize, gen: u64 },
     /// Periodic sweep evicting stale translation rules on every live host
     /// (only scheduled when `WorldConfig::xlate_gc_ttl_us` is set).
     XlateGc,

@@ -187,6 +187,11 @@ pub struct World {
     /// Hosts under a traffic surge ([`Fault::Overload`]): tick-rate
     /// multiplier per host index.
     surge: HashMap<usize, u32>,
+    /// Generation of the surge currently installed per host; a scheduled
+    /// [`Event::SurgeRestore`] only clears the surge if its generation
+    /// still matches (a newer surge invalidates older timed restores).
+    surge_gen: HashMap<usize, u64>,
+    next_surge_gen: u64,
     /// Monotonic stamp for `Event::AppTick` chains (see
     /// [`Event::AppTick`]).
     next_tick_gen: u64,
@@ -224,6 +229,8 @@ impl World {
             ctrl_dark_until: HashMap::new(),
             admission,
             surge: HashMap::new(),
+            surge_gen: HashMap::new(),
+            next_surge_gen: 0,
             next_tick_gen: 0,
             reports: Vec::new(),
             packet_log: Vec::new(),
@@ -769,34 +776,38 @@ impl World {
                 }
                 if factor <= 1 {
                     self.surge.remove(&host);
+                    self.surge_gen.remove(&host);
                 } else {
+                    let gen = self.next_surge_gen;
+                    self.next_surge_gen += 1;
                     self.surge.insert(host, factor);
+                    self.surge_gen.insert(host, gen);
                     if for_us > 0 {
-                        // Self-scheduled restore, like DownlinkLoss.
-                        self.sched.schedule_after(
-                            for_us,
-                            Event::Fault {
-                                fault: Fault::Overload {
-                                    host,
-                                    factor: 1,
-                                    for_us: 0,
-                                },
-                            },
-                        );
+                        // Self-scheduled restore, like DownlinkLoss — but
+                        // generation-tagged, so a newer surge installed
+                        // before this one expires is not cut short by the
+                        // stale restore.
+                        self.sched
+                            .schedule_after(for_us, Event::SurgeRestore { host, gen });
                     }
                 }
-                // Restart every tick chain so the new rate takes effect now
-                // rather than after the currently scheduled tick.
-                let pids: Vec<Pid> = self.hosts[host].procs.keys().copied().collect();
-                for pid in pids {
-                    if self.hosts[host]
-                        .procs
-                        .get(&pid)
-                        .is_some_and(|e| !e.suspended)
-                    {
-                        self.restart_ticks(host, pid);
-                    }
-                }
+                self.restart_host_ticks(host);
+            }
+        }
+    }
+
+    /// Restart every running process's tick chain on `host` so a changed
+    /// surge factor takes effect now rather than after the currently
+    /// scheduled tick.
+    fn restart_host_ticks(&mut self, host: usize) {
+        let pids: Vec<Pid> = self.hosts[host].procs.keys().copied().collect();
+        for pid in pids {
+            if self.hosts[host]
+                .procs
+                .get(&pid)
+                .is_some_and(|e| !e.suspended)
+            {
+                self.restart_ticks(host, pid);
             }
         }
     }
@@ -831,6 +842,8 @@ impl World {
         self.hosts[host].procs.clear();
         self.hosts[host].sock_owner.clear();
         self.hosts[host].conductor = None;
+        self.surge.remove(&host);
+        self.surge_gen.remove(&host);
         let node = self.hosts[host].stack.node;
         match self.hosts[host].kind {
             HostKind::Server => {
@@ -977,7 +990,10 @@ impl World {
             | Event::LbMessage { host, .. }
             | Event::InstallXlate { host, .. }
             | Event::RemoveXlate { host, .. } => Some(*host),
-            Event::MigrationStep { .. } | Event::Fault { .. } | Event::XlateGc => None,
+            Event::MigrationStep { .. }
+            | Event::Fault { .. }
+            | Event::SurgeRestore { .. }
+            | Event::XlateGc => None,
         };
         if let Some(h) = target_host {
             if !self.hosts[h].alive {
@@ -1002,7 +1018,8 @@ impl World {
             Event::LbMessage { host, from, msg } => self.on_lb_message(host, from, msg),
             Event::MigrationStep { mig } => self.on_migration_step(mig),
             Event::InstallXlate { host, rule } => {
-                self.hosts[host].stack.xlate.install(rule);
+                let now = self.now();
+                self.hosts[host].stack.xlate.install_at(rule, now);
             }
             Event::RemoveXlate { host, rule } => {
                 self.hosts[host].stack.xlate.remove(
@@ -1012,6 +1029,16 @@ impl World {
                 );
             }
             Event::Fault { fault } => self.inject_fault(fault),
+            Event::SurgeRestore { host, gen } => {
+                if self.surge_gen.get(&host) != Some(&gen) {
+                    return; // a newer surge superseded this restore
+                }
+                self.surge.remove(&host);
+                self.surge_gen.remove(&host);
+                if self.hosts[host].alive {
+                    self.restart_host_ticks(host);
+                }
+            }
             Event::XlateGc => {
                 let Some(ttl) = self.cfg.xlate_gc_ttl_us else {
                     return;
@@ -1039,15 +1066,27 @@ impl World {
         }
         let now = self.now();
         for ev in events {
-            // The owning migration: capture hooks only exist on a
-            // migration's destination stack; with several in flight toward
-            // the same host, the lowest id is the one that installed first.
-            let mig = self
+            // The owning migration is the one that enabled this event's
+            // capture key on the destination stack — with several in flight
+            // toward the same host, matching the key charges pressure (and
+            // a HardFail abort) to the right one, never a bystander.
+            let owner = self
                 .migrations
                 .iter()
-                .filter(|(_, t)| t.dst == host)
+                .filter(|(_, t)| t.dst == host && t.engine.capture_keys().contains(&ev.key))
                 .map(|(m, _)| *m)
                 .min();
+            // No engine claims the key (it was already drained by an abort
+            // in this same batch): record the pressure on the earliest
+            // migration into this host for observability, but never abort
+            // a migration that does not own the queue.
+            let mig = owner.or_else(|| {
+                self.migrations
+                    .iter()
+                    .filter(|(_, t)| t.dst == host)
+                    .map(|(m, _)| *m)
+                    .min()
+            });
             let Some(mig) = mig else {
                 continue; // hook outlived its migration; nothing to charge
             };
@@ -1063,7 +1102,7 @@ impl World {
             if let Some(log) = &mut self.effect_log {
                 log.push(render_effect(mig, now, &effect));
             }
-            if ev.kind == PressureKind::HardFail {
+            if ev.kind == PressureKind::HardFail && owner == Some(mig) {
                 self.abort_migration(mig, AbortReason::Overloaded);
             }
         }

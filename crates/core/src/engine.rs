@@ -265,6 +265,14 @@ impl MigrationEngine {
         matches!(self.phase, Phase::Restore | Phase::Done)
     }
 
+    /// Capture keys this migration enabled on the destination stack (empty
+    /// before freeze and after restore/abort drains them). The owner uses
+    /// this to attribute capture-queue pressure to the right migration when
+    /// several are in flight toward the same host.
+    pub fn capture_keys(&self) -> &[CaptureKey] {
+        &self.capture_keys
+    }
+
     /// Execute the current phase, emitting its effects into `sink`. The
     /// owner must call this exactly when the previous plan's
     /// `next_step_after_us` elapses.
@@ -420,7 +428,7 @@ impl MigrationEngine {
             src.xlate.install_self(rule);
         }
         for rule in self.carried_rules.drain(..) {
-            src.xlate.install(rule);
+            src.xlate.install_at(rule, now);
         }
         // Packets captured on the destination while the sockets were in
         // transit are re-injected on the source — nothing is dropped.
@@ -901,7 +909,7 @@ impl MigrationEngine {
             io.dst_stack.xlate.install_self(rule);
         }
         for rule in self.carried_rules.drain(..) {
-            io.dst_stack.xlate.install(rule);
+            io.dst_stack.xlate.install_at(rule, io.now);
         }
 
         // Re-inject captured packets through the okfn() path, then let the

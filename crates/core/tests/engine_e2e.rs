@@ -478,14 +478,20 @@ fn udp_socket_migrates() {
         &mut proc,
         Strategy::IncrementalCollective,
         |world, _p, _s| {
-            let fx = world.hosts[CLIENT].udp_send_to(client_sid, addr, Bytes::from_static(b"cmd"));
+            let fx = world.hosts[CLIENT].udp_send_to(
+                client_sid,
+                addr,
+                Bytes::from_static(b"cmd"),
+                world.now,
+            );
             world.pump(fx);
         },
     );
     assert_eq!(report.sockets_migrated, 1);
     let (_, new_sid) = restored.fds.sockets().next().unwrap();
     // Post-migration datagrams arrive at the destination.
-    let fx = world.hosts[CLIENT].udp_send_to(client_sid, addr, Bytes::from_static(b"post"));
+    let fx =
+        world.hosts[CLIENT].udp_send_to(client_sid, addr, Bytes::from_static(b"post"), world.now);
     world.pump(fx);
     let dgrams = world.hosts[DST].read_udp(new_sid);
     assert!(

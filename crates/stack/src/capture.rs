@@ -352,10 +352,30 @@ impl CaptureTable {
             }
             Transport::Udp { .. } => {
                 let len = seg.payload_len();
+                // Full of TCP segments, or this datagram alone exceeds the
+                // byte budget after TCP's share: even an empty UDP queue
+                // could not admit it, so refuse the newcomer up front
+                // instead of shedding the whole queue for nothing.
+                let udp_bytes: usize = entry.udp_queue.iter().map(|s| s.payload_len()).sum();
+                let tcp_bytes = entry.queued_bytes - udp_bytes;
+                if entry.tcp_queue.len() + 1 > budget.max_packets
+                    || tcp_bytes.saturating_add(len) > budget.max_bytes
+                {
+                    self.stats.shed_udp += 1;
+                    self.pressure.push(PressureEvent {
+                        key,
+                        kind: PressureKind::RefusedUdp,
+                        queued_packets: entry.queued_packets() as u64,
+                        queued_bytes: entry.queued_bytes as u64,
+                        shed_packets: 1,
+                    });
+                    return CaptureOutcome::RefusedRecoverable;
+                }
                 let mut shed = 0u64;
                 // Drop-oldest: UDP datagrams are best-effort, so the most
                 // recent state wins (DVE position updates supersede older
-                // ones anyway).
+                // ones anyway). The up-front check guarantees this loop
+                // frees enough room for the newcomer.
                 while !entry.udp_queue.is_empty()
                     && (entry.queued_packets() + 1 > budget.max_packets
                         || entry.queued_bytes.saturating_add(len) > budget.max_bytes)
@@ -364,21 +384,6 @@ impl CaptureTable {
                     entry.queued_bytes -= old.payload_len();
                     shed += 1;
                     self.stats.shed_udp += 1;
-                }
-                if entry.queued_packets() + 1 > budget.max_packets
-                    || entry.queued_bytes.saturating_add(len) > budget.max_bytes
-                {
-                    // Full of TCP segments, or this datagram alone exceeds
-                    // the byte budget: refuse the newcomer instead.
-                    self.stats.shed_udp += 1;
-                    self.pressure.push(PressureEvent {
-                        key,
-                        kind: PressureKind::RefusedUdp,
-                        queued_packets: entry.queued_packets() as u64,
-                        queued_bytes: entry.queued_bytes as u64,
-                        shed_packets: shed + 1,
-                    });
-                    return CaptureOutcome::RefusedRecoverable;
                 }
                 entry.udp_queue.push(seg.clone());
                 entry.queued_bytes += len;
@@ -752,6 +757,34 @@ mod tests {
         assert_eq!(t.capture(&udp), CaptureOutcome::RefusedRecoverable);
         assert_eq!(t.queued(&key), 1, "TCP segment is never displaced by UDP");
         assert_eq!(t.stats().shed_udp, 1);
+    }
+
+    #[test]
+    fn udp_never_fitting_newcomer_refused_without_shedding() {
+        // 25-byte budget, 10 of them held by TCP: a 20-byte datagram can
+        // never fit even with an empty UDP queue, so the queued datagrams
+        // must survive the refusal instead of being shed for nothing.
+        let mut t = CaptureTable::new();
+        t.set_budget(CaptureBudget::bounded(10, 25));
+        let key = CaptureKey::any_remote(Port(5000));
+        t.enable(key, SimTime::ZERO);
+        assert!(t.try_capture(&tcp_seg(100, 10)));
+        for i in 0..2u8 {
+            let seg = Segment::udp(sa(8, 1000 + i as u16), sa(1, 5000), Bytes::from(vec![i; 5]));
+            assert!(t.try_capture(&seg));
+        }
+        let big = Segment::udp(sa(8, 2000), sa(1, 5000), Bytes::from(vec![9u8; 20]));
+        assert_eq!(t.capture(&big), CaptureOutcome::RefusedRecoverable);
+        assert_eq!(
+            t.occupancy(&key),
+            Some((3, 20)),
+            "previously queued packets must not be shed for a hopeless newcomer"
+        );
+        assert_eq!(t.stats().shed_udp, 1, "only the newcomer is counted");
+        let pressure = t.take_pressure_events();
+        assert_eq!(pressure.len(), 1);
+        assert_eq!(pressure[0].kind, PressureKind::RefusedUdp);
+        assert_eq!(pressure[0].shed_packets, 1);
     }
 
     #[test]

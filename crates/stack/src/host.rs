@@ -276,7 +276,7 @@ impl HostStack {
         let gen = sock.timer_gen;
         self.ehash.insert(FourTuple { local, remote }, sid);
         self.socks.insert(sid, Socket::Tcp(sock));
-        let fx = self.map_tcp_outs(sid, gen, outs);
+        let fx = self.map_tcp_outs(sid, gen, outs, now);
         (sid, fx)
     }
 
@@ -352,25 +352,31 @@ impl HostStack {
                 let (outs, gen) = self
                     .with_tcp(sid, now, |t, ctx| t.send(data, ctx))
                     .expect("socket disappeared");
-                self.map_tcp_outs(sid, gen, outs)
+                self.map_tcp_outs(sid, gen, outs, now)
             }
             Some(Socket::Udp(u)) => {
                 let seg = u.send(data);
-                vec![self.route_out(seg)]
+                vec![self.route_out(seg, now)]
             }
             None => panic!("send on unknown socket {sid:?}"),
         }
     }
 
     /// Send a UDP datagram to an explicit destination.
-    pub fn udp_send_to(&mut self, sid: SockId, dst: SockAddr, data: Bytes) -> Vec<StackEffect> {
+    pub fn udp_send_to(
+        &mut self,
+        sid: SockId,
+        dst: SockAddr,
+        data: Bytes,
+        now: SimTime,
+    ) -> Vec<StackEffect> {
         let seg = self
             .socks
             .get(&sid)
             .expect("unknown socket")
             .udp()
             .send_to(dst, data);
-        vec![self.route_out(seg)]
+        vec![self.route_out(seg, now)]
     }
 
     /// Read buffered TCP stream data.
@@ -395,7 +401,7 @@ impl HostStack {
                 let (outs, gen) = self
                     .with_tcp(sid, now, |t, ctx| t.close(ctx))
                     .expect("socket disappeared");
-                self.map_tcp_outs(sid, gen, outs)
+                self.map_tcp_outs(sid, gen, outs, now)
             }
             Some(Socket::Udp(_)) => {
                 self.release(sid);
@@ -445,7 +451,7 @@ impl HostStack {
         let (outs, gen) = self
             .with_tcp(sid, now, |t, ctx| t.process_parked(ctx))
             .expect("socket disappeared");
-        self.map_tcp_outs(sid, gen, outs)
+        self.map_tcp_outs(sid, gen, outs, now)
     }
 
     /// Toggle the fast-path reader flag (blocked-in-recv emulation).
@@ -460,7 +466,7 @@ impl HostStack {
         let (outs, gen) = self
             .with_tcp(sid, now, |t, ctx| t.process_parked(ctx))
             .expect("socket disappeared");
-        self.map_tcp_outs(sid, gen, outs)
+        self.map_tcp_outs(sid, gen, outs, now)
     }
 
     // ------------------------------------------------------------------
@@ -528,7 +534,7 @@ impl HostStack {
                     let (outs, gen) = self
                         .with_tcp(sid, now, |t, ctx| t.on_segment(seg, ctx))
                         .expect("ehash points at a live TCP socket");
-                    return self.map_tcp_outs(sid, gen, outs);
+                    return self.map_tcp_outs(sid, gen, outs, now);
                 }
                 if flags.syn && !flags.ack {
                     if let Some(&lid) = self.bhash.get(&(seg.dst.ip, seg.dst.port)) {
@@ -583,7 +589,7 @@ impl HostStack {
         );
         self.socks.insert(sid, Socket::Tcp(child));
         self.pending_children.insert(sid, lid);
-        self.map_tcp_outs(sid, gen, outs)
+        self.map_tcp_outs(sid, gen, outs, now)
     }
 
     // ------------------------------------------------------------------
@@ -607,7 +613,7 @@ impl HostStack {
         let (outs, gen) = self
             .with_tcp(sid, now, |t, ctx| t.on_rto(ctx))
             .expect("socket checked above");
-        self.map_tcp_outs(sid, gen, outs)
+        self.map_tcp_outs(sid, gen, outs, now)
     }
 
     // ------------------------------------------------------------------
@@ -651,7 +657,7 @@ impl HostStack {
         self.socks.insert(sid, sock);
         let restart = self.with_tcp(sid, now, |t, ctx| t.restart_timer_after_restore(ctx));
         let fx = match restart {
-            Some((outs, gen)) => self.map_tcp_outs(sid, gen, outs),
+            Some((outs, gen)) => self.map_tcp_outs(sid, gen, outs, now),
             None => Vec::new(),
         };
         (sid, fx)
@@ -706,23 +712,32 @@ impl HostStack {
         Some((r, gen))
     }
 
-    /// Run the `LOCAL_OUT` chain and produce the transmit effect.
-    fn route_out(&mut self, mut seg: Segment) -> StackEffect {
+    /// Run the `LOCAL_OUT` chain and produce the transmit effect. The clock
+    /// is threaded through so a matched translation rule refreshes its
+    /// `last_hit` — outbound-only flows must keep their rule alive under
+    /// TTL GC just like inbound ones.
+    fn route_out(&mut self, mut seg: Segment, now: SimTime) -> StackEffect {
         let mut route = seg.dst.ip;
         for kind in self.netfilter.chain(HookPoint::LocalOut).to_vec() {
             if kind == HookKind::Translate {
-                route = self.xlate.outgoing(&mut seg);
+                route = self.xlate.outgoing_at(&mut seg, now);
             }
         }
         self.stats.tx_total += 1;
         StackEffect::Tx { seg, route }
     }
 
-    fn map_tcp_outs(&mut self, sid: SockId, gen: u64, outs: Vec<TcpOut>) -> Vec<StackEffect> {
+    fn map_tcp_outs(
+        &mut self,
+        sid: SockId,
+        gen: u64,
+        outs: Vec<TcpOut>,
+        now: SimTime,
+    ) -> Vec<StackEffect> {
         let mut fx = Vec::with_capacity(outs.len());
         for out in outs {
             match out {
-                TcpOut::Tx(seg) => fx.push(self.route_out(seg)),
+                TcpOut::Tx(seg) => fx.push(self.route_out(seg, now)),
                 TcpOut::DataReadable => fx.push(StackEffect::DataReadable { sock: sid }),
                 TcpOut::Established => {
                     if let Some(listener) = self.pending_children.remove(&sid) {

@@ -403,6 +403,163 @@ fn admission_caps_thundering_herd() {
 // ---------------------------------------------------------------------
 
 #[test]
+fn xlate_gc_spares_actively_used_outbound_rule() {
+    // An outbound-only flow (this host sends to a migrated peer but the
+    // peer never talks back) must keep its translation rule alive: every
+    // LOCAL_OUT match refreshes the rule's TTL via the threaded clock.
+    // Regression: a clockless outgoing() left last_hit at ZERO, so the GC
+    // evicted the rule mid-use and packets silently went to the old IP.
+    let ttl = 500 * MILLISECOND;
+    let mut w = World::new(WorldConfig {
+        seed: 0x0b08,
+        xlate_gc_ttl_us: Some(ttl),
+        ..WorldConfig::default()
+    });
+    let n0 = w.add_server_node();
+    let _n1 = w.add_server_node();
+
+    let local = SockAddr::new(Ip::local_of(NodeId(0)), 4000);
+    let sid = w.hosts[n0].stack.udp_bind(local).unwrap();
+    let old_remote = SockAddr::new(Ip::local_of(NodeId(1)), 9000);
+    let rule = XlateRule::new(
+        local,
+        old_remote.ip,
+        Ip::local_of(NodeId(2)),
+        old_remote.port,
+    );
+    let now = w.now();
+    w.hosts[n0].stack.xlate.install_at(rule, now);
+
+    // Send through the rule every 200 ms — well inside the 500 ms TTL —
+    // while the GC sweeps every 500 ms.
+    for _ in 0..15 {
+        let now = w.now();
+        let _ =
+            w.hosts[n0]
+                .stack
+                .udp_send_to(sid, old_remote, bytes::Bytes::from_static(b"pos"), now);
+        w.run_for(200 * MILLISECOND);
+    }
+    assert_eq!(
+        w.hosts[n0].stack.xlate.len(),
+        1,
+        "an actively used outbound rule must survive TTL GC"
+    );
+    assert_eq!(w.hosts[n0].stack.xlate.stats().gc_evicted, 0);
+
+    // Once the flow stops, the rule ages out as designed.
+    w.run_for(2 * SECOND);
+    assert_eq!(w.hosts[n0].stack.xlate.len(), 0);
+}
+
+#[test]
+fn overlapping_surges_newer_one_survives_stale_restore() {
+    // A short timed surge schedules its own restore; a second, longer
+    // surge installed before the first expires must not be ended early by
+    // the first surge's (now stale) restore.
+    let mut w = World::new(WorldConfig {
+        seed: 0x0b09,
+        ..WorldConfig::default()
+    });
+    let n0 = w.add_server_node();
+    w.inject_fault(Fault::Overload {
+        host: n0,
+        factor: 8,
+        for_us: 500 * MILLISECOND,
+    });
+    assert_eq!(w.resource_usage().surged_hosts, 1);
+    w.run_for(200 * MILLISECOND);
+    w.inject_fault(Fault::Overload {
+        host: n0,
+        factor: 16,
+        for_us: 2 * SECOND,
+    });
+
+    // Past the first surge's restore instant (t = 500 ms): the newer surge
+    // must still be in force.
+    w.run_for(600 * MILLISECOND);
+    assert_eq!(
+        w.resource_usage().surged_hosts,
+        1,
+        "the stale restore ended the newer surge early"
+    );
+
+    // The second surge's own restore (t = 2.2 s) does end it.
+    w.run_for(2 * SECOND);
+    assert_eq!(w.resource_usage().surged_hosts, 0);
+}
+
+#[test]
+fn capture_pressure_charges_the_owning_migration() {
+    // Two concurrent migrations into the same destination: queue pressure
+    // from migration B's capture entries must abort B, not A (the
+    // lowest-id migration), even though A is still in flight.
+    let mut w = World::new(WorldConfig {
+        seed: 0x0b0a,
+        capture_budget: CaptureBudget {
+            max_packets: 2,
+            max_bytes: 64 * 1024,
+            tcp_policy: TcpShedPolicy::HardFail,
+        },
+        ..WorldConfig::default()
+    });
+    let n0 = w.add_server_node();
+    let n1 = w.add_server_node();
+    let n2 = w.add_server_node();
+    let ch_a = w.add_client_host();
+    let ch_b = w.add_client_host();
+
+    // Zone A: large image (long transfer, still in flight when B's queue
+    // overflows), calm clients.
+    let zone_a = w.spawn_process(n0, "zoneA", 64, 4096, Box::new(ZoneServer::new()));
+    let addr_a = SockAddr::new(Ip::CLUSTER_PUBLIC, ZONE_BASE_PORT);
+    w.app_tcp_listen(n0, zone_a, addr_a);
+    let swarm_a = w.spawn_process(ch_a, "swarmA", 64, 256, Box::new(SwarmClient::new()));
+    for _ in 0..2 {
+        w.app_tcp_connect(ch_a, swarm_a, addr_a, false);
+    }
+
+    // Zone B: small image, clients about to stampede.
+    let zone_b = w.spawn_process(n1, "zoneB", 64, 1024, Box::new(ZoneServer::new()));
+    let addr_b = SockAddr::new(Ip::CLUSTER_PUBLIC, ZONE_BASE_PORT + 1);
+    w.app_tcp_listen(n1, zone_b, addr_b);
+    let swarm_b = w.spawn_process(ch_b, "swarmB", 64, 256, Box::new(SwarmClient::new()));
+    for _ in 0..4 {
+        w.app_tcp_connect(ch_b, swarm_b, addr_b, false);
+    }
+
+    w.run_for(SECOND);
+    w.inject_fault(Fault::Overload {
+        host: ch_b,
+        factor: 32,
+        for_us: 0,
+    });
+
+    let mig_a = w
+        .begin_migration(zone_a, n2, Strategy::IncrementalCollective)
+        .unwrap();
+    let mig_b = w
+        .begin_migration(zone_b, n2, Strategy::IncrementalCollective)
+        .unwrap();
+    assert!(mig_a < mig_b, "A must be the lower-id migration");
+    w.run_for(4 * SECOND);
+
+    match w.migration_outcome(mig_b) {
+        Some(MigrationOutcome::Aborted { reason, .. }) => {
+            assert_eq!(reason, AbortReason::Overloaded);
+        }
+        other => panic!("expected B's surge to abort B, got {other:?}"),
+    }
+    assert!(
+        w.migration_outcome(mig_a).is_some_and(|o| o.is_completed()),
+        "pressure from B's queue must not be charged to A: {:?}",
+        w.migration_outcome(mig_a)
+    );
+    assert_eq!(w.host_of(zone_a), Some(n2));
+    assert_eq!(w.host_of(zone_b), Some(n1), "B rolled back to its source");
+}
+
+#[test]
 fn xlate_gc_reclaims_idle_rules() {
     let mut w = World::new(WorldConfig {
         seed: 0x0b06,
