@@ -161,19 +161,22 @@ fn bench_xlate(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(2));
     g.bench_function("outgoing_hit", |b| {
         let mut t = XlateTable::new();
-        t.install(XlateRule::new(
-            sa(3, 3306),
-            Ip::local_of(NodeId(0)),
-            Ip::local_of(NodeId(1)),
-            Port(5000),
-        ));
+        t.install_at(
+            XlateRule::new(
+                sa(3, 3306),
+                Ip::local_of(NodeId(0)),
+                Ip::local_of(NodeId(1)),
+                Port(5000),
+            ),
+            SimTime::ZERO,
+        );
         b.iter(|| {
             let mut seg = Segment::udp(
                 sa(3, 3306),
                 SockAddr::new(Ip::local_of(NodeId(0)), 5000),
                 Bytes::new(),
             );
-            black_box(t.outgoing(&mut seg))
+            black_box(t.outgoing_at(&mut seg, SimTime::ZERO))
         })
     });
     g.finish();

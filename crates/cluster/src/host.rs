@@ -4,7 +4,7 @@ use crate::app::App;
 use dvelm_lb::{Conductor, LoadMonitor};
 use dvelm_proc::{Fd, Pid, Process};
 use dvelm_stack::{HostStack, SockId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// What role a host plays in the testbed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,10 +40,10 @@ pub struct Host {
     /// [`World::crash_node`]: crate::World::crash_node
     pub alive: bool,
     pub stack: HostStack,
-    pub procs: HashMap<Pid, ProcEntry>,
+    pub procs: BTreeMap<Pid, ProcEntry>,
     pub conductor: Option<Conductor>,
     /// Which process+fd owns each socket (for effect dispatch).
-    pub sock_owner: HashMap<SockId, (Pid, Fd)>,
+    pub sock_owner: BTreeMap<SockId, (Pid, Fd)>,
     /// Base (OS + services) CPU load, percent.
     pub base_cpu: f64,
     /// EWMA smoother over CPU samples (the atop-style indicator the
@@ -58,9 +58,9 @@ impl Host {
             kind,
             alive: true,
             stack,
-            procs: HashMap::new(),
+            procs: BTreeMap::new(),
             conductor: None,
-            sock_owner: HashMap::new(),
+            sock_owner: BTreeMap::new(),
             base_cpu: 5.0,
             load_monitor: LoadMonitor::default(),
         }

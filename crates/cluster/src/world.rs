@@ -17,7 +17,7 @@ use dvelm_net::{BroadcastRouter, ClusterSwitch, Ip, LossModel, NodeId, Port, Soc
 use dvelm_proc::{Fd, FdEntry, Pid, Process, PAGE_SIZE};
 use dvelm_sim::{DetRng, Scheduler, SimTime};
 use dvelm_stack::{CaptureBudget, HostStack, PressureKind, Segment, SockId, StackEffect};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A migration task identifier.
 pub type MigId = u64;
@@ -167,30 +167,30 @@ pub struct World {
     pub router: BroadcastRouter,
     pub switch: ClusterSwitch,
     pub rng: DetRng,
-    migrations: HashMap<MigId, MigTask>,
+    migrations: BTreeMap<MigId, MigTask>,
     /// Pids with a migration in flight (kept in sync with `migrations`;
     /// O(1) duplicate check in [`begin_migration`](World::begin_migration)).
-    migrating: HashSet<Pid>,
+    migrating: BTreeSet<Pid>,
     next_mig: MigId,
     next_pid: u64,
     /// Terminal state of every finished migration, by id.
-    outcomes: HashMap<MigId, MigrationOutcome>,
+    outcomes: BTreeMap<MigId, MigrationOutcome>,
     /// Process images orphaned by aborts whose source host died (sockets
     /// lost, BLCR semantics); cold-restart fodder.
     pub lost_images: Vec<Process>,
     /// Hosts whose conductor hears no control messages until the instant
     /// ([`Fault::CtrlBlackout`]).
-    ctrl_dark_until: HashMap<usize, SimTime>,
+    ctrl_dark_until: BTreeMap<usize, SimTime>,
     /// The migration admission ledger (semaphores + image-byte budgets),
     /// consulted in [`begin_migration`](World::begin_migration).
     admission: AdmissionControl,
     /// Hosts under a traffic surge ([`Fault::Overload`]): tick-rate
     /// multiplier per host index.
-    surge: HashMap<usize, u32>,
+    surge: BTreeMap<usize, u32>,
     /// Generation of the surge currently installed per host; a scheduled
     /// [`Event::SurgeRestore`] only clears the surge if its generation
     /// still matches (a newer surge invalidates older timed restores).
-    surge_gen: HashMap<usize, u64>,
+    surge_gen: BTreeMap<usize, u64>,
     next_surge_gen: u64,
     /// Monotonic stamp for `Event::AppTick` chains (see
     /// [`Event::AppTick`]).
@@ -220,16 +220,16 @@ impl World {
             router: BroadcastRouter::default_testbed(),
             switch: ClusterSwitch::gige(),
             rng,
-            migrations: HashMap::new(),
-            migrating: HashSet::new(),
+            migrations: BTreeMap::new(),
+            migrating: BTreeSet::new(),
             next_mig: 1,
             next_pid: 1,
-            outcomes: HashMap::new(),
+            outcomes: BTreeMap::new(),
             lost_images: Vec::new(),
-            ctrl_dark_until: HashMap::new(),
+            ctrl_dark_until: BTreeMap::new(),
             admission,
-            surge: HashMap::new(),
-            surge_gen: HashMap::new(),
+            surge: BTreeMap::new(),
+            surge_gen: BTreeMap::new(),
             next_surge_gen: 0,
             next_tick_gen: 0,
             reports: Vec::new(),
@@ -566,7 +566,7 @@ impl World {
         let mut migs = Vec::new();
         // Loads only change once migrations complete, so weight each
         // candidate by what has already been planned onto it.
-        let mut planned: HashMap<usize, usize> = HashMap::new();
+        let mut planned: BTreeMap<usize, usize> = BTreeMap::new();
         for pid in pids {
             let share = self.hosts[host].procs[&pid].process.cpu_share.max(1.0);
             let dest = self

@@ -78,7 +78,7 @@ use dvelm_sim::{Jiffies, SimTime};
 use dvelm_stack::capture::CaptureKey;
 use dvelm_stack::xlate::{SelfXlateRule, XlateRule};
 use dvelm_stack::{HostStack, SockId, Socket};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-socket attach record shipped in the freeze phase (fd binding), bytes.
 const ATTACH_RECORD: u64 = 16;
@@ -162,10 +162,15 @@ enum Phase {
 /// The live-migration engine.
 #[derive(Debug)]
 pub struct MigrationEngine {
+    /// The process being migrated.
     pub pid: Pid,
+    /// Source node (where the process runs when migration starts).
     pub src: NodeId,
+    /// Destination node (where the process resumes).
     pub dst: NodeId,
+    /// Socket-migration strategy (§IV).
     pub strategy: Strategy,
+    /// Timing/size model for transfer and freeze costs.
     pub cost: CostModel,
     /// Signal-based checkpoint notification (the paper's design). When
     /// false, checkpointing is kernel-initiated (as in the incremental-C/R
@@ -177,7 +182,7 @@ pub struct MigrationEngine {
     tracker: IncrementalTracker,
     staged: Option<Process>,
     /// Last shipped mutation stamp per socket (incremental strategy).
-    sock_stamps: HashMap<SockId, u64>,
+    sock_stamps: BTreeMap<SockId, u64>,
     loop_timeout_us: u64,
     capture_keys: Vec<CaptureKey>,
     /// Sockets in flight between detach and restore, with their fds.
@@ -228,7 +233,7 @@ impl MigrationEngine {
             phase: Phase::Start,
             tracker: IncrementalTracker::new(),
             staged: None,
-            sock_stamps: HashMap::new(),
+            sock_stamps: BTreeMap::new(),
             capture_keys: Vec::new(),
             in_flight: Vec::new(),
             self_rules: Vec::new(),

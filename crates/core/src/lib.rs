@@ -43,11 +43,17 @@
 //! assert!(iterative > 3 * incremental);
 //! ```
 
+/// Timing and size models for transfer/freeze cost accounting.
 pub mod cost;
+/// The typed cross-layer effect stream ([`Effect`], [`AbortReason`]).
 pub mod effect;
+/// The migration state machine ([`MigrationEngine`]).
 pub mod engine;
+/// Process/socket staging snapshots the engine ships between nodes.
 pub mod model;
+/// Per-migration measurement results ([`MigrationReport`]).
 pub mod report;
+/// Socket-migration strategies (§IV: iterative, collective, incremental).
 pub mod strategy;
 
 pub use cost::CostModel;

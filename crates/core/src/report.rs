@@ -8,7 +8,9 @@ use dvelm_sim::SimTime;
 /// Everything measured about one migration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MigrationReport {
+    /// The migrated process.
     pub pid: Pid,
+    /// Socket-migration strategy used.
     pub strategy: Strategy,
     /// Migration initiated (precopy begins; application keeps running).
     pub started_at: SimTime,

@@ -173,7 +173,7 @@ fn run_migration(
                 // (zero-latency harness).
                 Effect::SendXlate { peer, rule } => {
                     let idx = world.hosts.iter().position(|h| h.node == peer).unwrap();
-                    world.hosts[idx].xlate.install(rule);
+                    world.hosts[idx].xlate.install_at(rule, at);
                     xlates.push((peer, rule));
                 }
                 Effect::Stack { effect, .. } => world.pump(vec![effect]),

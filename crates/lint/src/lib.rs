@@ -1,0 +1,448 @@
+//! `dvelm-lint` — repo-specific static analysis for the dvelm workspace.
+//!
+//! The reproduction rests on a deterministic simulation (fig5b/5c/timeline
+//! outputs must stay byte-identical across PRs), and PR 3's review caught two
+//! invariant violations a machine could have found: a stale sim clock
+//! reaching the xlate TTL hot path, and a wildcard fallback misattributing
+//! capture pressure. This crate encodes those incident classes — plus the
+//! determinism and hygiene rules that prevent the next ones — as token-level
+//! lint rules with `file:line` diagnostics:
+//!
+//! | rule | severity | scope | invariant |
+//! |---|---|---|---|
+//! | R1 `determinism` | error | sim, core, stack, cluster, lb | no `HashMap`/`HashSet`/`Instant::now`/`SystemTime::now`/`thread_rng` |
+//! | R2 `clock-threading` | error | stack | `last_hit`/TTL state only behind a `now` parameter; no `SimTime::ZERO` fed to `*_at` calls |
+//! | R3 `no-wildcard-arm` | error | all crates | no `_` arm in matches over `Effect`/`AbortReason`/`Fault`/`Event` |
+//! | R4 `panic-hygiene` | error | core, stack | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` |
+//! | R5 `doc-hygiene` | warning | core, stack | every `pub` item documented |
+//!
+//! Test code (`#[cfg(test)]` / `#[test]` items, `tests/`, `benches/`) is
+//! exempt from every rule; strings and comments never trigger rules (the
+//! vendored [`lexer`] strips them). Grandfathered sites live in the
+//! repo-root `lint.allow` file, keyed by `(rule, path, enclosing item)` so
+//! entries survive line drift; CI fails if the file grows. `check` treats
+//! warnings as errors (strict mode) so the tree stays clean.
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::{lex, Tok, TokKind};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::Path;
+
+/// How bad a finding is. `check` denies both — the distinction is for
+/// readers triaging output, not for gating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style/completeness finding (R5).
+    Warning,
+    /// Invariant violation (R1–R4).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One lint finding at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id, e.g. `"R1"`.
+    pub rule: &'static str,
+    /// Short rule name, e.g. `"determinism"`.
+    pub name: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Allowlist key: the enclosing item (`fn:name`, `item:name`) or `top`.
+    /// Stable across line drift, unlike the line number.
+    pub key: String,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl Diagnostic {
+    /// The `lint.allow` entry that would suppress this finding.
+    pub fn allow_entry(&self) -> String {
+        format!("{} {} {}", self.rule, self.path, self.key)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}/{}] {} (allow key: {})",
+            self.path, self.line, self.severity, self.rule, self.name, self.msg, self.key
+        )
+    }
+}
+
+/// A lexed file plus the derived per-token facts every rule needs.
+pub struct FileCtx<'a> {
+    /// Repo-relative path with `/` separators.
+    pub path: &'a str,
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// For each token: inside a `#[cfg(test)]` / `#[test]` item?
+    pub in_test: Vec<bool>,
+    /// For each token: name of the innermost enclosing `fn`, if any.
+    pub fn_of: Vec<Option<String>>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Lex `src` and compute the test-region and enclosing-function maps.
+    pub fn new(path: &'a str, src: &str) -> FileCtx<'a> {
+        let toks = lex(src);
+        let in_test = test_regions(&toks);
+        let fn_of = enclosing_fns(&toks);
+        FileCtx {
+            path,
+            toks,
+            in_test,
+            fn_of,
+        }
+    }
+
+    /// Allowlist key for a finding at token `i`: the innermost enclosing
+    /// function, or `top` for module-level code.
+    pub fn key_at(&self, i: usize) -> String {
+        match &self.fn_of[i] {
+            Some(f) => format!("fn:{f}"),
+            None => "top".to_string(),
+        }
+    }
+
+    /// Whether `path` lives under any of the given crate prefixes.
+    pub fn in_scope(&self, prefixes: &[&str]) -> bool {
+        prefixes.iter().any(|p| self.path.starts_with(p))
+    }
+}
+
+/// Mark tokens covered by `#[cfg(test)]` / `#[test]`-attributed items.
+///
+/// An attribute whose tokens contain the identifier `test` but not `not`
+/// (so `#[cfg(not(test))]` stays live code) marks the next item — through
+/// its `{ … }` body, or up to the `;` for bodyless items — as test-only.
+fn test_regions(toks: &[Tok]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#')
+            && matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Open('[')))
+        {
+            let close = match matching_close(toks, i + 1) {
+                Some(c) => c,
+                None => break,
+            };
+            let attr = &toks[i + 2..close];
+            let has_test = attr.iter().any(|t| t.is_ident("test"));
+            let has_not = attr.iter().any(|t| t.is_ident("not"));
+            if has_test && !has_not {
+                let end = item_end(toks, close + 1);
+                for flag in in_test.iter_mut().take(end + 1).skip(i) {
+                    *flag = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Index of the last token of the item starting at `start` (skipping further
+/// attributes): the matching `}` of its first top-level brace group, or the
+/// first top-level `;` for bodyless items.
+fn item_end(toks: &[Tok], start: usize) -> usize {
+    let mut i = start;
+    // Skip stacked attributes.
+    while i < toks.len()
+        && toks[i].is_punct('#')
+        && matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Open('[')))
+    {
+        match matching_close(toks, i + 1) {
+            Some(c) => i = c + 1,
+            None => return toks.len().saturating_sub(1),
+        }
+    }
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Open('{') => {
+                return matching_close(toks, i).unwrap_or(toks.len() - 1);
+            }
+            TokKind::Open(_) => depth += 1,
+            TokKind::Close(_) => depth -= 1,
+            TokKind::Punct(';') if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Index of the delimiter closing the one opened at `open`.
+pub fn matching_close(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Open(_) => depth += 1,
+            TokKind::Close(_) => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// For each token, the name of the innermost enclosing `fn` body.
+fn enclosing_fns(toks: &[Tok]) -> Vec<Option<String>> {
+    let mut out = vec![None; toks.len()];
+    // Stack of (fn name, brace depth at which its body opened).
+    let mut stack: Vec<(String, u32)> = Vec::new();
+    let mut pending: Option<String> = None;
+    let mut depth = 0u32;
+    for (i, t) in toks.iter().enumerate() {
+        match &t.kind {
+            TokKind::Ident if t.text == "fn" => {
+                if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    pending = Some(name.text.clone());
+                }
+            }
+            TokKind::Punct(';') if depth == stack.last().map_or(0, |(_, d)| *d) => {
+                // Bodyless declaration (trait method): discard.
+                pending = None;
+            }
+            TokKind::Open('{') => {
+                depth += 1;
+                if let Some(name) = pending.take() {
+                    stack.push((name, depth));
+                }
+            }
+            TokKind::Close('}') => {
+                if stack.last().is_some_and(|(_, d)| *d == depth) {
+                    stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            _ => {}
+        }
+        out[i] = stack.last().map(|(n, _)| n.clone());
+    }
+    out
+}
+
+/// Run every rule over one file. `path` must be repo-relative with `/`
+/// separators — rule scoping matches on its prefix.
+pub fn lint_file(path: &str, src: &str) -> Vec<Diagnostic> {
+    let ctx = FileCtx::new(path, src);
+    let mut out = Vec::new();
+    rules::r1_determinism(&ctx, &mut out);
+    rules::r2_clock_threading(&ctx, &mut out);
+    rules::r3_no_wildcard_arm(&ctx, &mut out);
+    rules::r4_panic_hygiene(&ctx, &mut out);
+    rules::r5_doc_hygiene(&ctx, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// The parsed `lint.allow` file: entries of the form `RULE path key`,
+/// `#`-comments and blank lines ignored.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: BTreeSet<String>,
+}
+
+impl Allowlist {
+    /// Parse allowlist text.
+    pub fn parse(text: &str) -> Allowlist {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            // Normalize interior whitespace so "R4  a/b.rs  fn:x # why"
+            // and "R4 a/b.rs fn:x" are the same entry.
+            .map(|l| {
+                l.split_whitespace()
+                    .take_while(|w| !w.starts_with('#'))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .filter(|l| !l.is_empty())
+            .collect();
+        Allowlist { entries }
+    }
+
+    /// Whether `d` is suppressed by this allowlist.
+    pub fn allows(&self, d: &Diagnostic) -> bool {
+        self.entries.contains(&d.allow_entry())
+    }
+
+    /// Number of entries (the CI growth guard compares this).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the allowlist has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries that suppressed nothing in this run — stale grandfathering
+    /// that should be deleted.
+    pub fn unused<'a>(&'a self, used: &BTreeSet<String>) -> Vec<&'a str> {
+        self.entries
+            .iter()
+            .filter(|e| !used.contains(*e))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+/// Result of a whole-workspace check.
+pub struct CheckReport {
+    /// Findings not covered by the allowlist, sorted by (path, line).
+    pub findings: Vec<Diagnostic>,
+    /// Findings suppressed by the allowlist.
+    pub allowed: usize,
+    /// Allowlist entries that matched nothing.
+    pub stale_allows: Vec<String>,
+    /// Files scanned.
+    pub files: usize,
+}
+
+/// Walk every workspace source directory under `root` (`crates/*/src` and
+/// the umbrella crate's `src/`), lint each `.rs` file, and apply `allow`.
+/// `compat/` stubs and this crate's own `tests/fixtures` are outside the
+/// walked set by construction.
+pub fn check_workspace(root: &Path, allow: &Allowlist) -> std::io::Result<CheckReport> {
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<_> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut allowed = 0usize;
+    let mut used = BTreeSet::new();
+    let scanned = files.len();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&file)?;
+        for d in lint_file(&rel, &src) {
+            if allow.allows(&d) {
+                allowed += 1;
+                used.insert(d.allow_entry());
+            } else {
+                findings.push(d);
+            }
+        }
+    }
+    findings.sort_by_key(|a| (a.path.clone(), a.line));
+    let stale_allows = allow.unused(&used).into_iter().map(String::from).collect();
+    Ok(CheckReport {
+        findings,
+        allowed,
+        stale_allows,
+        files: scanned,
+    })
+}
+
+/// Recursively collect `.rs` files under `dir` (no-op if it doesn't exist).
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod() {
+        let src = "fn live() {} #[cfg(test)] mod tests { fn hidden() {} }";
+        let ctx = FileCtx::new("crates/stack/src/x.rs", src);
+        let hidden = ctx.toks.iter().position(|t| t.is_ident("hidden")).unwrap();
+        let live = ctx.toks.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(ctx.in_test[hidden]);
+        assert!(!ctx.in_test[live]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = "#[cfg(not(test))] fn live() {}";
+        let ctx = FileCtx::new("crates/stack/src/x.rs", src);
+        let live = ctx.toks.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(!ctx.in_test[live]);
+    }
+
+    #[test]
+    fn enclosing_fn_names_nested() {
+        let src = "fn outer() { fn inner() { mark(); } }";
+        let ctx = FileCtx::new("crates/stack/src/x.rs", src);
+        let mark = ctx.toks.iter().position(|t| t.is_ident("mark")).unwrap();
+        assert_eq!(ctx.fn_of[mark].as_deref(), Some("inner"));
+    }
+
+    #[test]
+    fn allowlist_roundtrip() {
+        let d = Diagnostic {
+            rule: "R4",
+            name: "panic-hygiene",
+            severity: Severity::Error,
+            path: "crates/stack/src/socket.rs".into(),
+            line: 7,
+            key: "fn:tcp_mut".into(),
+            msg: "x".into(),
+        };
+        let allow = Allowlist::parse(
+            "# comment\n\nR4 crates/stack/src/socket.rs fn:tcp_mut  # accessor contract\n",
+        );
+        assert_eq!(allow.len(), 1);
+        assert!(allow.allows(&d));
+    }
+}

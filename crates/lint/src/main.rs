@@ -1,0 +1,115 @@
+//! Command-line front end: `cargo run -p dvelm-lint -- check`.
+
+use dvelm_lint::{check_workspace, Allowlist, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dvelm-lint — repo-specific static analysis for the dvelm workspace
+
+USAGE:
+    cargo run -p dvelm-lint -- check [--root <dir>] [--allow <file>]
+    cargo run -p dvelm-lint -- rules
+
+COMMANDS:
+    check    Lint every workspace source file; exit 1 on any finding not
+             covered by the allowlist (warnings are denied too).
+    rules    Print the rule table.
+
+OPTIONS:
+    --root <dir>     Workspace root (default: auto-detected).
+    --allow <file>   Allowlist file (default: <root>/lint.allow).
+";
+
+const RULES: &str = "\
+R1 determinism     error    sim,core,stack,cluster,lb  no HashMap/HashSet/Instant::now/SystemTime::now/thread_rng
+R2 clock-threading error    stack                      last_hit/TTL state needs a `now` param; no SimTime::ZERO into *_at()
+R3 no-wildcard-arm error    all crates                 no `_` arm in matches over Effect/AbortReason/Fault/Event
+R4 panic-hygiene   error    core,stack                 no unwrap/expect/panic!/unreachable!/todo!/unimplemented!
+R5 doc-hygiene     warning  core,stack                 every pub item documented
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" | "rules" if cmd.is_none() => cmd = Some(a.clone()),
+            "--root" => root = it.next().map(PathBuf::from),
+            "--allow" => allow_path = it.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match cmd.as_deref() {
+        Some("rules") => {
+            print!("{RULES}");
+            ExitCode::SUCCESS
+        }
+        Some("check") => run_check(root, allow_path),
+        _ => {
+            print!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_check(root: Option<PathBuf>, allow_path: Option<PathBuf>) -> ExitCode {
+    let root = root.unwrap_or_else(detect_root);
+    let allow_path = allow_path.unwrap_or_else(|| root.join("lint.allow"));
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Allowlist::default(),
+    };
+    let report = match check_workspace(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dvelm-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &report.findings {
+        println!("{d}");
+    }
+    for stale in &report.stale_allows {
+        println!("note: stale lint.allow entry (matched nothing): {stale}");
+    }
+    let errors = report
+        .findings
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = report.findings.len() - errors;
+    println!(
+        "dvelm-lint: {} files, {} error(s), {} warning(s), {} allowlisted",
+        report.files, errors, warnings, report.allowed
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        println!("dvelm-lint: FAILED (strict mode: warnings are denied; add `RULE path key` lines to lint.allow only with a written justification)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Workspace root: the current directory if it has a `crates/` dir, else
+/// two levels up from this crate's manifest (`crates/lint` → repo root).
+fn detect_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or(cwd)
+}

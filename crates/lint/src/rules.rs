@@ -1,0 +1,601 @@
+//! The repo-specific lint rules. Each rule is a pure function over a
+//! [`FileCtx`] appending [`Diagnostic`]s; scoping (which crates a rule
+//! watches) lives here next to the rule it configures.
+
+use crate::lexer::{Tok, TokKind};
+use crate::{matching_close, Diagnostic, FileCtx, Severity};
+
+/// Crates whose runtime behaviour feeds the deterministic simulation: any
+/// iteration-order or wall-clock dependence here breaks byte-identical
+/// figure outputs.
+const R1_SCOPE: &[&str] = &[
+    "crates/sim/",
+    "crates/core/",
+    "crates/stack/",
+    "crates/cluster/",
+    "crates/lb/",
+];
+
+/// Crates holding the migration hot paths where a panic would tear down the
+/// whole simulated cluster instead of surfacing a typed abort.
+const R4_SCOPE: &[&str] = &["crates/core/", "crates/stack/"];
+
+/// Crates whose public API must be documented (same set as R4 — the
+/// contribution layer).
+const R5_SCOPE: &[&str] = &["crates/core/", "crates/stack/"];
+
+/// The cross-layer enums every dispatcher must match exhaustively: adding a
+/// variant has to force each layer to decide, not fall into a `_` arm
+/// (PR 3's capture-pressure misattribution hid behind exactly such an arm).
+const R3_ENUMS: &[&str] = &["Effect", "AbortReason", "Fault", "Event"];
+
+/// R1 `determinism`: no `HashMap`/`HashSet` (RandomState iteration order),
+/// no `Instant::now`/`SystemTime::now` (wall clock), no `thread_rng`
+/// (unseeded randomness) in simulation-facing crates.
+pub fn r1_determinism(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.in_scope(R1_SCOPE) {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let msg = match t.text.as_str() {
+            "HashMap" | "HashSet" => Some(format!(
+                "`{}` iterates in RandomState order; use BTreeMap/BTreeSet (or allowlist with a proof of order-independence)",
+                t.text
+            )),
+            "thread_rng" => {
+                Some("`thread_rng` is unseeded; use the sim's DetRng".to_string())
+            }
+            "Instant" | "SystemTime" if path_call(&ctx.toks, i, "now") => Some(format!(
+                "`{}::now` reads the wall clock; thread the sim clock instead",
+                t.text
+            )),
+            _ => None,
+        };
+        if let Some(msg) = msg {
+            out.push(diag(ctx, i, "R1", "determinism", Severity::Error, msg));
+        }
+    }
+}
+
+/// Whether token `i` starts the path call `<ident>::<method>`.
+fn path_call(toks: &[Tok], i: usize, method: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident(method))
+}
+
+/// R2 `clock-threading`: the PR-3 stale-clock bug class. In `crates/stack`:
+///
+/// * **R2a** — a function whose body reads or writes `last_hit` (the TTL
+///   liveness timestamp) must take a `now` parameter; otherwise it can only
+///   invent a clock, and an invented clock is what let TTL GC evict live
+///   xlate rules.
+/// * **R2b** — passing `SimTime::ZERO` as an argument to a `*_at(…)` call is
+///   that invention at the call site: a clock-threaded API fed a constant.
+pub fn r2_clock_threading(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.in_scope(&["crates/stack/"]) {
+        return;
+    }
+    for f in functions(&ctx.toks) {
+        if ctx.in_test[f.fn_kw] {
+            continue;
+        }
+        let (body_open, body_close) = match f.body {
+            Some(b) => b,
+            None => continue,
+        };
+        let touches_ttl = ctx.toks[body_open..=body_close]
+            .iter()
+            .any(|t| t.is_ident("last_hit"));
+        let has_now = ctx.toks[f.params.0..=f.params.1]
+            .iter()
+            .any(|t| t.is_ident("now"));
+        if touches_ttl && !has_now {
+            // Keyed by the offending fn itself (at the `fn` keyword the
+            // enclosing-fn map would say `top`).
+            out.push(Diagnostic {
+                rule: "R2",
+                name: "clock-threading",
+                severity: Severity::Error,
+                path: ctx.path.to_string(),
+                line: ctx.toks[f.fn_kw].line,
+                key: format!("fn:{}", f.name),
+                msg: format!(
+                    "fn `{}` touches `last_hit` (TTL state) but takes no `now` parameter; thread the sim clock through",
+                    f.name
+                ),
+            });
+        }
+    }
+    // R2b: SimTime::ZERO fed to a clock-threaded `*_at(…)` call.
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i]
+            || t.kind != TokKind::Ident
+            || !t.text.ends_with("_at")
+            || !matches!(
+                ctx.toks.get(i + 1).map(|n| &n.kind),
+                Some(TokKind::Open('('))
+            )
+        {
+            continue;
+        }
+        // Skip definitions (`fn install_at(…)`) — only call sites matter.
+        if i > 0 && ctx.toks[i - 1].is_ident("fn") {
+            continue;
+        }
+        let close = match matching_close(&ctx.toks, i + 1) {
+            Some(c) => c,
+            None => continue,
+        };
+        for j in i + 2..close {
+            if ctx.toks[j].is_ident("SimTime") && path_call(&ctx.toks, j, "ZERO") {
+                out.push(diag(
+                    ctx,
+                    j,
+                    "R2",
+                    "clock-threading",
+                    Severity::Error,
+                    format!(
+                        "`SimTime::ZERO` passed to clock-threaded `{}`; pass the real sim clock (stale-clock bug class from PR 3)",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// R3 `no-wildcard-arm`: a `match` whose arm patterns name one of the
+/// cross-layer enums must not contain a bare `_` arm.
+pub fn r3_no_wildcard_arm(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.in_scope(&["crates/"]) {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i] || !t.is_ident("match") {
+            continue;
+        }
+        let Some(body_open) = match_body(&ctx.toks, i) else {
+            continue;
+        };
+        let Some(body_close) = matching_close(&ctx.toks, body_open) else {
+            continue;
+        };
+        let arms = arms(&ctx.toks, body_open, body_close);
+        let mut enum_named: Option<&str> = None;
+        let mut wildcard_at: Vec<usize> = Vec::new();
+        for (pat_start, arrow) in &arms {
+            let pat = &ctx.toks[*pat_start..*arrow];
+            if let Some(name) = pat.iter().enumerate().find_map(|(k, p)| {
+                R3_ENUMS
+                    .iter()
+                    .find(|e| p.is_ident(e) && path_sep(pat, k))
+                    .copied()
+            }) {
+                enum_named = Some(name);
+            }
+            // Bare `_` (optionally guarded: `_ if …`).
+            if pat.first().is_some_and(|p| p.is_ident("_"))
+                && (pat.len() == 1 || pat[1].is_ident("if"))
+            {
+                wildcard_at.push(*pat_start);
+            }
+        }
+        if let Some(name) = enum_named {
+            for w in wildcard_at {
+                out.push(diag(
+                    ctx,
+                    w,
+                    "R3",
+                    "no-wildcard-arm",
+                    Severity::Error,
+                    format!(
+                        "wildcard `_` arm in a match over `{name}`; enumerate the variants so new ones force a decision"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Whether `pat[k]` is followed by `::` (i.e. is a path segment, not a
+/// binding that happens to shadow an enum name).
+fn path_sep(pat: &[Tok], k: usize) -> bool {
+    pat.get(k + 1).is_some_and(|t| t.is_punct(':'))
+        && pat.get(k + 2).is_some_and(|t| t.is_punct(':'))
+}
+
+/// R4 `panic-hygiene`: no `unwrap`/`expect` method calls and no
+/// `panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test core/stack
+/// code — hot paths must surface typed errors or documented allowlisted
+/// invariants, not process aborts.
+pub fn r4_panic_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.in_scope(R4_SCOPE) {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let method_call = i > 0
+            && ctx.toks[i - 1].is_punct('.')
+            && matches!(
+                ctx.toks.get(i + 1).map(|n| &n.kind),
+                Some(TokKind::Open('('))
+            );
+        let macro_bang = ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        let hit = match t.text.as_str() {
+            "unwrap" | "expect" if method_call => true,
+            "panic" | "unreachable" | "todo" | "unimplemented" if macro_bang => true,
+            _ => false,
+        };
+        if hit {
+            out.push(diag(
+                ctx,
+                i,
+                "R4",
+                "panic-hygiene",
+                Severity::Error,
+                format!(
+                    "`{}` can abort the process on a hot path; return a typed error, restructure, or allowlist with the invariant that makes it unreachable",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// R5 `doc-hygiene`: every `pub` item (including `pub` struct fields) in
+/// core/stack carries an outer doc comment. `pub(crate)`/`pub(super)`
+/// restricted items and `pub use` re-exports (documented at the definition)
+/// are exempt.
+pub fn r5_doc_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.in_scope(R5_SCOPE) {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test[i] || !t.is_ident("pub") {
+            continue;
+        }
+        // Restricted visibility: `pub(crate)` etc.
+        if matches!(
+            ctx.toks.get(i + 1).map(|n| &n.kind),
+            Some(TokKind::Open('('))
+        ) {
+            continue;
+        }
+        let Some((kind, name)) = item_after_pub(&ctx.toks, i) else {
+            continue;
+        };
+        if kind == "use" {
+            continue;
+        }
+        if !documented(&ctx.toks, i) {
+            out.push(diag(
+                ctx,
+                i,
+                "R5",
+                "doc-hygiene",
+                Severity::Warning,
+                format!("public {kind} `{name}` has no doc comment"),
+            ));
+        }
+    }
+}
+
+/// Classify the item following a `pub` at index `i`: returns
+/// `(kind, name)` — e.g. `("fn", "route_out")` or `("field", "local_port")`.
+fn item_after_pub(toks: &[Tok], i: usize) -> Option<(&'static str, String)> {
+    let mut j = i + 1;
+    // Skip modifiers: const/unsafe/async/extern "C".
+    loop {
+        let t = toks.get(j)?;
+        match t.text.as_str() {
+            "unsafe" | "async" => j += 1,
+            "extern" => {
+                j += 1;
+                if toks.get(j).is_some_and(|n| n.kind == TokKind::Lit) {
+                    j += 1;
+                }
+            }
+            "const" => {
+                // `pub const fn` is a fn; `pub const NAME` is a const item.
+                if toks.get(j + 1).is_some_and(|n| n.is_ident("fn")) {
+                    j += 1;
+                } else {
+                    let name = toks.get(j + 1)?.text.clone();
+                    return Some(("const", name));
+                }
+            }
+            _ => break,
+        }
+    }
+    let t = toks.get(j)?;
+    let kind = match t.text.as_str() {
+        "fn" => "fn",
+        "struct" => "struct",
+        "enum" => "enum",
+        "trait" => "trait",
+        "mod" => "mod",
+        "static" => "static",
+        "type" => "type",
+        "union" => "union",
+        "use" => return Some(("use", String::new())),
+        _ if t.kind == TokKind::Ident => {
+            // `pub name: Type` — a struct field.
+            if toks.get(j + 1).is_some_and(|n| n.is_punct(':')) {
+                return Some(("field", t.text.clone()));
+            }
+            return None;
+        }
+        _ => return None,
+    };
+    let name = toks.get(j + 1).map(|n| n.text.clone()).unwrap_or_default();
+    Some((kind, name))
+}
+
+/// Whether the item introduced at token `i` (its `pub`) is preceded by an
+/// outer doc comment, skipping attribute groups (`#[derive(…)]` may sit
+/// between the doc and the item).
+fn documented(toks: &[Tok], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match toks[j].kind {
+            TokKind::Close(']') => {
+                // Walk back over the attribute to its `#`.
+                let mut depth = 0i32;
+                loop {
+                    match toks[j].kind {
+                        TokKind::Close(_) => depth += 1,
+                        TokKind::Open(_) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if j == 0 {
+                        return false;
+                    }
+                    j -= 1;
+                }
+                if j == 0 || !toks[j - 1].is_punct('#') {
+                    return false;
+                }
+                j -= 1; // land on `#`; loop steps before it
+            }
+            TokKind::DocOuter => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// A function found in the stream: its `fn` keyword, name, parameter-group
+/// token span (inclusive of the delimiters) and body span, if any.
+struct FnSite {
+    fn_kw: usize,
+    name: String,
+    params: (usize, usize),
+    body: Option<(usize, usize)>,
+}
+
+/// Find every `fn` with its parameter list and body. Generic parameter
+/// lists between name and `(` are skipped by angle-depth tracking.
+fn functions(toks: &[Tok]) -> Vec<FnSite> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Parameter group: first `(` at generic-angle depth 0.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        let params_open = loop {
+            match toks.get(j).map(|t| &t.kind) {
+                Some(TokKind::Punct('<')) => angle += 1,
+                Some(TokKind::Punct('>')) => angle -= 1,
+                Some(TokKind::Open('(')) if angle <= 0 => break Some(j),
+                Some(_) => {}
+                None => break None,
+            }
+            j += 1;
+        };
+        let Some(params_open) = params_open else {
+            continue;
+        };
+        let Some(params_close) = matching_close(toks, params_open) else {
+            continue;
+        };
+        // Body: first `{` before a top-level `;` (bodyless trait method).
+        let mut k = params_close + 1;
+        let mut body = None;
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(k) {
+            match t.kind {
+                TokKind::Open('{') if depth == 0 => {
+                    body = matching_close(toks, k).map(|c| (k, c));
+                    break;
+                }
+                TokKind::Open(_) => depth += 1,
+                TokKind::Close(_) => depth -= 1,
+                TokKind::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(FnSite {
+            fn_kw: i,
+            name: name_tok.text.clone(),
+            params: (params_open, params_close),
+            body,
+        });
+    }
+    out
+}
+
+/// The `{` opening a match body: first top-level `{` after the scrutinee
+/// (parens/brackets in the scrutinee are depth-tracked).
+fn match_body(toks: &[Tok], match_kw: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(match_kw + 1) {
+        match t.kind {
+            TokKind::Open('{') if depth == 0 => return Some(j),
+            TokKind::Open(_) => depth += 1,
+            TokKind::Close(_) => depth -= 1,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Split a match body into arms: returns `(pattern_start, arrow_index)` for
+/// each `pattern => value` at the body's top level.
+fn arms(toks: &[Tok], body_open: usize, body_close: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut j = body_open + 1;
+    while j < body_close {
+        let pat_start = j;
+        // Scan the pattern to its `=>` at arm level.
+        let mut depth = 0i32;
+        let mut arrow = None;
+        while j < body_close {
+            let t = &toks[j];
+            match t.kind {
+                TokKind::Open(_) => depth += 1,
+                TokKind::Close(_) => depth -= 1,
+                TokKind::Punct('=')
+                    if depth == 0 && toks.get(j + 1).is_some_and(|n| n.is_punct('>')) =>
+                {
+                    arrow = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        out.push((pat_start, arrow));
+        // Skip the arm value: a brace group, or tokens to a `,` at arm level.
+        j = arrow + 2;
+        if j < body_close && matches!(toks[j].kind, TokKind::Open('{')) {
+            j = matching_close(toks, j).map_or(body_close, |c| c + 1);
+        } else {
+            let mut depth = 0i32;
+            while j < body_close {
+                match toks[j].kind {
+                    TokKind::Open(_) => depth += 1,
+                    TokKind::Close(_) => depth -= 1,
+                    TokKind::Punct(',') if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Skip the trailing comma.
+        if j < body_close && toks[j].is_punct(',') {
+            j += 1;
+        }
+    }
+    out
+}
+
+fn diag(
+    ctx: &FileCtx<'_>,
+    tok: usize,
+    rule: &'static str,
+    name: &'static str,
+    severity: Severity,
+    msg: String,
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        name,
+        severity,
+        path: ctx.path.to_string(),
+        line: ctx.toks[tok].line,
+        key: ctx.key_at(tok),
+        msg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_file;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<(&'static str, u32)> {
+        lint_file(path, src)
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn r1_flags_hashmap_in_scope_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_hit("crates/stack/src/x.rs", src), vec![("R1", 1)]);
+        assert!(rules_hit("crates/metrics/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r1_ignores_tests_and_instant_without_now() {
+        let src =
+            "#[cfg(test)]\nmod tests { use std::collections::HashSet; }\nfn f(i: Instant) {}\n";
+        assert!(rules_hit("crates/cluster/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2a_requires_now_param() {
+        let bad = "fn refresh(&mut self) { self.rules[0].last_hit = t; }";
+        let good = "fn refresh(&mut self, now: SimTime) { self.rules[0].last_hit = now; }";
+        assert_eq!(rules_hit("crates/stack/src/x.rs", bad), vec![("R2", 1)]);
+        assert!(rules_hit("crates/stack/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn r2b_flags_zero_fed_to_clocked_call() {
+        let src = "fn f(&mut self) { self.install_at(rule, SimTime::ZERO); }";
+        assert_eq!(rules_hit("crates/stack/src/x.rs", src), vec![("R2", 1)]);
+        let def = "fn install_at(&mut self, now: SimTime) { let last_hit = now; }";
+        assert!(rules_hit("crates/stack/src/x.rs", def).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_wildcard_over_target_enum_only() {
+        let bad = "fn f(e: Effect) { match e { Effect::Complete => {}\n _ => {} } }";
+        let ok = "fn f(n: u8) { match n { 1 => {}\n _ => {} } }";
+        let full = "fn f(e: Effect) { match e { Effect::Complete => {}\n Effect::Aborted => {} } }";
+        assert_eq!(rules_hit("crates/metrics/src/x.rs", bad), vec![("R3", 2)]);
+        assert!(rules_hit("crates/metrics/src/x.rs", ok).is_empty());
+        assert!(rules_hit("crates/metrics/src/x.rs", full).is_empty());
+    }
+
+    #[test]
+    fn r3_ignores_nested_wildcards_in_arm_bodies() {
+        let src = "fn f(e: Effect, n: u8) { match e { Effect::Complete => match n { 1 => {}\n _ => {} }, Effect::Aborted => {} } }";
+        assert!(rules_hit("crates/metrics/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r4_flags_unwrap_but_not_unwrap_or() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0); x.unwrap() }";
+        assert_eq!(rules_hit("crates/core/src/x.rs", src), vec![("R4", 1)]);
+    }
+
+    #[test]
+    fn r5_field_and_fn_docs() {
+        let bad = "pub struct S { pub x: u8 }\n";
+        let hits = rules_hit("crates/stack/src/x.rs", bad);
+        assert_eq!(hits, vec![("R5", 1), ("R5", 1)]);
+        let good = "/// S.\npub struct S {\n /// X.\n #[allow(dead_code)]\n pub x: u8 }\n";
+        assert!(rules_hit("crates/stack/src/x.rs", good).is_empty());
+    }
+}

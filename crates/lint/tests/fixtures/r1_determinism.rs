@@ -1,0 +1,25 @@
+//! R1 fixture: every nondeterminism source a sim-facing crate must not use.
+//! Linted under the virtual path `crates/stack/src/fixture.rs`.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::{Instant, SystemTime};
+
+/// Latency samples keyed by peer — RandomState iteration order leaks into
+/// anything that iterates this map.
+pub struct Samples {
+    by_peer: HashMap<u32, u64>,
+    seen: HashSet<u32>,
+}
+
+impl Samples {
+    /// Stamps a sample off the wall clock and unseeded randomness.
+    pub fn stamp(&mut self, peer: u32) -> u64 {
+        let started = Instant::now();
+        let wall = SystemTime::now();
+        let jitter = thread_rng().next_u64() % 3;
+        let _ = (started, wall);
+        self.seen.insert(peer);
+        *self.by_peer.entry(peer).or_insert(jitter)
+    }
+}

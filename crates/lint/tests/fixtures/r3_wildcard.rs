@@ -1,0 +1,16 @@
+//! R3 fixture: a dispatcher over the cross-layer `Effect` enum hiding
+//! future variants behind a wildcard arm. PR 3's capture-pressure
+//! misattribution hid behind exactly this shape — a new variant fell into
+//! the `_` arm and was silently routed wrong.
+//! Linted under the virtual path `crates/metrics/src/fixture.rs`.
+
+use dvelm_migrate::Effect;
+
+fn describe(effect: &Effect) -> &'static str {
+    match effect {
+        Effect::SuspendApp => "suspend",
+        Effect::ResumeApp => "resume",
+        Effect::Complete(_) => "complete",
+        _ => "something else",
+    }
+}

@@ -1,0 +1,20 @@
+//! R4 fixture: process-aborting calls on a migration hot path. Each one
+//! tears down the whole simulated cluster instead of surfacing a typed
+//! abort through the effect pipeline.
+//! Linted under the virtual path `crates/core/src/fixture.rs`.
+
+fn checkpoint_len(sizes: &[u64], idx: usize) -> u64 {
+    let len = sizes.get(idx).unwrap();
+    let doubled = sizes.get(idx).expect("index in range");
+    if *len == 0 {
+        panic!("empty checkpoint");
+    }
+    match *doubled {
+        0 => unreachable!("zero filtered above"),
+        n => n + *len,
+    }
+}
+
+fn ship(_bytes: u64) {
+    todo!("write the ship path")
+}

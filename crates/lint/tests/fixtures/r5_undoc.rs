@@ -1,0 +1,16 @@
+//! R5 fixture: undocumented public API in the contribution layer.
+//! Linted under the virtual path `crates/stack/src/fixture.rs`.
+
+pub struct RouteEntry {
+    pub port: u16,
+    /// Documented field — not flagged.
+    pub hits: u64,
+}
+
+pub fn lookup(_port: u16) -> Option<RouteEntry> {
+    None
+}
+
+pub(crate) fn internal() {}
+
+pub const MAX_ROUTES: usize = 64;

@@ -13,12 +13,12 @@
 use crate::seg::{Segment, Transport};
 use dvelm_net::{Port, SockAddr};
 use dvelm_sim::SimTime;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// What a capture entry matches: the migrating socket's local port plus, for
 /// connected (TCP) sockets, the remote endpoint. A UDP server socket talks to
 /// many remotes, so its entry matches on local port alone.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CaptureKey {
     /// Local port of the migrating socket.
     pub local_port: Port,
@@ -147,10 +147,13 @@ pub enum PressureKind {
 /// can surface it on the owning migration's effect stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PressureEvent {
+    /// The capture entry whose budget was hit.
     pub key: CaptureKey,
+    /// What the budget forced (shed, refusal, escalation).
     pub kind: PressureKind,
-    /// Occupancy after the incident.
+    /// Occupancy after the incident, packets.
     pub queued_packets: u64,
+    /// Occupancy after the incident, bytes.
     pub queued_bytes: u64,
     /// Packets shed or refused by this incident.
     pub shed_packets: u64,
@@ -179,8 +182,11 @@ impl CaptureEntry {
 /// Counters for tests and reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CaptureStats {
+    /// Segments stolen and queued by the `LOCAL_IN` hook.
     pub captured: u64,
+    /// Retransmissions coalesced by the seq dedup key.
     pub duplicates: u64,
+    /// Queued segments re-submitted to the stack after restore.
     pub reinjected: u64,
     /// Enable attempts refused by an armed failure (fault injection).
     pub install_failures: u64,
@@ -201,7 +207,7 @@ pub struct CaptureStats {
 /// The per-host capture table consulted by the `LOCAL_IN` hook.
 #[derive(Debug, Default)]
 pub struct CaptureTable {
-    entries: HashMap<CaptureKey, CaptureEntry>,
+    entries: BTreeMap<CaptureKey, CaptureEntry>,
     stats: CaptureStats,
     /// Fault injection: the next this many [`try_enable`](Self::try_enable)
     /// calls fail (a hook registration the kernel refused).
@@ -300,11 +306,12 @@ impl CaptureTable {
     pub fn capture(&mut self, seg: &Segment) -> CaptureOutcome {
         let connected = CaptureKey::connected(seg.src, seg.dst.port);
         let wildcard = CaptureKey::any_remote(seg.dst.port);
-        let (key, entry) = if self.entries.contains_key(&connected) {
-            (connected, self.entries.get_mut(&connected).unwrap())
-        } else if self.entries.contains_key(&wildcard) {
-            (wildcard, self.entries.get_mut(&wildcard).unwrap())
+        let key = if self.entries.contains_key(&connected) {
+            connected
         } else {
+            wildcard
+        };
+        let Some(entry) = self.entries.get_mut(&key) else {
             return CaptureOutcome::NotMatched;
         };
         let budget = self.budget;

@@ -16,14 +16,14 @@ use crate::xlate::XlateTable;
 use bytes::Bytes;
 use dvelm_net::{Ip, NodeId, Port, SockAddr};
 use dvelm_sim::{DetRng, Jiffies, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A host-local socket identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SockId(pub u64);
 
 /// Established-connection hash key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct FourTuple {
     local: SockAddr,
     remote: SockAddr,
@@ -52,15 +52,23 @@ pub enum StackEffect {
 /// Aggregate stack counters (per host).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StackStats {
+    /// Frames that reached this host's rx path.
     pub rx_total: u64,
+    /// Frames stolen by the capture hook (migration in progress).
     pub rx_captured: u64,
+    /// Frames dropped because no socket matched.
     pub rx_dropped_no_socket: u64,
+    /// Frames dropped for an inconsistent transport checksum (§V-D).
     pub rx_dropped_bad_checksum: u64,
+    /// Frames routed to this host whose header says another (stale
+    /// destination-cache ablation, §V-D).
     pub rx_dropped_misrouted: u64,
     /// Packets the capture hook refused under budget pressure (treated as
     /// wire loss; TCP retransmission or UDP best-effort recovers).
     pub rx_capture_shed: u64,
+    /// Captured packets re-submitted to the stack after restore.
     pub reinjected: u64,
+    /// Segments transmitted by this host.
     pub tx_total: u64,
 }
 
@@ -82,11 +90,11 @@ pub struct HostStack {
     /// Address-translation table (in-cluster migration, §V-D).
     pub xlate: XlateTable,
 
-    socks: HashMap<SockId, Socket>,
-    ehash: HashMap<FourTuple, SockId>,
-    bhash: HashMap<(Ip, Port), SockId>,
+    socks: BTreeMap<SockId, Socket>,
+    ehash: BTreeMap<FourTuple, SockId>,
+    bhash: BTreeMap<(Ip, Port), SockId>,
     /// Children accepted by a listener but not yet established.
-    pending_children: HashMap<SockId, SockId>,
+    pending_children: BTreeMap<SockId, SockId>,
     next_sock: u64,
     next_ephemeral: u16,
     stamp: u64,
@@ -108,10 +116,10 @@ impl HostStack {
             netfilter: HookRegistry::default(),
             capture: CaptureTable::new(),
             xlate: XlateTable::new(),
-            socks: HashMap::new(),
-            ehash: HashMap::new(),
-            bhash: HashMap::new(),
-            pending_children: HashMap::new(),
+            socks: BTreeMap::new(),
+            ehash: BTreeMap::new(),
+            bhash: BTreeMap::new(),
+            pending_children: BTreeMap::new(),
             next_sock: 1,
             next_ephemeral: 32_768,
             stamp: 0,
@@ -183,8 +191,7 @@ impl HostStack {
             "{:<6}{:<6}{:<24}{:<24}{:<14}{}\n",
             "sock", "proto", "local", "remote", "state", "queues(w/r/o/b/p)"
         ));
-        for sid in self.socket_ids() {
-            let sock = self.sock(sid).expect("listed id exists");
+        for (&sid, sock) in &self.socks {
             let (proto, remote, state, queues) = match sock {
                 Socket::Tcp(t) => {
                     let q = t.queue_lens();
@@ -323,21 +330,23 @@ impl HostStack {
 
     /// Bind a UDP socket on the public interface with an ephemeral port.
     pub fn udp_bind_ephemeral(&mut self) -> SockId {
-        let port = self.ephemeral_port();
-        let addr = SockAddr {
-            ip: self.public_ip,
-            port,
-        };
-        self.udp_bind(addr).expect("ephemeral port collision")
+        loop {
+            let port = self.ephemeral_port();
+            let addr = SockAddr {
+                ip: self.public_ip,
+                port,
+            };
+            if let Ok(sid) = self.udp_bind(addr) {
+                return sid;
+            }
+        }
     }
 
     /// Set the default peer of a UDP socket.
     pub fn udp_connect(&mut self, sid: SockId, remote: SockAddr) {
-        self.socks
-            .get_mut(&sid)
-            .expect("unknown socket")
-            .udp_mut()
-            .connect(remote);
+        if let Some(sock) = self.socks.get_mut(&sid) {
+            sock.udp_mut().connect(remote);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -348,17 +357,15 @@ impl HostStack {
     /// peer).
     pub fn send(&mut self, sid: SockId, data: Bytes, now: SimTime) -> Vec<StackEffect> {
         match self.socks.get_mut(&sid) {
-            Some(Socket::Tcp(_)) => {
-                let (outs, gen) = self
-                    .with_tcp(sid, now, |t, ctx| t.send(data, ctx))
-                    .expect("socket disappeared");
-                self.map_tcp_outs(sid, gen, outs, now)
-            }
-            Some(Socket::Udp(u)) => {
-                let seg = u.send(data);
-                vec![self.route_out(seg, now)]
-            }
-            None => panic!("send on unknown socket {sid:?}"),
+            Some(Socket::Tcp(_)) => match self.with_tcp(sid, now, |t, ctx| t.send(data, ctx)) {
+                Some((outs, gen)) => self.map_tcp_outs(sid, gen, outs, now),
+                None => Vec::new(),
+            },
+            Some(Socket::Udp(u)) => match u.send(data) {
+                Some(seg) => vec![self.route_out(seg, now)],
+                None => Vec::new(),
+            },
+            None => Vec::new(),
         }
     }
 
@@ -370,12 +377,10 @@ impl HostStack {
         data: Bytes,
         now: SimTime,
     ) -> Vec<StackEffect> {
-        let seg = self
-            .socks
-            .get(&sid)
-            .expect("unknown socket")
-            .udp()
-            .send_to(dst, data);
+        let Some(sock) = self.socks.get(&sid) else {
+            return Vec::new();
+        };
+        let seg = sock.udp().send_to(dst, data);
         vec![self.route_out(seg, now)]
     }
 
@@ -397,12 +402,10 @@ impl HostStack {
     /// Close a TCP connection (graceful FIN) or release a UDP socket.
     pub fn close(&mut self, sid: SockId, now: SimTime) -> Vec<StackEffect> {
         match self.socks.get(&sid) {
-            Some(Socket::Tcp(_)) => {
-                let (outs, gen) = self
-                    .with_tcp(sid, now, |t, ctx| t.close(ctx))
-                    .expect("socket disappeared");
-                self.map_tcp_outs(sid, gen, outs, now)
-            }
+            Some(Socket::Tcp(_)) => match self.with_tcp(sid, now, |t, ctx| t.close(ctx)) {
+                Some((outs, gen)) => self.map_tcp_outs(sid, gen, outs, now),
+                None => Vec::new(),
+            },
             Some(Socket::Udp(_)) => {
                 self.release(sid);
                 vec![StackEffect::SockClosed { sock: sid }]
@@ -448,10 +451,10 @@ impl HostStack {
         if locked {
             return Vec::new();
         }
-        let (outs, gen) = self
-            .with_tcp(sid, now, |t, ctx| t.process_parked(ctx))
-            .expect("socket disappeared");
-        self.map_tcp_outs(sid, gen, outs, now)
+        match self.with_tcp(sid, now, |t, ctx| t.process_parked(ctx)) {
+            Some((outs, gen)) => self.map_tcp_outs(sid, gen, outs, now),
+            None => Vec::new(),
+        }
     }
 
     /// Toggle the fast-path reader flag (blocked-in-recv emulation).
@@ -463,10 +466,10 @@ impl HostStack {
         if active {
             return Vec::new();
         }
-        let (outs, gen) = self
-            .with_tcp(sid, now, |t, ctx| t.process_parked(ctx))
-            .expect("socket disappeared");
-        self.map_tcp_outs(sid, gen, outs, now)
+        match self.with_tcp(sid, now, |t, ctx| t.process_parked(ctx)) {
+            Some((outs, gen)) => self.map_tcp_outs(sid, gen, outs, now),
+            None => Vec::new(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -531,10 +534,10 @@ impl HostStack {
                     remote: seg.src,
                 };
                 if let Some(&sid) = self.ehash.get(&ft) {
-                    let (outs, gen) = self
-                        .with_tcp(sid, now, |t, ctx| t.on_segment(seg, ctx))
-                        .expect("ehash points at a live TCP socket");
-                    return self.map_tcp_outs(sid, gen, outs, now);
+                    return match self.with_tcp(sid, now, |t, ctx| t.on_segment(seg, ctx)) {
+                        Some((outs, gen)) => self.map_tcp_outs(sid, gen, outs, now),
+                        None => Vec::new(),
+                    };
                 }
                 if flags.syn && !flags.ack {
                     if let Some(&lid) = self.bhash.get(&(seg.dst.ip, seg.dst.port)) {
@@ -568,7 +571,8 @@ impl HostStack {
 
     fn accept_syn(&mut self, lid: SockId, seg: Segment, now: SimTime) -> Vec<StackEffect> {
         let Transport::Tcp { seq, ts_val, .. } = seg.transport else {
-            unreachable!("accept_syn called with non-TCP segment");
+            debug_assert!(false, "accept_syn called with non-TCP segment");
+            return Vec::new();
         };
         let iss = self.iss_rng.next_u64() as u32;
         let jiffies = self.jiffies(now);
@@ -610,10 +614,10 @@ impl HostStack {
             Some(d) if d <= now => {}
             _ => return Vec::new(),
         }
-        let (outs, gen) = self
-            .with_tcp(sid, now, |t, ctx| t.on_rto(ctx))
-            .expect("socket checked above");
-        self.map_tcp_outs(sid, gen, outs, now)
+        match self.with_tcp(sid, now, |t, ctx| t.on_rto(ctx)) {
+            Some((outs, gen)) => self.map_tcp_outs(sid, gen, outs, now),
+            None => Vec::new(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -762,7 +766,10 @@ impl HostStack {
                     fx.push(StackEffect::SockClosed { sock: sid });
                 }
                 TcpOut::SpawnChild(_) => {
-                    unreachable!("passive opens are performed by the host, not the socket")
+                    debug_assert!(
+                        false,
+                        "passive opens are performed by the host, not the socket"
+                    );
                 }
             }
         }
@@ -1047,12 +1054,10 @@ mod tests {
 
         // Install the translation rule on the DB host (node0).
         let node2_ip = net.hosts[2].local_ip;
-        net.hosts[0].xlate.install(crate::xlate::XlateRule::new(
-            db_local,
-            old_local.ip,
-            node2_ip,
-            old_local.port,
-        ));
+        net.hosts[0].xlate.install_at(
+            crate::xlate::XlateRule::new(db_local, old_local.ip, node2_ip, old_local.port),
+            T0,
+        );
 
         // Migrated client sends; DB replies; reply is translated and routed
         // to node2.
@@ -1092,10 +1097,13 @@ mod tests {
         let (cid2, fx) = net.hosts[2].install_socket(sock, T0);
         net.pump(2, fx, T0);
         let node2_ip = net.hosts[2].local_ip;
-        net.hosts[0].xlate.install(crate::xlate::XlateRule {
-            fix_dst_cache: false,
-            ..crate::xlate::XlateRule::new(db_local, old_local.ip, node2_ip, old_local.port)
-        });
+        net.hosts[0].xlate.install_at(
+            crate::xlate::XlateRule {
+                fix_dst_cache: false,
+                ..crate::xlate::XlateRule::new(db_local, old_local.ip, node2_ip, old_local.port)
+            },
+            T0,
+        );
 
         let fx = net.hosts[0].send(child, Bytes::from_static(b"hello?"), T0);
         net.pump(0, fx, T0);

@@ -21,14 +21,23 @@
 //! [`StackEffect`]s (segments to transmit, data to deliver,
 //! timers to arm) that the cluster runtime turns into events.
 
+/// Incoming-packet capture for loss prevention during migration (§V-B).
 pub mod capture;
+/// The per-node stack: socket table, ehash/bhash, timers, migration ops.
 pub mod host;
+/// Netfilter-style hook points traversed by the rx/tx paths.
 pub mod netfilter;
+/// Wire segments (the simulated packets).
 pub mod seg;
+/// Socket buffers with byte accounting.
 pub mod skb;
+/// The tagged socket union (TCP or UDP).
 pub mod socket;
+/// The TCP state machine and its checkpointable record.
 pub mod tcp;
+/// UDP sockets and their checkpointable record.
 pub mod udp;
+/// Address translation for in-cluster connection migration (§V-D).
 pub mod xlate;
 
 pub use capture::{

@@ -19,9 +19,13 @@ pub const UDP_HEADER_LEN: u64 = 8;
 /// TCP flag bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
 pub struct TcpFlags {
+    /// Synchronize sequence numbers (connection open).
     pub syn: bool,
+    /// Acknowledgment field significant.
     pub ack: bool,
+    /// Sender finished (graceful close).
     pub fin: bool,
+    /// Reset the connection.
     pub rst: bool,
 }
 
@@ -100,8 +104,11 @@ pub enum Transport {
 /// A wire segment: addressing plus transport content.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Segment {
+    /// Source endpoint.
     pub src: SockAddr,
+    /// Destination endpoint.
     pub dst: SockAddr,
+    /// Transport-layer content (TCP or UDP).
     pub transport: Transport,
     /// Whether the transport checksum is consistent with the headers. A
     /// translation filter that rewrites addresses without updating the

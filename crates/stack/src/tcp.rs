@@ -108,9 +108,11 @@ impl TcpCtx<'_> {
 /// A TCP socket.
 #[derive(Debug, Clone)]
 pub struct TcpSocket {
+    /// Bound local endpoint.
     pub local: SockAddr,
     /// Peer endpoint (`None` while listening).
     pub remote: Option<SockAddr>,
+    /// Connection state.
     pub state: TcpState,
 
     // --- send sequence space ---
@@ -733,11 +735,11 @@ impl TcpSocket {
             self.last_stamp = stamp;
             self.rcv_nxt = end;
             // Pull any now-contiguous out-of-order segments in.
-            while let Some((&oseq, _)) = self.ofo_queue.iter().next() {
+            while let Some((oseq, skb)) = self.ofo_queue.pop_first() {
                 if seq_gt(oseq, self.rcv_nxt) {
+                    self.ofo_queue.insert(oseq, skb);
                     break;
                 }
-                let (oseq, skb) = self.ofo_queue.pop_first().expect("checked non-empty");
                 if seq_le(skb.end_seq(), self.rcv_nxt) {
                     continue; // entirely duplicate of data we already have
                 }
@@ -946,16 +948,27 @@ impl TcpSocket {
 /// Summary record of a TCP socket's checkpointable state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TcpSocketRecord {
+    /// Bound local endpoint.
     pub local: SockAddr,
+    /// Peer endpoint, if connected.
     pub remote: Option<SockAddr>,
+    /// Connection state at checkpoint time.
     pub state: TcpState,
+    /// Oldest unacknowledged sequence number.
     pub snd_una: u32,
+    /// Next sequence number to send.
     pub snd_nxt: u32,
+    /// Next sequence number expected from the peer.
     pub rcv_nxt: u32,
+    /// Encoded size of the unacknowledged write queue.
     pub write_queue_bytes: u64,
+    /// Encoded size of the receive queue.
     pub recv_queue_bytes: u64,
+    /// Encoded size of the out-of-order queue.
     pub ofo_queue_bytes: u64,
+    /// Encoded size of the backlog parked behind a user lock.
     pub parked_bytes: u64,
+    /// Stamp of the most recent mutation (incremental checkpoints).
     pub mutation_stamp: u64,
 }
 

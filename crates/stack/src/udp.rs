@@ -20,13 +20,16 @@ pub const UDP_DELTA_SCALAR: u64 = 48;
 /// A datagram queued for the application, with its source address.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Datagram {
+    /// Source address of the datagram.
     pub from: SockAddr,
+    /// The buffered payload.
     pub skb: Skb,
 }
 
 /// A UDP socket.
 #[derive(Debug, Clone)]
 pub struct UdpSocket {
+    /// Bound local address.
     pub local: SockAddr,
     /// Default peer installed by `connect()` (optional).
     pub remote: Option<SockAddr>,
@@ -60,12 +63,10 @@ impl UdpSocket {
         Segment::udp(self.local, dst, payload)
     }
 
-    /// Build a datagram to the connected peer.
-    pub fn send(&self, payload: Bytes) -> Segment {
-        self.send_to(
-            self.remote.expect("send() on unconnected UDP socket"),
-            payload,
-        )
+    /// Build a datagram to the connected peer; `None` if the socket has no
+    /// default peer (the kernel would return `ENOTCONN`).
+    pub fn send(&self, payload: Bytes) -> Option<Segment> {
+        self.remote.map(|remote| self.send_to(remote, payload))
     }
 
     /// Enqueue an arriving datagram. Returns `true` if the receive queue was
@@ -149,9 +150,13 @@ impl UdpSocket {
 /// Summary record of a UDP socket's checkpointable state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UdpSocketRecord {
+    /// Bound local address.
     pub local: SockAddr,
+    /// Default peer, if connected.
     pub remote: Option<SockAddr>,
+    /// Encoded size of the queued receive buffers.
     pub recv_queue_bytes: u64,
+    /// Stamp of the most recent mutation (incremental checkpoints).
     pub mutation_stamp: u64,
 }
 
@@ -185,7 +190,9 @@ mod tests {
             c.connect(sa(1, 27960));
             c
         };
-        let seg = client.send(Bytes::from_static(b"usercmd"));
+        let seg = client
+            .send(Bytes::from_static(b"usercmd"))
+            .expect("connected");
         let notify = server.on_datagram(seg, SimTime::ZERO, Jiffies(0), &mut stamp);
         assert!(notify);
         let got = server.read(&mut stamp);
@@ -231,9 +238,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unconnected")]
-    fn send_unconnected_panics() {
+    fn send_unconnected_is_refused() {
         let s = UdpSocket::bind(sa(1, 1));
-        let _ = s.send(Bytes::new());
+        assert!(
+            s.send(Bytes::new()).is_none(),
+            "no default peer, no datagram"
+        );
     }
 }

@@ -78,7 +78,9 @@ pub struct SelfXlateRule {
 /// Counters for tests and reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct XlateStats {
+    /// Outgoing segments rewritten by `LOCAL_OUT`.
     pub rewritten_out: u64,
+    /// Incoming segments rewritten by `LOCAL_IN`.
     pub rewritten_in: u64,
     /// Peer rules evicted by TTL garbage collection ([`XlateTable::gc`]).
     pub gc_evicted: u64,
@@ -123,14 +125,12 @@ impl XlateTable {
         XlateTable::default()
     }
 
-    /// Install a rule. A later rule for the same connection replaces the
-    /// earlier one (re-migration of the same peer process).
-    pub fn install(&mut self, rule: XlateRule) {
-        self.install_at(rule, SimTime::ZERO);
-    }
-
-    /// [`install`](Self::install) with the installation time recorded, so
-    /// TTL GC can age the rule from `now` even if it never matches.
+    /// Install a rule with the installation time recorded, so TTL GC can age
+    /// the rule from `now` even if it never matches. A later rule for the
+    /// same connection replaces the earlier one (re-migration of the same
+    /// peer process). There is deliberately no clock-less variant: every
+    /// caller must thread the sim clock (rule R2 — PR 3 shipped a default of
+    /// `SimTime::ZERO` here and TTL GC evicted live rules).
     pub fn install_at(&mut self, rule: XlateRule, now: SimTime) {
         self.rules.retain(|t| {
             !(t.rule.peer_local == rule.peer_local
@@ -262,13 +262,8 @@ impl XlateTable {
     /// both-endpoints-migrated case the paper leaves as future work.
     /// Returns the IP the frame is actually *routed* to — equal to the
     /// rewritten header destination only when the rule fixes the
-    /// destination-cache entry.
-    pub fn outgoing(&mut self, seg: &mut Segment) -> Ip {
-        self.outgoing_at(seg, SimTime::ZERO)
-    }
-
-    /// [`outgoing`](Self::outgoing) with the clock, so matched peer rules
-    /// refresh their TTL.
+    /// destination-cache entry. Takes the sim clock so matched peer rules
+    /// refresh their TTL (outbound-only flows count as activity).
     pub fn outgoing_at(&mut self, seg: &mut Segment, now: SimTime) -> Ip {
         let mut route = seg.dst.ip;
         // Self half: restore the wire source to this host's address.
@@ -308,16 +303,11 @@ impl XlateTable {
     }
 
     /// `LOCAL_IN` hook: rewrite an arriving segment. As with
-    /// [`outgoing`](Self::outgoing), the self half (destination back to the
-    /// migrated socket's identity) and the peer half (source back to the
+    /// [`outgoing_at`](Self::outgoing_at), the self half (destination back to
+    /// the migrated socket's identity) and the peer half (source back to the
     /// remote's original identity) compose; ports anchor the matches because
-    /// either address may still be in its on-wire form.
-    pub fn incoming(&mut self, seg: &mut Segment) {
-        self.incoming_at(seg, SimTime::ZERO);
-    }
-
-    /// [`incoming`](Self::incoming) with the clock, so matched peer rules
-    /// refresh their TTL.
+    /// either address may still be in its on-wire form. Takes the sim clock
+    /// so matched peer rules refresh their TTL.
     pub fn incoming_at(&mut self, seg: &mut Segment, now: SimTime) {
         let self_hit = self
             .self_rules
@@ -371,9 +361,9 @@ mod tests {
     #[test]
     fn outgoing_rewrites_and_routes_to_new_host() {
         let mut t = XlateTable::new();
-        t.install(rule());
+        t.install_at(rule(), SimTime::ZERO);
         let mut seg = Segment::udp(peer_local(), SockAddr::new(IP1, 5000), Bytes::new());
-        let route = t.outgoing(&mut seg);
+        let route = t.outgoing_at(&mut seg, SimTime::ZERO);
         assert_eq!(seg.dst.ip, IP2, "header rewritten");
         assert_eq!(route, IP2, "route follows the fixed dst-cache entry");
         assert!(seg.checksum_ok);
@@ -383,12 +373,15 @@ mod tests {
     #[test]
     fn stale_dst_cache_misroutes() {
         let mut t = XlateTable::new();
-        t.install(XlateRule {
-            fix_dst_cache: false,
-            ..rule()
-        });
+        t.install_at(
+            XlateRule {
+                fix_dst_cache: false,
+                ..rule()
+            },
+            SimTime::ZERO,
+        );
         let mut seg = Segment::udp(peer_local(), SockAddr::new(IP1, 5000), Bytes::new());
-        let route = t.outgoing(&mut seg);
+        let route = t.outgoing_at(&mut seg, SimTime::ZERO);
         assert_eq!(seg.dst.ip, IP2, "header says new host");
         assert_eq!(route, IP1, "but the frame goes to the old one");
     }
@@ -396,21 +389,24 @@ mod tests {
     #[test]
     fn missing_checksum_fix_flags_segment() {
         let mut t = XlateTable::new();
-        t.install(XlateRule {
-            fix_checksum: false,
-            ..rule()
-        });
+        t.install_at(
+            XlateRule {
+                fix_checksum: false,
+                ..rule()
+            },
+            SimTime::ZERO,
+        );
         let mut seg = Segment::udp(peer_local(), SockAddr::new(IP1, 5000), Bytes::new());
-        t.outgoing(&mut seg);
+        t.outgoing_at(&mut seg, SimTime::ZERO);
         assert!(!seg.checksum_ok);
     }
 
     #[test]
     fn incoming_rewrites_source_back() {
         let mut t = XlateTable::new();
-        t.install(rule());
+        t.install_at(rule(), SimTime::ZERO);
         let mut seg = Segment::udp(SockAddr::new(IP2, 5000), peer_local(), Bytes::new());
-        t.incoming(&mut seg);
+        t.incoming_at(&mut seg, SimTime::ZERO);
         assert_eq!(seg.src.ip, IP1, "peer sees the original address");
         assert_eq!(t.stats().rewritten_in, 1);
     }
@@ -418,10 +414,10 @@ mod tests {
     #[test]
     fn unrelated_traffic_untouched() {
         let mut t = XlateTable::new();
-        t.install(rule());
+        t.install_at(rule(), SimTime::ZERO);
         // Wrong port.
         let mut seg = Segment::udp(peer_local(), SockAddr::new(IP1, 9999), Bytes::new());
-        let route = t.outgoing(&mut seg);
+        let route = t.outgoing_at(&mut seg, SimTime::ZERO);
         assert_eq!(seg.dst.ip, IP1);
         assert_eq!(route, IP1);
         // Wrong local endpoint.
@@ -430,24 +426,27 @@ mod tests {
             SockAddr::new(IP1, 5000),
             Bytes::new(),
         );
-        t.outgoing(&mut seg);
+        t.outgoing_at(&mut seg, SimTime::ZERO);
         assert_eq!(seg.dst.ip, IP1);
     }
 
     #[test]
     fn reinstall_replaces_rule() {
         let mut t = XlateTable::new();
-        t.install(rule());
+        t.install_at(rule(), SimTime::ZERO);
         // The process moved again: IP1-origin connection now lives on IP3's
         // sibling 10.0.0.4.
         let ip4 = Ip::new(10, 0, 0, 4);
-        t.install(XlateRule {
-            new_remote_ip: ip4,
-            ..rule()
-        });
+        t.install_at(
+            XlateRule {
+                new_remote_ip: ip4,
+                ..rule()
+            },
+            SimTime::ZERO,
+        );
         assert_eq!(t.len(), 1, "rule replaced, not duplicated");
         let mut seg = Segment::udp(peer_local(), SockAddr::new(IP1, 5000), Bytes::new());
-        assert_eq!(t.outgoing(&mut seg), ip4);
+        assert_eq!(t.outgoing_at(&mut seg, SimTime::ZERO), ip4);
     }
 
     #[test]
@@ -464,7 +463,7 @@ mod tests {
 
         // Outgoing from the migrated socket: src IP1 → IP2 on the wire.
         let mut seg = Segment::udp(SockAddr::new(IP1, 5000), peer_local(), Bytes::new());
-        let route = t.outgoing(&mut seg);
+        let route = t.outgoing_at(&mut seg, SimTime::ZERO);
         assert_eq!(seg.src.ip, IP2);
         assert_eq!(route, IP3, "routed to the peer");
         assert!(seg.checksum_ok);
@@ -472,7 +471,7 @@ mod tests {
         // Incoming from the peer (already dst-rewritten to IP2 by the peer's
         // rule): dst IP2 → IP1 before socket lookup.
         let mut seg = Segment::udp(peer_local(), SockAddr::new(IP2, 5000), Bytes::new());
-        t.incoming(&mut seg);
+        t.incoming_at(&mut seg, SimTime::ZERO);
         assert_eq!(seg.dst.ip, IP1);
     }
 
@@ -494,7 +493,7 @@ mod tests {
     #[test]
     fn remove_clears_connection_rules() {
         let mut t = XlateTable::new();
-        t.install(rule());
+        t.install_at(rule(), SimTime::ZERO);
         assert_eq!(t.remove(peer_local(), IP1, Port(5000)), 1);
         assert!(t.is_empty());
         assert_eq!(t.remove(peer_local(), IP1, Port(5000)), 0);
@@ -600,18 +599,18 @@ mod prop_tests {
             let old_ip = Ip::local_of(dvelm_net::NodeId(old_node));
             let new_ip = Ip::local_of(dvelm_net::NodeId(new_node));
             let mut t = XlateTable::new();
-            t.install(XlateRule::new(peer_local, old_ip, new_ip, Port(sock_port)));
+            t.install_at(XlateRule::new(peer_local, old_ip, new_ip, Port(sock_port)), SimTime::ZERO);
 
             // Peer → migrated socket.
             let mut out = Segment::udp(peer_local, SockAddr::new(old_ip, sock_port), Bytes::new());
-            let route = t.outgoing(&mut out);
+            let route = t.outgoing_at(&mut out, SimTime::ZERO);
             prop_assert_eq!(route, new_ip);
             prop_assert_eq!(out.dst.ip, new_ip);
             prop_assert_eq!(out.dst.port, Port(sock_port));
 
             // Reply: migrated socket (wire src = new host) → peer.
             let mut back = Segment::udp(SockAddr::new(new_ip, sock_port), peer_local, Bytes::new());
-            t.incoming(&mut back);
+            t.incoming_at(&mut back, SimTime::ZERO);
             prop_assert_eq!(back.src.ip, old_ip, "peer sees the original address");
             prop_assert_eq!(back.dst, peer_local);
         }

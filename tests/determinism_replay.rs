@@ -1,0 +1,166 @@
+//! Double-run determinism: build the chaos soak's world — same seed, same
+//! topology, same fault plan as `tests/chaos_soak.rs` — twice, replay it
+//! with effect logging enabled, and require the two rendered effect streams
+//! to be byte-identical. This is the machine-checkable form of the repo's
+//! determinism contract: if any `HashMap` iteration order, wall-clock read
+//! or unseeded RNG leaks into the simulation (lint rule R1), the two logs
+//! diverge here long before a figure regenerates differently.
+
+use dvelm::lb::AdmissionConfig;
+use dvelm::migrate::OverloadGuard;
+use dvelm::prelude::*;
+use dvelm::stack::CaptureBudget;
+
+/// The seed `tests/chaos_soak.rs` soaks under.
+const SOAK_SEED: u64 = 0x50a1;
+const MIG_CAP: usize = 2;
+const CAPTURE_PACKETS: usize = 64;
+const CAPTURE_BYTES: usize = 256 * 1024;
+/// Long enough to cover every scripted fault through the node crash at 34 s.
+const REPLAY_SECS: u64 = 36;
+
+struct Worker {
+    share: f64,
+    dirty: usize,
+}
+
+impl App for Worker {
+    fn on_tick(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.set_cpu_share(self.share);
+        ctx.touch_memory(self.dirty);
+    }
+    fn tick_period_us(&self) -> u64 {
+        100 * MILLISECOND
+    }
+}
+
+/// One full replay of the soak scenario: returns the rendered effect log
+/// and the final clock.
+fn replay() -> (Vec<String>, SimTime) {
+    let mut w = World::new(WorldConfig {
+        seed: SOAK_SEED,
+        admission: AdmissionConfig {
+            max_cluster_migrations: MIG_CAP,
+            max_node_migrations: 1,
+            max_inflight_image_bytes: 256 * 1024 * 1024,
+        },
+        overload_guard: OverloadGuard {
+            deadline_us: Some(10 * SECOND),
+            max_stagnant_rounds: Some(8),
+        },
+        capture_budget: CaptureBudget::bounded(CAPTURE_PACKETS, CAPTURE_BYTES),
+        xlate_gc_ttl_us: Some(10 * SECOND),
+        ..WorldConfig::default()
+    });
+    w.enable_effect_log();
+
+    let mut nodes = Vec::new();
+    for n in 0..5 {
+        let node = w.add_server_node();
+        let (count, share) = match n {
+            0..=2 => (5, 16.0),
+            _ => (1, 6.0),
+        };
+        for i in 0..count {
+            w.spawn_process(
+                node,
+                &format!("w{n}-{i}"),
+                16,
+                512,
+                Box::new(Worker {
+                    share,
+                    dirty: 20 + 7 * i,
+                }),
+            );
+        }
+        nodes.push(node);
+    }
+
+    w.run_for(500 * MILLISECOND);
+    w.enable_load_balancing();
+
+    let plan = FaultPlan::new()
+        .at(
+            SimTime::from_secs(3),
+            Fault::Overload {
+                host: nodes[0],
+                factor: 6,
+                for_us: 4 * SECOND,
+            },
+        )
+        .at(
+            SimTime::from_secs(5),
+            Fault::DownlinkLoss {
+                host: nodes[1],
+                model: dvelm::net::LossModel::Burst { p: 0.02, burst: 6 },
+                for_us: 3 * SECOND,
+            },
+        )
+        .at(
+            SimTime::from_secs(8),
+            Fault::CaptureInstallFail { host: nodes[3] },
+        )
+        .at(
+            SimTime::from_secs(12),
+            Fault::CtrlBlackout {
+                host: nodes[3],
+                for_us: 4 * SECOND,
+            },
+        )
+        .at(
+            SimTime::from_secs(16),
+            Fault::RestoreFail { host: nodes[4] },
+        )
+        .at(
+            SimTime::from_secs(20),
+            Fault::Overload {
+                host: nodes[2],
+                factor: 10,
+                for_us: 5 * SECOND,
+            },
+        )
+        .at(
+            SimTime::from_secs(26),
+            Fault::Overload {
+                host: nodes[3],
+                factor: 4,
+                for_us: 0,
+            },
+        )
+        .at(SimTime::from_secs(34), Fault::NodeCrash { host: nodes[4] })
+        .at(
+            SimTime::from_secs(40),
+            Fault::Overload {
+                host: nodes[3],
+                factor: 1,
+                for_us: 0,
+            },
+        );
+    w.install_fault_plan(plan);
+
+    w.run_for(REPLAY_SECS * SECOND);
+    (w.effect_log().to_vec(), w.now())
+}
+
+#[test]
+fn chaos_seed_replays_byte_identical() {
+    let (log_a, end_a) = replay();
+    let (log_b, end_b) = replay();
+    assert!(
+        !log_a.is_empty(),
+        "the soak scenario migrates under load balancing; an empty effect \
+         log means the replay never exercised the pipeline"
+    );
+    assert_eq!(end_a, end_b, "the two replays must end at the same instant");
+    assert_eq!(
+        log_a.len(),
+        log_b.len(),
+        "effect streams differ in length: {} vs {}",
+        log_a.len(),
+        log_b.len()
+    );
+    // Element-wise first so a divergence points at the exact effect line.
+    for (i, (a, b)) in log_a.iter().zip(&log_b).enumerate() {
+        assert_eq!(a, b, "effect streams diverge at entry {i}");
+    }
+}
