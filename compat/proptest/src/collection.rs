@@ -4,7 +4,7 @@ use crate::strategy::{Strategy, TestRng};
 use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
 
-/// Allowed element counts for [`vec`].
+/// Allowed element counts for [`vec()`].
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     lo: usize,

@@ -1,0 +1,149 @@
+//! The scale-benchmark trajectory: `BENCH_scale.json` + `BENCH_stack.json`.
+//!
+//! Modes:
+//!
+//! * no arguments — run the full default trajectory (4 → 256 nodes) and
+//!   write both JSON files to the repository root (or `$DVELM_BENCH_DIR`);
+//! * `--quick` — the first three cells only (what CI runs; the cells are
+//!   identical to the full run's, so the committed baseline compares
+//!   like-for-like);
+//! * `--compare <baseline.json> <fresh.json> [tolerance]` — exit non-zero
+//!   when any shared cell regresses by more than the tolerance (default
+//!   2x) on a wall-clock throughput metric.
+
+use dvelm_bench::json::Json;
+use dvelm_bench::scale::{
+    compare_bench, run_scale, scale_json, stack_json, Baseline, ScaleCell, ScaleConfig, SCALE_SEED,
+};
+
+/// The 64-node/1000-client cell measured once on the pre-optimization tree
+/// (the parent of the commit introducing this harness; same harness source,
+/// release build, idle machine). `BENCH_scale.json`'s `speedup` is the
+/// fresh deliveries-per-wall-second over the baseline's, and
+/// `sim_throughput_speedup` the wall-clock-per-sim-second ratio —
+/// deliveries rather than raw dispatched events, because batching the
+/// broadcast fan-out changed how much work one scheduler event carries.
+const PRE_OPT_64X1000_EVENTS_PER_SEC: f64 = 1_524_680.0;
+const PRE_OPT_64X1000_DELIVERIES_PER_SEC: f64 = 1_467_926.0;
+const PRE_OPT_64X1000_WALL_MS_PER_SIM_S: f64 = 874.6;
+
+/// The default trajectory. The first three cells double as the CI quick
+/// sweep, the last is the stress cell.
+fn trajectory() -> Vec<ScaleConfig> {
+    let cell = |nodes, clients, migrations, run_secs| ScaleConfig {
+        nodes,
+        clients,
+        migrations,
+        run_secs,
+        seed: SCALE_SEED,
+    };
+    vec![
+        cell(4, 100, 2, 5),
+        cell(16, 1000, 4, 2),
+        cell(64, 1000, 8, 2),
+        cell(256, 10_000, 16, 1),
+    ]
+}
+
+/// Where the BENCH_*.json files go: `$DVELM_BENCH_DIR` or the repo root.
+fn bench_dir() -> std::path::PathBuf {
+    let dir = std::env::var("DVELM_BENCH_DIR")
+        .unwrap_or_else(|_| env!("CARGO_MANIFEST_DIR").replace("/crates/bench", ""));
+    let p = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("create bench output dir");
+    p
+}
+
+fn run_sweep(cfgs: &[ScaleConfig]) -> Vec<ScaleCell> {
+    let mut cells = Vec::with_capacity(cfgs.len());
+    for cfg in cfgs {
+        eprintln!(
+            "[bench_scale] nodes={} clients={} migrations={} run_secs={} ...",
+            cfg.nodes, cfg.clients, cfg.migrations, cfg.run_secs
+        );
+        let cell = run_scale(cfg);
+        eprintln!(
+            "[bench_scale]   {:.0} events/s, {:.1} wall-ms per sim-s, peak queue {} pkts, \
+             {} migrations completed ({} aborted, {} rejected)",
+            cell.events_per_sec,
+            cell.wall_ms_per_sim_s,
+            cell.peak_queued_packets,
+            cell.migrations_completed,
+            cell.migrations_aborted,
+            cell.migrations_rejected,
+        );
+        cells.push(cell);
+    }
+    cells
+}
+
+fn write_outputs(cells: &[ScaleCell]) {
+    let baseline = Baseline {
+        label: "pre-optimization tree, release build, same harness".into(),
+        cell: "64x1000".into(),
+        events_per_sec: PRE_OPT_64X1000_EVENTS_PER_SEC,
+        deliveries_per_sec: PRE_OPT_64X1000_DELIVERIES_PER_SEC,
+        wall_ms_per_sim_s: PRE_OPT_64X1000_WALL_MS_PER_SIM_S,
+    };
+    let dir = bench_dir();
+    let scale_path = dir.join("BENCH_scale.json");
+    let stack_path = dir.join("BENCH_stack.json");
+    std::fs::write(&scale_path, scale_json(cells, Some(&baseline)).render())
+        .expect("write BENCH_scale.json");
+    std::fs::write(&stack_path, stack_json(cells).render()).expect("write BENCH_stack.json");
+    eprintln!("[saved {}]", scale_path.display());
+    eprintln!("[saved {}]", stack_path.display());
+}
+
+fn compare_mode(args: &[String]) -> ! {
+    let [base_path, fresh_path, rest @ ..] = args else {
+        eprintln!("usage: bench_scale --compare <baseline.json> <fresh.json> [tolerance]");
+        std::process::exit(2);
+    };
+    let tolerance: f64 = rest.first().map_or(2.0, |t| {
+        t.parse().unwrap_or_else(|_| {
+            eprintln!("bad tolerance {t:?}");
+            std::process::exit(2);
+        })
+    });
+    let read_json = |path: &String| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read_json(base_path);
+    let fresh = read_json(fresh_path);
+    let problems = compare_bench(&baseline, &fresh, tolerance);
+    if problems.is_empty() {
+        println!("bench_scale: no regression beyond {tolerance}x against {base_path}");
+        std::process::exit(0);
+    }
+    for p in &problems {
+        eprintln!("REGRESSION: {p}");
+    }
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--compare") => compare_mode(&args[1..]),
+        Some("--quick") => {
+            let cells = run_sweep(&trajectory()[..3]);
+            write_outputs(&cells);
+        }
+        None => {
+            let cells = run_sweep(&trajectory());
+            write_outputs(&cells);
+        }
+        Some(other) => {
+            eprintln!("unknown argument {other:?}; use --quick or --compare");
+            std::process::exit(2);
+        }
+    }
+}

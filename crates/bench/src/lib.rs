@@ -5,6 +5,9 @@
 //! `all_figures` binary can share results between Fig. 5b and Fig. 5c
 //! (they come from the same runs).
 
+pub mod json;
+pub mod scale;
+
 use dvelm_dve::{run_flow_sim, FlowSimConfig, FlowSimResult};
 use dvelm_dve::{run_freeze_bench, FreezeBenchConfig, FreezeBenchResult};
 use dvelm_metrics::{AsciiChart, Table, TimeSeries};

@@ -40,6 +40,31 @@ pub struct VmaRecord {
     pub pages: usize,
 }
 
+impl VmaRecord {
+    /// Compact encoding (shared by full images and incremental diffs; the
+    /// *transfer* model charges [`VMA_RECORD_LEN`] per record regardless).
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.id.0);
+        w.put_u8(kind_code(self.kind));
+        w.put_u64(self.start);
+        w.put_u64(self.pages as u64);
+    }
+
+    /// Decode one compact record.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<VmaRecord, WireError> {
+        let id = VmaId(r.get_u64()?);
+        let kind = kind_from_code(r.get_u8()?);
+        let start = r.get_u64()?;
+        let pages = r.get_u64()? as usize;
+        Ok(VmaRecord {
+            id,
+            kind,
+            start,
+            pages,
+        })
+    }
+}
+
 /// A page-content record.
 pub type PageRecord = PageRef;
 
@@ -100,10 +125,7 @@ impl CheckpointImage {
         w.put_f64(self.meta.cpu_share);
         w.put_u32(self.vmas.len() as u32);
         for v in &self.vmas {
-            w.put_u64(v.id.0);
-            w.put_u8(kind_code(v.kind));
-            w.put_u64(v.start);
-            w.put_u64(v.pages as u64);
+            v.encode(&mut w);
         }
         w.put_u32(self.pages.len() as u32);
         for p in &self.pages {
@@ -136,16 +158,7 @@ impl CheckpointImage {
         let nv = r.get_u32()?;
         let mut vmas = Vec::with_capacity(nv as usize);
         for _ in 0..nv {
-            let id = VmaId(r.get_u64()?);
-            let kind = kind_from_code(r.get_u8()?);
-            let start = r.get_u64()?;
-            let pages = r.get_u64()? as usize;
-            vmas.push(VmaRecord {
-                id,
-                kind,
-                start,
-                pages,
-            });
+            vmas.push(VmaRecord::decode(&mut r)?);
         }
         let np = r.get_u32()?;
         let mut pages = Vec::with_capacity(np as usize);

@@ -33,4 +33,7 @@ pub use image::{
     VMA_RECORD_LEN,
 };
 pub use restore::{apply_update, restore_process};
-pub use wire::{WireReader, WireWriter};
+pub use wire::{
+    WireError, WireReader, WireWriter, UPDATE_HEADER_LEN, VMA_REMOVE_RECORD_LEN,
+    VMA_RESIZE_RECORD_LEN,
+};

@@ -4,6 +4,23 @@
 //! record occupies on the wire is an input to the migration timing model, so
 //! the format is spelled out, fixed-endian (little) and stable.
 
+/// Transfer size of one VMA-resize diff record, bytes: record tag `u32` +
+/// region id `u64` + new page count `u64` + reserved `u32`. Shared between
+/// the [`VmaDiff`](crate::dirty::VmaDiff) codec and its transfer-size
+/// accounting so the timing model charges exactly what the wire carries.
+pub const VMA_RESIZE_RECORD_LEN: u64 = 24;
+/// Transfer size of one VMA-remove diff record, bytes: record tag `u32` +
+/// region id `u64`.
+pub const VMA_REMOVE_RECORD_LEN: u64 = 12;
+/// Transfer size of the incremental-update header, bytes: iteration `u32` +
+/// three `u32` record counts (inserted / resized+removed / pages).
+pub const UPDATE_HEADER_LEN: u64 = 16;
+
+/// Record tag opening a VMA-resize diff record.
+pub const VMA_RESIZE_TAG: u32 = 0x5253_5a31; // "RSZ1"
+/// Record tag opening a VMA-remove diff record.
+pub const VMA_REMOVE_TAG: u32 = 0x524d_5631; // "RMV1"
+
 /// Append-only encoder.
 #[derive(Debug, Default)]
 pub struct WireWriter {
@@ -70,6 +87,8 @@ pub enum WireError {
     Truncated,
     /// A length-prefixed string was not valid UTF-8.
     BadUtf8,
+    /// A record opened with an unexpected tag.
+    BadTag(u32),
 }
 
 impl std::fmt::Display for WireError {
@@ -77,6 +96,7 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Truncated => write!(f, "truncated wire data"),
             WireError::BadUtf8 => write!(f, "invalid UTF-8 in wire string"),
+            WireError::BadTag(t) => write!(f, "unexpected record tag {t:#x}"),
         }
     }
 }

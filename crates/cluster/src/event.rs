@@ -12,6 +12,13 @@ use dvelm_stack::{Segment, SockId};
 pub enum Event {
     /// A frame reaches a host's interface.
     PacketArrival { host: usize, seg: Segment },
+    /// One broadcast frame reaches several hosts' interfaces at the same
+    /// instant (the single-IP router's inbound fan-out, §II-A). Batching
+    /// the fan-out into one event keeps the scheduler's in-flight set
+    /// O(frames) instead of O(frames × nodes); hosts are delivered in
+    /// order, which is exactly the dispatch order the per-host events had
+    /// (consecutive scheduler sequence numbers at an equal instant).
+    BroadcastArrival { hosts: Vec<usize>, seg: Segment },
     /// A socket retransmission timer fires.
     SockTimer { host: usize, sock: SockId, gen: u64 },
     /// One iteration of an application's real-time loop. `gen` names the

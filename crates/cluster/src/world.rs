@@ -13,7 +13,9 @@ use dvelm_migrate::{
     AbortIo, AbortReason, AbortRecovery, CostModel, Effect, EffectBuf, MigrationAborted,
     MigrationEngine, OverloadGuard, PhaseId, Side, StepIo, Strategy,
 };
-use dvelm_net::{BroadcastRouter, ClusterSwitch, Ip, LossModel, NodeId, Port, SockAddr};
+use dvelm_net::{
+    BroadcastRouter, ClusterSwitch, Ip, LossModel, NodeId, Port, RouteError, SockAddr,
+};
 use dvelm_proc::{Fd, FdEntry, Pid, Process, PAGE_SIZE};
 use dvelm_sim::{DetRng, Scheduler, SimTime};
 use dvelm_stack::{CaptureBudget, HostStack, PressureKind, Segment, SockId, StackEffect};
@@ -149,6 +151,11 @@ pub struct ResourceUsage {
     pub surged_hosts: usize,
 }
 
+/// Freelist cap for the pooled effect/arrival buffers: enough for any
+/// realistic re-entrancy depth while keeping the idle memory bounded (some
+/// callers hand the pool vectors the stack allocated itself).
+const FX_POOL_CAP: usize = 32;
+
 /// One transmitted-frame record (the tcpdump of Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacketLogEntry {
@@ -202,6 +209,23 @@ pub struct World {
     log_port: Option<Port>,
     /// Rendered migration effect stream (when enabled): one line per effect.
     effect_log: Option<Vec<String>>,
+    /// Frames the router could not route (unknown client/node — a crashed
+    /// or departed endpoint raced an in-flight frame). Each one also lands
+    /// in the effect log when enabled.
+    route_errors: u64,
+    /// Reusable broadcast fan-out buffer: one inbound frame produces one
+    /// arrival per node, every tick — pooling the vector keeps the
+    /// per-packet hot path allocation-free.
+    arrival_buf: Vec<(NodeId, SimTime)>,
+    /// Pooled per-step migration effect buffers (engine steps and aborts
+    /// can re-enter through effect dispatch, hence a pool, not one slot).
+    mig_fx_pool: Vec<Vec<(SimTime, Effect)>>,
+    /// Pooled stack-effect vectors for application callbacks (same
+    /// re-entrancy argument).
+    stack_fx_pool: Vec<Vec<StackEffect>>,
+    /// Pooled host lists for [`Event::BroadcastArrival`] (one list travels
+    /// through the scheduler per broadcast frame and comes back here).
+    bcast_pool: Vec<Vec<usize>>,
 }
 
 impl World {
@@ -236,6 +260,11 @@ impl World {
             packet_log: Vec::new(),
             log_port: None,
             effect_log: None,
+            route_errors: 0,
+            arrival_buf: Vec::new(),
+            mig_fx_pool: Vec::new(),
+            stack_fx_pool: Vec::new(),
+            bcast_pool: Vec::new(),
         }
     }
 
@@ -260,6 +289,13 @@ impl World {
     /// [`enable_effect_log`](World::enable_effect_log) was called).
     pub fn effect_log(&self) -> &[String] {
         self.effect_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Frames the router refused to route (unknown client or node). Nonzero
+    /// counts are expected when hosts crash with traffic in flight; steady
+    /// growth without faults indicates a topology bug.
+    pub fn route_errors(&self) -> u64 {
+        self.route_errors
     }
 
     // ------------------------------------------------------------------
@@ -851,8 +887,10 @@ impl World {
                 self.switch.detach(node);
             }
             HostKind::Database => self.switch.detach(node),
-            // Client WAN links stay up; frames die at the dead host.
-            HostKind::Client => {}
+            // Release the client's WAN access links so they stop leaking:
+            // frames toward the dead client now surface as route errors at
+            // the router instead of serializing onto an unread downlink.
+            HostKind::Client => self.router.detach_client(node),
         }
     }
 
@@ -867,7 +905,10 @@ impl World {
             return false;
         };
         let (src, dst, pid) = (task.src, task.dst, task.pid);
-        let mut buf = EffectBuf::new();
+        // Effect buffers are pooled, not a single slot: dispatching an
+        // effect can re-enter this path (abort chains), so each activation
+        // takes its own buffer off the freelist.
+        let mut buf = EffectBuf::with_storage(self.mig_fx_pool.pop().unwrap_or_default());
         {
             let (lo, hi) = if src < dst { (src, dst) } else { (dst, src) };
             let (left, right) = self.hosts.split_at_mut(hi);
@@ -888,7 +929,7 @@ impl World {
                 &mut buf,
             );
         }
-        let effects = buf.take();
+        let mut effects = buf.take();
         for (at, effect) in &effects {
             task.recorder.observe(*at, effect);
         }
@@ -897,8 +938,11 @@ impl World {
                 log.push(render_effect(mig, *at, effect));
             }
         }
-        for (_, effect) in effects {
+        for (_, effect) in effects.drain(..) {
             self.apply_effect(mig, src, dst, pid, effect);
+        }
+        if self.mig_fx_pool.len() < FX_POOL_CAP {
+            self.mig_fx_pool.push(effects);
         }
         true
     }
@@ -982,6 +1026,9 @@ impl World {
     fn dispatch(&mut self, event: Event) {
         // Events addressed to a crashed host die at its doorstep.
         let target_host = match &event {
+            // Broadcast batches carry several hosts; liveness is checked
+            // per host at delivery.
+            Event::BroadcastArrival { .. } => None,
             Event::PacketArrival { host, .. }
             | Event::SockTimer { host, .. }
             | Event::AppTick { host, .. }
@@ -1006,6 +1053,23 @@ impl World {
                 let fx = self.hosts[host].stack.on_rx(seg, now);
                 self.apply_effects(host, fx);
                 self.drain_capture_pressure(host);
+            }
+            Event::BroadcastArrival { hosts, seg } => {
+                let now = self.now();
+                for &host in &hosts {
+                    // A host may have crashed after the frame was scheduled
+                    // (or mid-batch, through an effect of an earlier
+                    // delivery): the frame dies at its doorstep.
+                    if !self.hosts[host].alive {
+                        continue;
+                    }
+                    let fx = self.hosts[host].stack.on_rx(seg.clone(), now);
+                    self.apply_effects(host, fx);
+                    self.drain_capture_pressure(host);
+                }
+                if self.bcast_pool.len() < FX_POOL_CAP {
+                    self.bcast_pool.push(hosts);
+                }
             }
             Event::SockTimer { host, sock, gen } => {
                 let now = self.now();
@@ -1119,25 +1183,31 @@ impl World {
         f: impl FnOnce(&mut dyn App, &mut AppCtx<'_>) -> R,
     ) -> Option<R> {
         let now = self.now();
+        // App callbacks run once per tick per process — the stack-effect
+        // buffer comes from a freelist (callbacks can nest through effect
+        // dispatch, so a single reusable slot would not be re-entrant).
+        let mut effects = self.stack_fx_pool.pop().unwrap_or_default();
         let h = &mut self.hosts[host];
-        let entry = h.procs.get_mut(&pid)?;
-        if entry.suspended {
-            return None;
-        }
-        let mut effects = Vec::new();
-        let r = {
-            let mut ctx = AppCtx {
-                now,
-                pid,
-                rng: &mut self.rng,
-                proc: &mut entry.process,
-                stack: &mut h.stack,
-                effects: &mut effects,
-            };
-            f(entry.app.as_mut(), &mut ctx)
+        let r = match h.procs.get_mut(&pid) {
+            Some(entry) if !entry.suspended => {
+                let mut ctx = AppCtx {
+                    now,
+                    pid,
+                    rng: &mut self.rng,
+                    proc: &mut entry.process,
+                    stack: &mut h.stack,
+                    effects: &mut effects,
+                };
+                Some(f(entry.app.as_mut(), &mut ctx))
+            }
+            _ => None,
         };
-        self.apply_effects(host, effects);
-        Some(r)
+        if r.is_some() {
+            self.apply_effects(host, effects);
+        } else if self.stack_fx_pool.len() < FX_POOL_CAP {
+            self.stack_fx_pool.push(effects);
+        }
+        r
     }
 
     fn on_app_tick(&mut self, host: usize, pid: Pid, gen: u64) {
@@ -1317,7 +1387,12 @@ impl World {
     }
 
     fn host_by_node(&self, node: NodeId) -> Option<usize> {
-        self.hosts.iter().position(|h| h.stack.node == node)
+        // Node ids are assigned as `NodeId(hosts.len())` at creation and
+        // hosts are never removed from the vector (crashes only mark them
+        // dead), so the id doubles as the index. The equality check keeps
+        // this honest should that invariant ever change.
+        let idx = node.0 as usize;
+        (self.hosts.get(idx)?.stack.node == node).then_some(idx)
     }
 
     // ------------------------------------------------------------------
@@ -1332,8 +1407,11 @@ impl World {
         let (src, dst, pid) = (task.src, task.dst, task.pid);
 
         // Split the borrows: engine lives in self.migrations, stacks and the
-        // process in self.hosts. The step's side effects land in `buf`.
-        let mut buf = EffectBuf::new();
+        // process in self.hosts. The step's side effects land in `buf`, a
+        // pooled buffer (steps run at 10 ms cadence per migration; pooling
+        // keeps the per-step cost allocation-free, and a freelist — not a
+        // single slot — because effect dispatch can re-enter stepping).
+        let mut buf = EffectBuf::with_storage(self.mig_fx_pool.pop().unwrap_or_default());
         let plan = {
             let (lo, hi) = if src < dst { (src, dst) } else { (dst, src) };
             let (left, right) = self.hosts.split_at_mut(hi);
@@ -1360,7 +1438,7 @@ impl World {
         // Feed the trace spine, then dispatch each effect in emission
         // order. A Complete effect (always last) consumes the task — hence
         // the two passes.
-        let effects = buf.take();
+        let mut effects = buf.take();
         for (at, effect) in &effects {
             task.recorder.observe(*at, effect);
         }
@@ -1369,8 +1447,11 @@ impl World {
                 log.push(render_effect(mig, *at, effect));
             }
         }
-        for (_, effect) in effects {
+        for (_, effect) in effects.drain(..) {
             self.apply_effect(mig, src, dst, pid, effect);
+        }
+        if self.mig_fx_pool.len() < FX_POOL_CAP {
+            self.mig_fx_pool.push(effects);
         }
         if let Some(after) = plan.next_step_after_us {
             self.sched
@@ -1523,9 +1604,15 @@ impl World {
     // effect routing
     // ------------------------------------------------------------------
 
-    fn apply_effects(&mut self, host: usize, fx: Vec<StackEffect>) {
-        for effect in fx {
+    fn apply_effects(&mut self, host: usize, mut fx: Vec<StackEffect>) {
+        for effect in fx.drain(..) {
             self.apply_stack_effect(host, effect);
+        }
+        // Recycle the emptied vector so the next app callback or stack
+        // unlock starts with a warm buffer. Callers also hand in vectors the
+        // stack allocated itself, so the pool is capped to stay bounded.
+        if self.stack_fx_pool.len() < FX_POOL_CAP {
+            self.stack_fx_pool.push(fx);
         }
     }
 
@@ -1591,29 +1678,32 @@ impl World {
         }
         let bytes = seg.wire_size();
         if route == Ip::CLUSTER_PUBLIC {
-            // Client → cluster: the router broadcasts to every node.
-            let arrivals = self.router.inbound(now, from, bytes, &mut self.rng);
-            for (node, at) in arrivals {
-                if let Some(h) = self.host_by_node(node) {
-                    self.sched.schedule_at(
-                        at,
-                        Event::PacketArrival {
-                            host: h,
-                            seg: seg.clone(),
-                        },
-                    );
-                }
+            // Client → cluster: the router broadcasts to every node. The
+            // arrival buffer is pooled — the fan-out is the hottest loop in
+            // the world (every client frame × every node).
+            let mut arrivals = std::mem::take(&mut self.arrival_buf);
+            match self
+                .router
+                .inbound_into(now, from, bytes, &mut self.rng, &mut arrivals)
+            {
+                Ok(()) => self.schedule_broadcast(&arrivals, seg),
+                Err(e) => self.note_route_error(now, e),
             }
+            self.arrival_buf = arrivals;
         } else if let Some(client) = route.client_host() {
             // Server → client, unicast through the router.
-            if let Some(at) = self
+            match self
                 .router
                 .outbound(now, from, client, bytes, &mut self.rng)
             {
-                if let Some(h) = self.host_by_node(client) {
-                    self.sched
-                        .schedule_at(at, Event::PacketArrival { host: h, seg });
+                Ok(Some(at)) => {
+                    if let Some(h) = self.host_by_node(client) {
+                        self.sched
+                            .schedule_at(at, Event::PacketArrival { host: h, seg });
+                    }
                 }
+                Ok(None) => {} // loss model dropped the frame
+                Err(e) => self.note_route_error(now, e),
             }
         } else if route.is_local() {
             if let Some(dest) = route.local_host() {
@@ -1629,6 +1719,86 @@ impl World {
         }
         // Anything else (unknown destination) vanishes, like a frame to a
         // dark address.
+    }
+
+    /// Schedule the router's inbound fan-out as batched
+    /// [`Event::BroadcastArrival`]s: one event per distinct arrival
+    /// instant instead of one per node. Dispatch order is unchanged — the
+    /// per-node events all carried consecutive sequence numbers, so at an
+    /// equal instant they ran in node order, which is the order each batch
+    /// delivers (and groups at distinct instants sort by time exactly as
+    /// the individual events did).
+    fn schedule_broadcast(&mut self, arrivals: &[(NodeId, SimTime)], seg: Segment) {
+        let Some(&(_, t0)) = arrivals.first() else {
+            return; // uplink loss: nobody receives
+        };
+        // Common case: idle identical downlinks, every node hears the frame
+        // at the same instant — the whole fan-out is one event.
+        if arrivals.iter().all(|&(_, t)| t == t0) {
+            let mut hosts = self.bcast_pool.pop().unwrap_or_default();
+            hosts.clear();
+            for &(node, _) in arrivals {
+                if let Some(h) = self.host_by_node(node) {
+                    hosts.push(h);
+                }
+            }
+            self.dispatch_or_recycle(t0, hosts, seg);
+            return;
+        }
+        // Rare case (per-node queueing or loss skewed the instants): group
+        // by instant. The sort is stable, so node order survives within a
+        // group.
+        let mut sorted = arrivals.to_vec();
+        sorted.sort_by_key(|&(_, t)| t);
+        let mut i = 0;
+        while i < sorted.len() {
+            let t = sorted[i].1;
+            let mut hosts = self.bcast_pool.pop().unwrap_or_default();
+            hosts.clear();
+            while i < sorted.len() && sorted[i].1 == t {
+                if let Some(h) = self.host_by_node(sorted[i].0) {
+                    hosts.push(h);
+                }
+                i += 1;
+            }
+            self.dispatch_or_recycle(t, hosts, seg.clone());
+        }
+    }
+
+    /// Schedule one broadcast group, degrading to a plain
+    /// [`Event::PacketArrival`] for a single receiver and recycling the
+    /// host list when nobody is left to hear the frame.
+    fn dispatch_or_recycle(&mut self, at: SimTime, mut hosts: Vec<usize>, seg: Segment) {
+        match hosts.len() {
+            0 => {
+                if self.bcast_pool.len() < FX_POOL_CAP {
+                    self.bcast_pool.push(hosts);
+                }
+            }
+            1 => {
+                let host = hosts.pop().expect("len checked");
+                if self.bcast_pool.len() < FX_POOL_CAP {
+                    self.bcast_pool.push(hosts);
+                }
+                self.sched
+                    .schedule_at(at, Event::PacketArrival { host, seg });
+            }
+            _ => {
+                self.sched
+                    .schedule_at(at, Event::BroadcastArrival { hosts, seg });
+            }
+        }
+    }
+
+    /// Account a frame the router refused to route (unknown endpoint —
+    /// normally a crashed or departed host racing an in-flight frame). The
+    /// error rides the same observability rails as migration effects: a
+    /// counter plus a rendered line in the effect log when enabled.
+    fn note_route_error(&mut self, now: SimTime, err: RouteError) {
+        self.route_errors += 1;
+        if let Some(log) = &mut self.effect_log {
+            log.push(format!("{}us route-error {}", now.as_micros(), err));
+        }
     }
 }
 

@@ -309,6 +309,14 @@ impl EffectBuf {
         EffectBuf::default()
     }
 
+    /// An empty buffer reusing `storage`'s allocation (cleared first).
+    /// Callers that step engines in a loop can pool the vectors returned by
+    /// [`take`](Self::take) instead of allocating a fresh buffer per step.
+    pub fn with_storage(mut storage: Vec<(SimTime, Effect)>) -> EffectBuf {
+        storage.clear();
+        EffectBuf { events: storage }
+    }
+
     /// Number of buffered effects.
     pub fn len(&self) -> usize {
         self.events.len()

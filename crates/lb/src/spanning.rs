@@ -2,7 +2,7 @@
 //!
 //! The paper's information policy broadcasts every node's load to every
 //! other node and notes that "mechanisms for scalable broadcasting, such as
-//! utilizing spanning-trees, have been proposed [18], and are out of the
+//! utilizing spanning-trees, have been proposed \[18\], and are out of the
 //! scope of this paper". This module implements that out-of-scope option: a
 //! balanced binary tree rooted at the message's origin, computed
 //! deterministically from the sorted member list, so a heartbeat reaches

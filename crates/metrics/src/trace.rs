@@ -2,7 +2,7 @@
 //! derivation from the typed effect stream.
 //!
 //! A [`TraceRecorder`] consumes the ordered, timestamped
-//! [`Effect`](dvelm_migrate::Effect) stream one migration emits and produces
+//! [`Effect`] stream one migration emits and produces
 //! two views of it:
 //!
 //! * a [`MigrationReport`] — the Fig. 4 / 5b / 5c record — *derived* from

@@ -21,5 +21,5 @@ pub mod switch;
 
 pub use addr::{Ip, NodeId, Port, SockAddr};
 pub use link::{Link, LinkStats, LossModel};
-pub use router::BroadcastRouter;
+pub use router::{BroadcastRouter, RouteError};
 pub use switch::ClusterSwitch;

@@ -93,8 +93,14 @@ impl Link {
     }
 
     /// Microseconds needed to serialize `bytes` onto the wire (≥ 1).
+    ///
+    /// Computed through `u128`: `bytes * 1_000_000` overflows `u64` already
+    /// at ~18.4 TB, and a saturating multiply would silently *under-report*
+    /// wire time for large aggregated transfers (the result would cap at
+    /// `u64::MAX / bandwidth` instead of growing linearly).
     pub fn serialization_us(&self, bytes: u64) -> u64 {
-        ((bytes.saturating_mul(1_000_000)) / self.bandwidth).max(1)
+        let us = (bytes as u128 * 1_000_000) / self.bandwidth as u128;
+        u64::try_from(us).unwrap_or(u64::MAX).max(1)
     }
 
     /// Submit a frame at `now`; returns the arrival instant at the far end,
@@ -157,6 +163,26 @@ mod tests {
         assert_eq!(l.serialization_us(1_000_000), 8_000);
         // Tiny frames still occupy at least 1 µs.
         assert_eq!(l.serialization_us(1), 1);
+    }
+
+    #[test]
+    fn serialization_survives_the_u64_overflow_boundary() {
+        // `bytes * 1_000_000` overflows u64 beyond this point; the old
+        // saturating-multiply computation capped there and under-reported
+        // wire time for anything larger.
+        let l = Link::gige(); // 125_000_000 B/s
+        let boundary = u64::MAX / 1_000_000; // ≈ 18.4 TB
+        let just_below = l.serialization_us(boundary);
+        let above = l.serialization_us(boundary * 4);
+        // Above the boundary the result must keep scaling linearly instead
+        // of collapsing onto the saturated value.
+        assert!(
+            above >= just_below * 4 - 4,
+            "wire time stopped scaling: {just_below} vs {above}"
+        );
+        // Exact value through u128: bytes * 1e6 / bandwidth.
+        let expect = ((boundary as u128 * 4 * 1_000_000) / 125_000_000) as u64;
+        assert_eq!(above, expect);
     }
 
     #[test]

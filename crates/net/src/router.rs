@@ -14,6 +14,32 @@ use crate::link::Link;
 use dvelm_sim::{DetRng, SimTime};
 use std::collections::BTreeMap;
 
+/// Why the router could not route a frame. Unknown endpoints are a normal
+/// consequence of hosts crashing or leaving while frames are in flight, so
+/// they are reported to the caller instead of panicking the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// The sending client host has no uplink (never attached, or detached).
+    UnknownClientSource(NodeId),
+    /// The receiving client host has no downlink (never attached, or
+    /// detached after its host crashed or departed).
+    UnknownClientDest(NodeId),
+    /// The sending server node has no uplink (never attached, or detached).
+    UnknownNode(NodeId),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::UnknownClientSource(n) => write!(f, "unknown client source host {n}"),
+            RouteError::UnknownClientDest(n) => write!(f, "unknown client dest host {n}"),
+            RouteError::UnknownNode(n) => write!(f, "unknown server node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
 /// The WAN-facing broadcast router of the cluster.
 #[derive(Debug)]
 pub struct BroadcastRouter {
@@ -68,6 +94,15 @@ impl BroadcastRouter {
             .insert(host, self.client_template.clone());
     }
 
+    /// Detach a client host (client departure or crash): both access links
+    /// are released, so frames toward it report
+    /// [`RouteError::UnknownClientDest`] instead of serializing onto a link
+    /// nobody listens to.
+    pub fn detach_client(&mut self, host: NodeId) {
+        self.client_downlinks.remove(&host);
+        self.client_uplinks.remove(&host);
+    }
+
     /// Server nodes currently attached.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.downlinks.keys().copied()
@@ -82,21 +117,42 @@ impl BroadcastRouter {
         from_client: NodeId,
         bytes: u64,
         rng: &mut DetRng,
-    ) -> Vec<(NodeId, SimTime)> {
+    ) -> Result<Vec<(NodeId, SimTime)>, RouteError> {
+        let mut out = Vec::new();
+        self.inbound_into(now, from_client, bytes, rng, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`inbound`](Self::inbound) writing the arrivals into a caller-owned
+    /// buffer (cleared first) — the hot-path variant: the broadcast fan-out
+    /// runs once per frame per node, and reusing the buffer keeps the
+    /// per-packet cost allocation-free.
+    pub fn inbound_into(
+        &mut self,
+        now: SimTime,
+        from_client: NodeId,
+        bytes: u64,
+        rng: &mut DetRng,
+        out: &mut Vec<(NodeId, SimTime)>,
+    ) -> Result<(), RouteError> {
+        out.clear();
         let up = self
             .client_uplinks
             .get_mut(&from_client)
-            .unwrap_or_else(|| panic!("unknown client host {from_client}"));
+            .ok_or(RouteError::UnknownClientSource(from_client))?;
         let Some(at_router) = up.transmit(now, bytes, rng) else {
-            return Vec::new();
+            return Ok(());
         };
-        self.downlinks
-            .iter_mut()
-            .filter_map(|(node, link)| link.transmit(at_router, bytes, rng).map(|arr| (*node, arr)))
-            .collect()
+        out.extend(self.downlinks.iter_mut().filter_map(|(node, link)| {
+            link.transmit(at_router, bytes, rng).map(|arr| (*node, arr))
+        }));
+        Ok(())
     }
 
     /// A server node sends an outbound frame to a client host (unicast).
+    /// `Ok(None)` means a loss model dropped the frame. When the client is
+    /// unknown (crashed or departed), the frame has still occupied the
+    /// sending node's uplink — it died at the router, not at the NIC.
     pub fn outbound(
         &mut self,
         now: SimTime,
@@ -104,17 +160,19 @@ impl BroadcastRouter {
         to_client: NodeId,
         bytes: u64,
         rng: &mut DetRng,
-    ) -> Option<SimTime> {
+    ) -> Result<Option<SimTime>, RouteError> {
         let up = self
             .uplinks
             .get_mut(&from_node)
-            .unwrap_or_else(|| panic!("unknown server node {from_node}"));
-        let at_router = up.transmit(now, bytes, rng)?;
+            .ok_or(RouteError::UnknownNode(from_node))?;
+        let Some(at_router) = up.transmit(now, bytes, rng) else {
+            return Ok(None);
+        };
         let down = self
             .client_downlinks
             .get_mut(&to_client)
-            .unwrap_or_else(|| panic!("unknown client host {to_client}"));
-        down.transmit(at_router, bytes, rng)
+            .ok_or(RouteError::UnknownClientDest(to_client))?;
+        Ok(down.transmit(at_router, bytes, rng))
     }
 
     /// Mutable access to a node downlink (for ablation loss injection).
@@ -156,7 +214,9 @@ mod tests {
     #[test]
     fn inbound_reaches_every_node() {
         let mut r = router_with(5);
-        let arrivals = r.inbound(SimTime::ZERO, NodeId(100), 256, &mut rng());
+        let arrivals = r
+            .inbound(SimTime::ZERO, NodeId(100), 256, &mut rng())
+            .unwrap();
         assert_eq!(arrivals.len(), 5);
         let nodes: Vec<u32> = arrivals.iter().map(|(n, _)| n.0).collect();
         assert_eq!(nodes, vec![0, 1, 2, 3, 4]);
@@ -165,15 +225,32 @@ mod tests {
     #[test]
     fn broadcast_arrivals_are_simultaneous_on_idle_links() {
         let mut r = router_with(3);
-        let arrivals = r.inbound(SimTime::ZERO, NodeId(100), 256, &mut rng());
+        let arrivals = r
+            .inbound(SimTime::ZERO, NodeId(100), 256, &mut rng())
+            .unwrap();
         assert!(arrivals.windows(2).all(|w| w[0].1 == w[1].1));
+    }
+
+    #[test]
+    fn inbound_into_reuses_the_buffer() {
+        let mut r = router_with(4);
+        let mut buf = vec![(NodeId(77), SimTime::from_secs(9))]; // stale junk
+        r.inbound_into(SimTime::ZERO, NodeId(100), 256, &mut rng(), &mut buf)
+            .unwrap();
+        assert_eq!(buf.len(), 4, "buffer cleared before filling");
+        let direct = r
+            .inbound(SimTime::from_secs(1), NodeId(100), 256, &mut rng())
+            .unwrap();
+        assert_eq!(direct.len(), 4);
     }
 
     #[test]
     fn detached_node_stops_receiving() {
         let mut r = router_with(3);
         r.detach_node(NodeId(1));
-        let arrivals = r.inbound(SimTime::ZERO, NodeId(100), 256, &mut rng());
+        let arrivals = r
+            .inbound(SimTime::ZERO, NodeId(100), 256, &mut rng())
+            .unwrap();
         assert_eq!(arrivals.len(), 2);
         assert!(arrivals.iter().all(|(n, _)| n.0 != 1));
     }
@@ -183,6 +260,7 @@ mod tests {
         let mut r = router_with(2);
         let arr = r
             .outbound(SimTime::ZERO, NodeId(0), NodeId(100), 256, &mut rng())
+            .unwrap()
             .unwrap();
         // Must cross the 20 ms client downlink.
         assert!(arr >= SimTime::from_millis(20), "arrival {arr}");
@@ -194,7 +272,9 @@ mod tests {
         r.node_downlink_mut(NodeId(1))
             .unwrap()
             .set_loss(LossModel::Bernoulli(1.0));
-        let arrivals = r.inbound(SimTime::ZERO, NodeId(100), 256, &mut rng());
+        let arrivals = r
+            .inbound(SimTime::ZERO, NodeId(100), 256, &mut rng())
+            .unwrap();
         let nodes: Vec<u32> = arrivals.iter().map(|(n, _)| n.0).collect();
         assert_eq!(nodes, vec![0, 2]);
     }
@@ -208,13 +288,46 @@ mod tests {
             .set_loss(LossModel::Bernoulli(1.0));
         assert!(r
             .inbound(SimTime::ZERO, NodeId(100), 256, &mut rng())
+            .unwrap()
             .is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "unknown client host")]
-    fn unknown_client_panics() {
+    fn unknown_client_is_a_typed_error_not_a_panic() {
         let mut r = router_with(1);
-        r.inbound(SimTime::ZERO, NodeId(999), 1, &mut rng());
+        assert_eq!(
+            r.inbound(SimTime::ZERO, NodeId(999), 1, &mut rng()),
+            Err(RouteError::UnknownClientSource(NodeId(999)))
+        );
+        assert_eq!(
+            r.outbound(SimTime::ZERO, NodeId(5), NodeId(100), 1, &mut rng()),
+            Err(RouteError::UnknownNode(NodeId(5)))
+        );
+        assert_eq!(
+            r.outbound(SimTime::ZERO, NodeId(0), NodeId(101), 1, &mut rng()),
+            Err(RouteError::UnknownClientDest(NodeId(101)))
+        );
+    }
+
+    #[test]
+    fn detach_client_releases_both_access_links() {
+        let mut r = router_with(2);
+        r.detach_client(NodeId(100));
+        assert_eq!(
+            r.inbound(SimTime::ZERO, NodeId(100), 1, &mut rng()),
+            Err(RouteError::UnknownClientSource(NodeId(100)))
+        );
+        assert_eq!(
+            r.outbound(SimTime::ZERO, NodeId(0), NodeId(100), 1, &mut rng()),
+            Err(RouteError::UnknownClientDest(NodeId(100)))
+        );
+        // Re-attach works (a returning client gets fresh links).
+        r.attach_client(NodeId(100));
+        assert_eq!(
+            r.inbound(SimTime::ZERO, NodeId(100), 256, &mut rng())
+                .unwrap()
+                .len(),
+            2
+        );
     }
 }

@@ -79,6 +79,11 @@ pub struct PageRef {
 #[derive(Debug, Clone, Default)]
 pub struct AddressSpace {
     vmas: BTreeMap<VmaId, Vma>,
+    /// Dirty pages per live region (same key set as `vmas`). Lets the
+    /// checkpointer skip clean regions — and stop scanning a region once its
+    /// last dirty page is found — instead of sweeping every page of every
+    /// region per precopy iteration.
+    dirty_counts: BTreeMap<VmaId, usize>,
     next_vma: u64,
     next_addr: u64,
     /// Total pages ever dirtied (statistics).
@@ -90,6 +95,7 @@ impl AddressSpace {
     pub fn new() -> AddressSpace {
         AddressSpace {
             vmas: BTreeMap::new(),
+            dirty_counts: BTreeMap::new(),
             next_vma: 1,
             next_addr: 0x0000_5555_0000_0000,
             dirtied_total: 0,
@@ -103,6 +109,7 @@ impl AddressSpace {
         self.next_vma += 1;
         let start = self.next_addr;
         self.next_addr += (pages as u64 + 16) * PAGE_SIZE; // guard gap
+        self.dirty_counts.insert(id, pages);
         let pages = (0..pages)
             .map(|i| Page {
                 fingerprint: mix(seed, i as u64),
@@ -123,6 +130,7 @@ impl AddressSpace {
 
     /// Unmap a region.
     pub fn munmap(&mut self, id: VmaId) -> bool {
+        self.dirty_counts.remove(&id);
         self.vmas.remove(&id).is_some()
     }
 
@@ -130,13 +138,19 @@ impl AddressSpace {
     /// New pages start dirty.
     pub fn resize(&mut self, id: VmaId, pages: usize, seed: u64) {
         let vma = self.vmas.get_mut(&id).expect("resize of unmapped VMA");
+        let count = self
+            .dirty_counts
+            .get_mut(&id)
+            .expect("dirty count of mapped VMA");
         let old = vma.pages.len();
         if pages > old {
             vma.pages.extend((old..pages).map(|i| Page {
                 fingerprint: mix(seed, i as u64),
                 dirty: true,
             }));
+            *count += pages - old;
         } else {
+            *count -= vma.pages[pages..].iter().filter(|p| p.dirty).count();
             vma.pages.truncate(pages);
         }
     }
@@ -148,6 +162,10 @@ impl AddressSpace {
         page.fingerprint = mix(page.fingerprint, 0x9E37_79B9);
         if !page.dirty {
             page.dirty = true;
+            *self
+                .dirty_counts
+                .get_mut(&id)
+                .expect("dirty count of mapped VMA") += 1;
         }
         self.dirtied_total += 1;
     }
@@ -172,17 +190,30 @@ impl AddressSpace {
     }
 
     /// Collect and clear every dirty page (one precopy iteration's payload).
+    /// Clean regions are skipped wholesale via the per-region dirty counts,
+    /// and a region's scan stops at its last dirty page — steady-state
+    /// iterations over a mostly-clean space touch almost nothing.
     pub fn collect_dirty(&mut self) -> Vec<PageRef> {
-        let mut out = Vec::new();
-        for vma in self.vmas.values_mut() {
+        let mut out = Vec::with_capacity(self.dirty_counts.values().sum());
+        for (&id, count) in self.dirty_counts.iter_mut() {
+            let mut remaining = *count;
+            if remaining == 0 {
+                continue;
+            }
+            *count = 0;
+            let vma = self.vmas.get_mut(&id).expect("dirty count of mapped VMA");
             for (i, page) in vma.pages.iter_mut().enumerate() {
                 if page.dirty {
                     page.dirty = false;
                     out.push(PageRef {
-                        vma: vma.id,
+                        vma: id,
                         index: i,
                         fingerprint: page.fingerprint,
                     });
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break; // the rest of the region is clean
+                    }
                 }
             }
         }
@@ -191,10 +222,7 @@ impl AddressSpace {
 
     /// Count dirty pages without clearing.
     pub fn dirty_count(&self) -> usize {
-        self.vmas
-            .values()
-            .map(|v| v.pages.iter().filter(|p| p.dirty).count())
-            .sum()
+        self.dirty_counts.values().sum()
     }
 
     /// Live regions, in id order.
@@ -244,13 +272,20 @@ impl AddressSpace {
             .expect("apply_page to unmapped VMA");
         let page = &mut vma.pages[r.index];
         page.fingerprint = r.fingerprint;
-        page.dirty = false;
+        if page.dirty {
+            page.dirty = false;
+            *self
+                .dirty_counts
+                .get_mut(&r.vma)
+                .expect("dirty count of mapped VMA") -= 1;
+        }
     }
 
     /// Recreate a region from checkpoint metadata (restore path). Pages start
     /// zeroed and clean; contents arrive via [`apply_page`](Self::apply_page).
     pub fn install_vma(&mut self, id: VmaId, kind: VmaKind, start: u64, pages: usize) {
         self.next_vma = self.next_vma.max(id.0 + 1);
+        self.dirty_counts.insert(id, 0);
         self.vmas.insert(
             id,
             Vma {
@@ -274,6 +309,14 @@ impl AddressSpace {
             .vmas
             .get_mut(&id)
             .expect("restore_resize of unmapped VMA");
+        if pages < vma.pages.len() {
+            // A shrink can discard pages that were dirty.
+            *self
+                .dirty_counts
+                .get_mut(&id)
+                .expect("dirty count of mapped VMA") -=
+                vma.pages[pages..].iter().filter(|p| p.dirty).count();
+        }
         vma.pages.resize(
             pages,
             Page {

@@ -13,7 +13,7 @@
 use crate::seg::{Segment, Transport};
 use dvelm_net::{Port, SockAddr};
 use dvelm_sim::SimTime;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// What a capture entry matches: the migrating socket's local port plus, for
 /// connected (TCP) sockets, the remote endpoint. A UDP server socket talks to
@@ -164,13 +164,17 @@ pub struct PressureEvent {
 struct CaptureEntry {
     /// TCP packets keyed by (seq, len) — the dedup the hook performs.
     tcp_queue: BTreeMap<(u32, u32), Segment>,
-    /// UDP packets in arrival order (no sequence numbers to dedup on).
-    udp_queue: Vec<Segment>,
+    /// UDP packets in arrival order (no sequence numbers to dedup on);
+    /// a deque because budget pressure sheds oldest-first.
+    udp_queue: VecDeque<Segment>,
     enabled_at: SimTime,
     /// Packets discarded as duplicates.
     duplicates: u64,
     /// Payload bytes currently queued (both queues).
     queued_bytes: usize,
+    /// Payload bytes of `udp_queue` alone (kept incrementally so the hot
+    /// path never re-sums the queue to split UDP from TCP occupancy).
+    udp_bytes: usize,
 }
 
 impl CaptureEntry {
@@ -230,10 +234,11 @@ impl CaptureTable {
     pub fn enable(&mut self, key: CaptureKey, now: SimTime) {
         self.entries.entry(key).or_insert(CaptureEntry {
             tcp_queue: BTreeMap::new(),
-            udp_queue: Vec::new(),
+            udp_queue: VecDeque::new(),
             enabled_at: now,
             duplicates: 0,
             queued_bytes: 0,
+            udp_bytes: 0,
         });
     }
 
@@ -301,8 +306,8 @@ impl CaptureTable {
         )
     }
 
-    /// Hook function with the full budget verdict. [`try_capture`]
-    /// (Self::try_capture) is the boolean view of this.
+    /// Hook function with the full budget verdict. [`try_capture`](Self::try_capture)
+    /// is the boolean view of this.
     pub fn capture(&mut self, seg: &Segment) -> CaptureOutcome {
         let connected = CaptureKey::connected(seg.src, seg.dst.port);
         let wildcard = CaptureKey::any_remote(seg.dst.port);
@@ -354,7 +359,7 @@ impl CaptureTable {
                 entry.tcp_queue.insert(dedup_key, seg.clone());
                 entry.queued_bytes += len;
                 self.stats.captured += 1;
-                self.note_peak(&key);
+                Self::note_peak(&mut self.stats, entry);
                 CaptureOutcome::Captured
             }
             Transport::Udp { .. } => {
@@ -363,8 +368,7 @@ impl CaptureTable {
                 // byte budget after TCP's share: even an empty UDP queue
                 // could not admit it, so refuse the newcomer up front
                 // instead of shedding the whole queue for nothing.
-                let udp_bytes: usize = entry.udp_queue.iter().map(|s| s.payload_len()).sum();
-                let tcp_bytes = entry.queued_bytes - udp_bytes;
+                let tcp_bytes = entry.queued_bytes - entry.udp_bytes;
                 if entry.tcp_queue.len() + 1 > budget.max_packets
                     || tcp_bytes.saturating_add(len) > budget.max_bytes
                 {
@@ -383,25 +387,29 @@ impl CaptureTable {
                 // recent state wins (DVE position updates supersede older
                 // ones anyway). The up-front check guarantees this loop
                 // frees enough room for the newcomer.
-                while !entry.udp_queue.is_empty()
-                    && (entry.queued_packets() + 1 > budget.max_packets
-                        || entry.queued_bytes.saturating_add(len) > budget.max_bytes)
+                while entry.queued_packets() + 1 > budget.max_packets
+                    || entry.queued_bytes.saturating_add(len) > budget.max_bytes
                 {
-                    let old = entry.udp_queue.remove(0);
-                    entry.queued_bytes -= old.payload_len();
+                    let Some(old) = entry.udp_queue.pop_front() else {
+                        break;
+                    };
+                    let old_len = old.payload_len();
+                    entry.queued_bytes -= old_len;
+                    entry.udp_bytes -= old_len;
                     shed += 1;
                     self.stats.shed_udp += 1;
                 }
-                entry.udp_queue.push(seg.clone());
+                entry.udp_queue.push_back(seg.clone());
                 entry.queued_bytes += len;
+                entry.udp_bytes += len;
                 self.stats.captured += 1;
-                self.note_peak(&key);
+                Self::note_peak(&mut self.stats, entry);
                 if shed > 0 {
                     let event = PressureEvent {
                         key,
                         kind: PressureKind::ShedOldestUdp,
-                        queued_packets: self.entries[&key].queued_packets() as u64,
-                        queued_bytes: self.entries[&key].queued_bytes as u64,
+                        queued_packets: entry.queued_packets() as u64,
+                        queued_bytes: entry.queued_bytes as u64,
                         shed_packets: shed,
                     };
                     self.pressure.push(event);
@@ -413,12 +421,11 @@ impl CaptureTable {
         }
     }
 
-    fn note_peak(&mut self, key: &CaptureKey) {
-        let entry = &self.entries[key];
+    fn note_peak(stats: &mut CaptureStats, entry: &CaptureEntry) {
         let packets = entry.queued_packets() as u64;
         let bytes = entry.queued_bytes as u64;
-        self.stats.peak_queued_packets = self.stats.peak_queued_packets.max(packets);
-        self.stats.peak_queued_bytes = self.stats.peak_queued_bytes.max(bytes);
+        stats.peak_queued_packets = stats.peak_queued_packets.max(packets);
+        stats.peak_queued_bytes = stats.peak_queued_bytes.max(bytes);
     }
 
     /// Occupancy of one entry: (queued packets, queued payload bytes).

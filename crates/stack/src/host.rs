@@ -480,7 +480,8 @@ impl HostStack {
     /// chain, then deliver to a socket.
     pub fn on_rx(&mut self, mut seg: Segment, now: SimTime) -> Vec<StackEffect> {
         self.stats.rx_total += 1;
-        for kind in self.netfilter.chain(HookPoint::LocalIn).to_vec() {
+        let (hooks, n_hooks) = self.netfilter.chain_copy(HookPoint::LocalIn);
+        for kind in hooks.into_iter().take(n_hooks) {
             match kind {
                 HookKind::Translate => self.xlate.incoming_at(&mut seg, now),
                 HookKind::Capture => match self.capture.capture(&seg) {
@@ -722,7 +723,8 @@ impl HostStack {
     /// TTL GC just like inbound ones.
     fn route_out(&mut self, mut seg: Segment, now: SimTime) -> StackEffect {
         let mut route = seg.dst.ip;
-        for kind in self.netfilter.chain(HookPoint::LocalOut).to_vec() {
+        let (hooks, n_hooks) = self.netfilter.chain_copy(HookPoint::LocalOut);
+        for kind in hooks.into_iter().take(n_hooks) {
             if kind == HookKind::Translate {
                 route = self.xlate.outgoing_at(&mut seg, now);
             }

@@ -54,6 +54,10 @@ impl Default for HookRegistry {
     }
 }
 
+/// Upper bound on chain length: [`HookRegistry::register`] keeps each
+/// [`HookKind`] at most once and only two kinds exist.
+pub const MAX_CHAIN_LEN: usize = 2;
+
 impl HookRegistry {
     /// Hooks registered at `point`, in traversal order.
     pub fn chain(&self, point: HookPoint) -> &[HookKind] {
@@ -61,6 +65,19 @@ impl HookRegistry {
             HookPoint::LocalIn => &self.local_in,
             HookPoint::LocalOut => &self.local_out,
         }
+    }
+
+    /// An owned inline copy of the chain at `point` (valid prefix length in
+    /// `.1`): the RX hot path traverses hooks while mutating the tables they
+    /// drive, and the copy makes that borrow-safe without the per-packet
+    /// heap allocation a `to_vec` would cost.
+    pub fn chain_copy(&self, point: HookPoint) -> ([HookKind; MAX_CHAIN_LEN], usize) {
+        let chain = self.chain(point);
+        debug_assert!(chain.len() <= MAX_CHAIN_LEN);
+        let mut copy = [HookKind::Translate; MAX_CHAIN_LEN];
+        let len = chain.len().min(MAX_CHAIN_LEN);
+        copy[..len].copy_from_slice(&chain[..len]);
+        (copy, len)
     }
 
     /// Remove a hook from a chain (ablation support). Returns whether it was

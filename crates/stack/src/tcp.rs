@@ -6,9 +6,9 @@
 //! retransmission timer, and jiffies-based timestamps feeding RTT estimation
 //! and congestion control.
 //!
-//! The socket is a pure state machine: every entry point takes a [`TcpCtx`]
+//! The socket is a pure state machine: every entry point takes a [`TcpCtx`](crate::tcp::TcpCtx)
 //! (current time, local jiffies, the host's mutation-stamp counter) and
-//! returns [`TcpOut`] effects. The host stack (`host.rs`) owns hashing,
+//! returns [`TcpOut`](crate::tcp::TcpOut) effects. The host stack (`host.rs`) owns hashing,
 //! netfilter traversal and timer scheduling.
 
 use crate::seg::{seq_ge, seq_gt, seq_le, seq_lt, Segment, TcpFlags, Transport};
