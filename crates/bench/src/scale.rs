@@ -14,7 +14,7 @@
 //! captures exactly the deterministic subset.
 
 use crate::json::Json;
-use dvelm_cluster::{World, WorldConfig};
+use dvelm_cluster::{shards_from_env, World, WorldConfig};
 use dvelm_migrate::Strategy;
 use dvelm_net::{Ip, SockAddr};
 use dvelm_openarena::apps::{OaClient, OaServer, OA_PORT};
@@ -39,6 +39,12 @@ pub struct ScaleConfig {
     pub run_secs: u64,
     /// World RNG seed.
     pub seed: u64,
+    /// Worker threads for the sharded event loop; `0` inherits
+    /// `DVELM_SHARDS` (or 1). The resolved count lands in
+    /// [`ScaleCell::threads`] and is excluded from the deterministic
+    /// fingerprint — by design the thread count must not change a single
+    /// deterministic metric.
+    pub threads: usize,
 }
 
 impl ScaleConfig {
@@ -50,6 +56,7 @@ impl ScaleConfig {
             migrations: 2,
             run_secs: 2,
             seed: SCALE_SEED,
+            threads: 0,
         }
     }
 }
@@ -68,6 +75,15 @@ const DRAIN_US: u64 = SECOND / 10;
 pub struct ScaleCell {
     /// The configuration that produced this cell.
     pub cfg: ScaleConfig,
+    /// Worker threads the world actually ran with (the resolved value of
+    /// [`ScaleConfig::threads`]). Wall-clock-side only: two cells that
+    /// differ in nothing but `threads` share a fingerprint.
+    pub threads: usize,
+    /// Past-instant `schedule_at` clamps observed by the scheduler over the
+    /// whole run. The fault-free trajectory asserts this stays zero — a
+    /// non-zero count means some component computed an event instant in the
+    /// past, which the scheduler silently snapped to `now`.
+    pub sched_clamped: u64,
     /// Simulated microseconds in the measured window (run + drain).
     pub sim_us: u64,
     /// Scheduler events dispatched in the measured window.
@@ -125,7 +141,7 @@ impl ScaleCell {
         format!(
             "n{} c{} m{} s{} seed{:#x}: sim_us={} events={} deliveries={} usercmds={} route_errors={} \
              started={} rejected={} completed={} aborted={} freeze_max={} total_max={} \
-             peak_pkts={} peak_bytes={} shed_udp={} phases=[{}]",
+             peak_pkts={} peak_bytes={} shed_udp={} clamped={} phases=[{}]",
             self.cfg.nodes,
             self.cfg.clients,
             self.cfg.migrations,
@@ -145,8 +161,26 @@ impl ScaleCell {
             self.peak_queued_packets,
             self.peak_queued_bytes,
             self.shed_udp,
+            self.sched_clamped,
             phases.join(","),
         )
+    }
+
+    /// The JSON row key pair: `("<nodes>x<clients>", threads)`. Two rows of
+    /// one sweep may share the cell string when they sweep thread counts,
+    /// so comparisons must match on both.
+    pub fn row_key(&self) -> (String, usize) {
+        (cell_key(&self.cfg), self.threads)
+    }
+}
+
+/// The worker-thread count a cell actually runs with: an explicit
+/// `cfg.threads`, else `DVELM_SHARDS`, else 1.
+fn resolve_threads(cfg: &ScaleConfig) -> usize {
+    if cfg.threads == 0 {
+        shards_from_env().unwrap_or(1)
+    } else {
+        cfg.threads
     }
 }
 
@@ -157,6 +191,7 @@ fn build_world(cfg: &ScaleConfig) -> (World, Vec<dvelm_proc::Pid>, Vec<usize>, R
     let mut w = World::new(WorldConfig {
         seed: cfg.seed,
         strategy,
+        threads: resolve_threads(cfg),
         ..WorldConfig::default()
     });
     let usercmds = Rc::new(RefCell::new(0u64));
@@ -274,10 +309,20 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleCell {
         shed_udp += s.shed_udp;
     }
 
+    let sched_clamped = w.sched.stats().clamped;
+    assert_eq!(
+        sched_clamped, 0,
+        "fault-free trajectory must not clamp past-instant schedules \
+         (cell {}x{}, seed {:#x})",
+        cfg.nodes, cfg.clients, cfg.seed
+    );
+
     let sim_secs = sim_us as f64 / SECOND as f64;
     let usercmds = *usercmds.borrow();
     ScaleCell {
         cfg: cfg.clone(),
+        threads: resolve_threads(cfg),
+        sched_clamped,
         sim_us,
         events,
         deliveries,
@@ -304,6 +349,11 @@ fn cell_key(cfg: &ScaleConfig) -> String {
     format!("{}x{}", cfg.nodes, cfg.clients)
 }
 
+/// Physical parallelism available on this machine (1 when unknown).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn round2(x: f64) -> f64 {
     (x * 100.0).round() / 100.0
 }
@@ -314,7 +364,12 @@ fn round2(x: f64) -> f64 {
 pub fn scale_json(cells: &[ScaleCell], baseline: Option<&Baseline>) -> Json {
     let mut doc = Json::obj();
     doc.set("bench", Json::Str("scale".into()));
-    doc.set("schema_version", Json::Num(1.0));
+    doc.set("schema_version", Json::Num(2.0));
+    // Physical cores on the measuring host: thread-sweep rows are only
+    // meaningful speedup evidence when host_cores exceeds the row's thread
+    // count, so consumers (the `--compare-threads` gate, humans reading the
+    // committed file) need it recorded next to the wall-clock numbers.
+    doc.set("host_cores", Json::Num(host_cores() as f64));
     if let Some(b) = baseline {
         let mut base = Json::obj();
         base.set("label", Json::Str(b.label.clone()));
@@ -325,7 +380,11 @@ pub fn scale_json(cells: &[ScaleCell], baseline: Option<&Baseline>) -> Json {
             Json::Num(round2(b.deliveries_per_sec)),
         );
         base.set("wall_ms_per_sim_s", Json::Num(round2(b.wall_ms_per_sim_s)));
-        let fresh = cells.iter().find(|c| cell_key(&c.cfg) == b.cell);
+        // The embedded baseline predates the parallel core, so it compares
+        // against the single-thread row of its cell.
+        let fresh = cells
+            .iter()
+            .find(|c| cell_key(&c.cfg) == b.cell && c.threads == 1);
         if let Some(fresh) = fresh.filter(|_| b.deliveries_per_sec > 0.0) {
             base.set(
                 "speedup",
@@ -351,6 +410,8 @@ pub fn scale_json(cells: &[ScaleCell], baseline: Option<&Baseline>) -> Json {
         o.set("migrations", Json::Num(c.cfg.migrations as f64));
         o.set("run_secs", Json::Num(c.cfg.run_secs as f64));
         o.set("seed", Json::Num(c.cfg.seed as f64));
+        o.set("threads", Json::Num(c.threads as f64));
+        o.set("sched_clamped", Json::Num(c.sched_clamped as f64));
         o.set("sim_us", Json::Num(c.sim_us as f64));
         o.set("events", Json::Num(c.events as f64));
         o.set("events_per_sec", Json::Num(round2(c.events_per_sec)));
@@ -426,12 +487,21 @@ pub struct Baseline {
     pub wall_ms_per_sim_s: f64,
 }
 
+/// A JSON row's `threads` column; pre-parallel-core files have no such
+/// key, and those rows were all single-threaded.
+fn row_threads(row: &Json) -> u64 {
+    row.get("threads")
+        .and_then(Json::as_f64)
+        .map_or(1, |t| t as u64)
+}
+
 /// Compare a fresh `BENCH_scale.json` against a committed baseline file.
 ///
 /// Only wall-clock throughput metrics are compared (the deterministic
-/// fields are covered by the smoke test); a cell regresses when it is
-/// more than `tolerance`× slower than the baseline. Returns one message
-/// per regression — empty means pass.
+/// fields are covered by the smoke test); rows match on `cell` *and*
+/// `threads` (absent in pre-parallel files means 1), and a row regresses
+/// when it is more than `tolerance`× slower than the baseline. Returns
+/// one message per regression — empty means pass.
 pub fn compare_bench(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<String> {
     let mut problems = Vec::new();
     let base_cells = baseline.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
@@ -441,11 +511,13 @@ pub fn compare_bench(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<Strin
     }
     for b in base_cells {
         let key = b.get("cell").and_then(Json::as_str).unwrap_or("?");
-        let Some(f) = fresh_cells
-            .iter()
-            .find(|f| f.get("cell").and_then(Json::as_str) == Some(key))
-        else {
-            problems.push(format!("cell {key}: missing from fresh results"));
+        let threads = row_threads(b);
+        let Some(f) = fresh_cells.iter().find(|f| {
+            f.get("cell").and_then(Json::as_str) == Some(key) && row_threads(f) == threads
+        }) else {
+            problems.push(format!(
+                "cell {key} (threads={threads}): missing from fresh results"
+            ));
             continue;
         };
         let num = |j: &Json, k: &str| j.get(k).and_then(Json::as_f64);
@@ -472,6 +544,16 @@ mod tests {
     use super::*;
 
     fn fake_cell(nodes: usize, clients: usize, eps: f64, wall_per_s: f64) -> ScaleCell {
+        fake_cell_threads(nodes, clients, 1, eps, wall_per_s)
+    }
+
+    fn fake_cell_threads(
+        nodes: usize,
+        clients: usize,
+        threads: usize,
+        eps: f64,
+        wall_per_s: f64,
+    ) -> ScaleCell {
         ScaleCell {
             cfg: ScaleConfig {
                 nodes,
@@ -479,7 +561,10 @@ mod tests {
                 migrations: 1,
                 run_secs: 1,
                 seed: 1,
+                threads,
             },
+            threads,
+            sched_clamped: 0,
             sim_us: SECOND,
             events: 1000,
             deliveries: 900,
@@ -524,6 +609,52 @@ mod tests {
         );
         let fresh = scale_json(&[fake_cell(4, 100, 1000.0, 50.0)], None);
         assert_eq!(compare_bench(&base, &fresh, 2.0).len(), 1);
+    }
+
+    #[test]
+    fn compare_matches_rows_by_cell_and_threads() {
+        // Two rows share the cell string but sweep thread counts: the slow
+        // 4-thread fresh row must be charged against the 4-thread baseline
+        // row, not hide behind the fast 1-thread one.
+        let base = scale_json(
+            &[
+                fake_cell_threads(64, 1000, 1, 1000.0, 50.0),
+                fake_cell_threads(64, 1000, 4, 1000.0, 50.0),
+            ],
+            None,
+        );
+        let ok = scale_json(
+            &[
+                fake_cell_threads(64, 1000, 1, 1000.0, 50.0),
+                fake_cell_threads(64, 1000, 4, 1000.0, 50.0),
+            ],
+            None,
+        );
+        assert!(compare_bench(&base, &ok, 2.0).is_empty());
+        let slow4 = scale_json(
+            &[
+                fake_cell_threads(64, 1000, 1, 1000.0, 50.0),
+                fake_cell_threads(64, 1000, 4, 100.0, 500.0),
+            ],
+            None,
+        );
+        assert_eq!(compare_bench(&base, &slow4, 2.0).len(), 2);
+        // A fresh file missing the 4-thread row is flagged even though the
+        // 1-thread row with the same cell string is present.
+        let only1 = scale_json(&[fake_cell_threads(64, 1000, 1, 1000.0, 50.0)], None);
+        let problems = compare_bench(&base, &only1, 2.0);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("threads=4"), "{problems:?}");
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_but_counts_clamps() {
+        let a = fake_cell_threads(4, 100, 1, 1000.0, 50.0);
+        let b = fake_cell_threads(4, 100, 8, 2000.0, 25.0);
+        assert_eq!(a.det_fingerprint(), b.det_fingerprint());
+        let mut c = fake_cell_threads(4, 100, 1, 1000.0, 50.0);
+        c.sched_clamped = 3;
+        assert_ne!(a.det_fingerprint(), c.det_fingerprint());
     }
 
     #[test]

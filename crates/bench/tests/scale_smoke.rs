@@ -34,10 +34,16 @@ fn smoke_cell_is_deterministic_and_its_json_roundtrips() {
         .and_then(Json::as_arr)
         .expect("cells array");
     assert_eq!(parsed_cells.len(), 2);
+    assert!(
+        doc.get("host_cores").and_then(Json::as_f64).unwrap_or(0.0) >= 1.0,
+        "BENCH_scale.json must record the measuring host's core count"
+    );
     for key in [
         "cell",
         "nodes",
         "clients",
+        "threads",
+        "sched_clamped",
         "sim_us",
         "events",
         "events_per_sec",
@@ -72,6 +78,35 @@ fn smoke_cell_is_deterministic_and_its_json_roundtrips() {
         assert!(
             parsed_cells[0].get(key).is_some(),
             "BENCH_stack cell missing key {key}"
+        );
+    }
+}
+
+/// The parallel core's contract at the harness level: the deterministic
+/// fingerprint — every metric except wall-clock — is identical at any
+/// worker-thread count, and the fault-free smoke cell never clamps a
+/// past-instant schedule (also asserted inside `run_scale`; checked here
+/// so the field itself is exercised).
+#[test]
+fn fingerprint_is_thread_count_invariant() {
+    let mut cells = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let cfg = ScaleConfig {
+            threads,
+            ..ScaleConfig::smoke()
+        };
+        let cell = run_scale(&cfg);
+        assert_eq!(cell.threads, threads, "resolved thread count recorded");
+        assert_eq!(cell.sched_clamped, 0, "fault-free cell must not clamp");
+        cells.push(cell);
+    }
+    let reference = cells[0].det_fingerprint();
+    for cell in &cells[1..] {
+        assert_eq!(
+            cell.det_fingerprint(),
+            reference,
+            "thread count changed a deterministic metric (threads={})",
+            cell.threads
         );
     }
 }

@@ -51,5 +51,6 @@ pub use dvelm_faults::{Fault, FaultPlan};
 pub use event::Event;
 pub use host::{Host, HostKind, ProcEntry};
 pub use world::{
-    MigId, MigrationOutcome, PacketLogEntry, Recovery, ResourceUsage, World, WorldConfig,
+    shards_from_env, MigId, MigrationOutcome, PacketLogEntry, Recovery, ResourceUsage, World,
+    WorldConfig,
 };

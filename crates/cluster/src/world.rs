@@ -17,9 +17,21 @@ use dvelm_net::{
     BroadcastRouter, ClusterSwitch, Ip, LossModel, NodeId, Port, RouteError, SockAddr,
 };
 use dvelm_proc::{Fd, FdEntry, Pid, Process, PAGE_SIZE};
-use dvelm_sim::{DetRng, Scheduler, SimTime};
+use dvelm_sim::{DetRng, Mailbox, ShardedScheduler, SimTime, WorkerPool};
 use dvelm_stack::{CaptureBudget, HostStack, PressureKind, Segment, SockId, StackEffect};
 use std::collections::{BTreeMap, BTreeSet};
+
+// The parallel rx phase hands per-host stacks and shared segments to pool
+// workers; both must be thread-safe by construction (plain data, BTreeMaps,
+// atomically refcounted payload bytes). Compile-time proof:
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<HostStack>();
+    assert_send::<StackEffect>();
+    assert_send::<Segment>();
+    assert_sync::<Segment>();
+};
 
 /// A migration task identifier.
 pub type MigId = u64;
@@ -50,6 +62,25 @@ pub struct WorldConfig {
     /// When set, translation rules unused for this long are periodically
     /// evicted (default `None`: rules live until revoked).
     pub xlate_gc_ttl_us: Option<u64>,
+    /// Worker threads for the parallel event core (also the shard count of
+    /// the event queue). `1` is the sequential loop; any value produces
+    /// byte-identical output — threads change wall-clock time only. The
+    /// default honours the `DVELM_SHARDS` environment variable (the CI
+    /// matrix knob) and falls back to 1.
+    pub threads: usize,
+}
+
+/// Worker-thread count requested via the `DVELM_SHARDS` environment
+/// variable; `None` when unset or unparsable. [`WorldConfig::default`]
+/// consults this so an externally set matrix value shards every world a
+/// test suite builds, without touching each construction site.
+pub fn shards_from_env() -> Option<usize> {
+    std::env::var("DVELM_SHARDS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
 }
 
 impl Default for WorldConfig {
@@ -66,9 +97,30 @@ impl Default for WorldConfig {
             overload_guard: OverloadGuard::DISABLED,
             capture_budget: CaptureBudget::UNLIMITED,
             xlate_gc_ttl_us: None,
+            threads: shards_from_env().unwrap_or(1),
         }
     }
 }
+
+/// One packet delivery of a parallel rx round. The receiving host's stack
+/// runs `on_rx` in the parallel phase; its effects land in the task's
+/// [`Mailbox`] and are applied in dispatch order at the barrier.
+struct RxTask {
+    host: usize,
+    stack: *mut HostStack,
+    at: SimTime,
+    /// The arriving frame, shared across the round (a broadcast batch has
+    /// many recipients of one frame). Workers clone it — `Bytes` payloads
+    /// are atomically refcounted, so the clone is cheap and thread-safe.
+    seg: *const Segment,
+    out: Mailbox<StackEffect>,
+}
+
+// SAFETY: the round builder admits each host at most once per round, so
+// tasks reference pairwise-disjoint `HostStack`s; segments are only read;
+// and `WorkerPool::run` does not return until every worker is done, so no
+// access outlives the borrowed world state the pointers came from.
+unsafe impl Send for RxTask {}
 
 struct MigTask {
     engine: MigrationEngine,
@@ -169,7 +221,7 @@ pub struct PacketLogEntry {
 /// The simulated cluster.
 pub struct World {
     pub cfg: WorldConfig,
-    pub sched: Scheduler<Event>,
+    pub sched: ShardedScheduler<Event>,
     pub hosts: Vec<Host>,
     pub router: BroadcastRouter,
     pub switch: ClusterSwitch,
@@ -226,16 +278,34 @@ pub struct World {
     /// Pooled host lists for [`Event::BroadcastArrival`] (one list travels
     /// through the scheduler per broadcast frame and comes back here).
     bcast_pool: Vec<Vec<usize>>,
+    /// Worker pool for parallel rx rounds (`None` when `cfg.threads <= 1`:
+    /// the world then runs today's literal sequential loop).
+    pool: Option<WorkerPool>,
+    /// Conservative lookahead (smallest link latency in the fabric), cached
+    /// at the first parallel round; `run_rx_round` requires it positive.
+    min_link_latency_us: Option<u64>,
+    /// Round scratch: events popped for the current rx round (kept so the
+    /// broadcast host lists can be recycled after the barrier).
+    round_events: Vec<Event>,
+    /// Round scratch: per-delivery tasks (capacity reused across rounds).
+    round_tasks: Vec<RxTask>,
+    /// Generation stamps marking hosts already claimed by the current round
+    /// (`host_mark[h] == round_gen`), O(1) per check with no per-round
+    /// clearing.
+    host_mark: Vec<u64>,
+    round_gen: u64,
 }
 
 impl World {
     /// An empty world.
     pub fn new(cfg: WorldConfig) -> World {
         let rng = DetRng::new(cfg.seed);
-        let mut sched = Scheduler::new();
+        let threads = cfg.threads.max(1);
+        let mut sched = ShardedScheduler::new(threads, Event::shard_hint);
         if let Some(ttl) = cfg.xlate_gc_ttl_us {
             sched.schedule_after(ttl.max(1), Event::XlateGc);
         }
+        let pool = (threads > 1).then(|| WorkerPool::new(threads));
         let admission = AdmissionControl::new(cfg.admission);
         World {
             cfg,
@@ -265,6 +335,12 @@ impl World {
             mig_fx_pool: Vec::new(),
             stack_fx_pool: Vec::new(),
             bcast_pool: Vec::new(),
+            pool,
+            min_link_latency_us: None,
+            round_events: Vec::new(),
+            round_tasks: Vec::new(),
+            host_mark: Vec::new(),
+            round_gen: 0,
         }
     }
 
@@ -1007,13 +1083,170 @@ impl World {
 
     /// Run the event loop until `deadline` (events at the deadline are
     /// processed).
+    ///
+    /// With `cfg.threads > 1` the loop batches runs of packet-reception
+    /// events into parallel rx rounds (`run_rx_round`); every other event —
+    /// and every event at `threads == 1` — takes the classic sequential
+    /// dispatch. Output is byte-identical either way.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(t) = self.sched.peek_time() {
-            if t > deadline {
+        while let Some((key, ev)) = self.sched.peek() {
+            if key.at > deadline {
                 break;
             }
-            let (_, event) = self.sched.pop_next().expect("peeked event exists");
-            self.dispatch(event);
+            if ev.is_rx() && self.rx_rounds_active() {
+                self.run_rx_round();
+            } else {
+                let (_, event) = self.sched.pop_next().expect("peeked event exists");
+                self.dispatch(event);
+            }
+        }
+    }
+
+    /// Whether rx events may be batched into parallel rounds right now.
+    ///
+    /// The only way applying one reception's effects can synchronously
+    /// mutate *another* host's stack is a capture-queue hard-fail aborting a
+    /// migration (source and destination stacks both change). That path
+    /// requires a bounded capture budget *and* a migration in flight, so
+    /// when either is absent the receptions of one instant are pairwise
+    /// independent and safe to stack-process in parallel. The predicate
+    /// depends only on simulation state, never on the thread count, so the
+    /// chosen path — and therefore the output — is identical at any
+    /// parallelism.
+    fn rx_rounds_active(&self) -> bool {
+        self.pool.is_some()
+            && (self.cfg.capture_budget.is_unlimited() || self.migrations.is_empty())
+    }
+
+    /// Execute one parallel rx round: the maximal run of consecutive (in
+    /// dispatch order) same-instant packet receptions addressed to pairwise
+    /// distinct hosts.
+    ///
+    /// Phase 1 runs each delivery's `HostStack::on_rx` on the worker pool —
+    /// receptions only touch the receiving stack, so distinct hosts never
+    /// race. Phase 2 is the barrier: effects are applied strictly in the
+    /// popped dispatch order, which is where all shared world state (router,
+    /// switch, RNG, scheduler, apps) is touched — sequentially, exactly as
+    /// the classic loop would have.
+    ///
+    /// Restricting a round to one instant is what keeps the batch closed:
+    /// every frame an apply transmits arrives at least one link propagation
+    /// latency later (`min_link_latency_us`, asserted positive), and any
+    /// event an apply schedules for the current instant draws a higher
+    /// sequence number than every round member, so nothing that phase 2
+    /// creates could have dispatched before anything phase 1 consumed.
+    fn run_rx_round(&mut self) {
+        if self.min_link_latency_us.is_none() {
+            let lat = self
+                .router
+                .min_latency_us()
+                .min(self.switch.min_latency_us());
+            assert!(
+                lat > 0,
+                "parallel rx rounds need positive link latency for conservative lookahead"
+            );
+            self.min_link_latency_us = Some(lat);
+        }
+        let Some(t0) = self.sched.peek_time() else {
+            return;
+        };
+        self.round_gen += 1;
+        let gen = self.round_gen;
+        if self.host_mark.len() < self.hosts.len() {
+            self.host_mark.resize(self.hosts.len(), 0);
+        }
+        // Pass A: pop the round members. Popping does not advance the clock
+        // (`pop_for_round`); the apply phase advances it once, so relative
+        // scheduling during applies sees the same `now` as the classic loop.
+        debug_assert!(self.round_events.is_empty());
+        while let Some((key, ev)) = self.sched.peek() {
+            if key.at != t0 || !ev.is_rx() {
+                break;
+            }
+            let disjoint = if let Event::PacketArrival { host, .. } = ev {
+                self.host_mark[*host] != gen
+            } else if let Event::BroadcastArrival { hosts, .. } = ev {
+                hosts.iter().all(|&h| self.host_mark[h] != gen)
+            } else {
+                false // unreachable: is_rx() held above
+            };
+            if !disjoint {
+                break;
+            }
+            let Some((_, ev)) = self.sched.pop_for_round() else {
+                break;
+            };
+            if let Event::PacketArrival { host, .. } = &ev {
+                self.host_mark[*host] = gen;
+            } else if let Event::BroadcastArrival { hosts, .. } = &ev {
+                for &h in hosts {
+                    self.host_mark[h] = gen;
+                }
+            }
+            self.round_events.push(ev);
+        }
+        self.sched.advance_to(t0);
+        // Pass B: one task per live delivery. Segment pointers into
+        // `round_events` are stable from here on (no more pushes).
+        let mut tasks = std::mem::take(&mut self.round_tasks);
+        debug_assert!(tasks.is_empty());
+        for ev in &self.round_events {
+            if let Event::PacketArrival { host, seg } = ev {
+                if self.hosts[*host].alive {
+                    tasks.push(RxTask {
+                        host: *host,
+                        stack: &mut self.hosts[*host].stack,
+                        at: t0,
+                        seg,
+                        out: Mailbox::new(),
+                    });
+                }
+            } else if let Event::BroadcastArrival { hosts, seg } = ev {
+                for &h in hosts {
+                    // A host may have crashed after the frame was scheduled:
+                    // the frame dies at its doorstep, as in the classic arm.
+                    if self.hosts[h].alive {
+                        tasks.push(RxTask {
+                            host: h,
+                            stack: &mut self.hosts[h].stack,
+                            at: t0,
+                            seg,
+                            out: Mailbox::new(),
+                        });
+                    }
+                }
+            }
+        }
+        // Phase 1 (parallel): run every reception against its own stack.
+        if let Some(pool) = &self.pool {
+            pool.run_tasks(&mut tasks, |t| {
+                // SAFETY: see `RxTask`'s `Send` justification — stacks are
+                // pairwise disjoint and segments immutable for the round.
+                let stack = unsafe { &mut *t.stack };
+                let seg = unsafe { (*t.seg).clone() };
+                t.out.fill(stack.on_rx(seg, t.at));
+            });
+        }
+        // Phase 2 (barrier): apply effects in dispatch order — the only
+        // place shared world state is touched.
+        for t in &mut tasks {
+            debug_assert!(
+                self.hosts[t.host].alive,
+                "no rx apply may kill a host mid-round (gated by rx_rounds_active)"
+            );
+            let host = t.host;
+            let fx = t.out.take();
+            self.apply_effects(host, fx);
+            self.drain_capture_pressure(host);
+        }
+        tasks.clear();
+        self.round_tasks = tasks;
+        for ev in self.round_events.drain(..) {
+            if let Event::BroadcastArrival { hosts, .. } = ev {
+                if self.bcast_pool.len() < FX_POOL_CAP {
+                    self.bcast_pool.push(hosts);
+                }
+            }
         }
     }
 

@@ -259,6 +259,7 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Diagnostic> {
     rules::r3_no_wildcard_arm(&ctx, &mut out);
     rules::r4_panic_hygiene(&ctx, &mut out);
     rules::r5_doc_hygiene(&ctx, &mut out);
+    rules::r6_shard_isolation(&ctx, &mut out);
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }

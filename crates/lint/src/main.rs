@@ -27,6 +27,7 @@ R2 clock-threading error    stack                      last_hit/TTL state needs 
 R3 no-wildcard-arm error    all crates                 no `_` arm in matches over Effect/AbortReason/Fault/Event
 R4 panic-hygiene   error    core,stack                 no unwrap/expect/panic!/unreachable!/todo!/unimplemented!
 R5 doc-hygiene     warning  core,stack                 every pub item documented
+R6 shard-isolation error    sim,core,stack,cluster,lb  no Mutex/RwLock/Condvar/Atomic*/mpsc/thread::spawn outside sim/par.rs
 ";
 
 fn main() -> ExitCode {

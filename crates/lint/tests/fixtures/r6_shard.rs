@@ -1,0 +1,29 @@
+//! Bad: simulation state shared across threads through primitives instead
+//! of the parallel core's mailbox/barrier API (R6 shard-isolation).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-shard results collected through a lock instead of per-task mailboxes:
+/// the drain order is whatever the OS scheduler produced, so the merged
+/// stream differs run to run and across thread counts.
+pub struct EffectCollector {
+    merged: Arc<Mutex<Vec<String>>>,
+    delivered: AtomicU64,
+}
+
+impl EffectCollector {
+    pub fn record(&self, line: String) {
+        self.merged.lock().unwrap().push(line);
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Ad-hoc fan-out that bypasses the worker pool's barrier entirely.
+pub fn fan_out(lines: Vec<String>, sink: &EffectCollector) {
+    std::thread::scope(|s| {
+        for line in lines {
+            s.spawn(|| sink.record(line));
+        }
+    });
+}

@@ -24,12 +24,16 @@
 //! assert_eq!(sched.now(), SimTime::from_millis(10));
 //! ```
 
+pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod sched;
+pub mod shard;
 pub mod time;
 
-pub use queue::EventQueue;
+pub use par::WorkerPool;
+pub use queue::{DispatchKey, EventQueue};
 pub use rng::DetRng;
-pub use sched::Scheduler;
+pub use sched::{SchedStats, Scheduler};
+pub use shard::{Mailbox, ShardedScheduler};
 pub use time::{Jiffies, SimTime, JIFFY, MICROSECOND, MILLISECOND, SECOND};

@@ -1,0 +1,290 @@
+//! The worker pool that executes one parallel round at a time.
+//!
+//! This module is the **only** place in the simulation family allowed to use
+//! shared-state concurrency primitives (lint rule R6 enforces that). The
+//! model is deliberately tiny: a fixed set of workers parked on a condvar, a
+//! caller that publishes one job — "run `f(chunk)` for every chunk index" —
+//! participates in the work itself, and blocks until every worker is done.
+//! Between rounds nothing runs concurrently, so the simulation proper never
+//! observes threads: a round computes per-task results into per-task slots
+//! (see [`Mailbox`](crate::Mailbox)), and the deterministic barrier phase
+//! reads them back in dispatch order.
+//!
+//! Chunks are claimed from a shared counter, so which *thread* runs which
+//! chunk is scheduling-dependent — but since every chunk writes only its own
+//! task, results are independent of that assignment. Determinism holds on
+//! any machine, including a single hardware core where the OS interleaves
+//! workers adversarially.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// A type-erased round job: run `f(c)` for every chunk `c < chunks`.
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    chunks: usize,
+}
+
+// SAFETY: the pointee is a `Sync` closure borrowed by `WorkerPool::run`,
+// which does not return until every worker has finished the round, so the
+// pointer is only ever dereferenced while the borrow is live.
+unsafe impl Send for Job {}
+
+/// State guarded by the pool mutex; workers wake when `round` changes.
+struct RoundState {
+    round: u64,
+    job: Option<Job>,
+    remaining: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<RoundState>,
+    work_ready: Condvar,
+    round_done: Condvar,
+    next_chunk: AtomicUsize,
+    poisoned: AtomicBool,
+}
+
+/// A persistent pool of `threads - 1` workers plus the calling thread.
+///
+/// `threads <= 1` degenerates to a pool with no workers whose
+/// [`run`](Self::run) executes inline — callers need no special casing for
+/// the sequential path.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+/// Lock helper that shrugs off poisoning: a worker panic is reported through
+/// the `poisoned` flag, not by wedging every later round.
+fn lock(m: &Mutex<RoundState>) -> std::sync::MutexGuard<'_, RoundState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn run_chunks(shared: &Shared, job: Job) {
+    // SAFETY: see the `Send for Job` justification — `run` keeps the
+    // closure alive until the round completes.
+    let f = unsafe { &*job.f };
+    loop {
+        let c = shared.next_chunk.fetch_add(1, Ordering::Relaxed);
+        if c >= job.chunks {
+            break;
+        }
+        if catch_unwind(AssertUnwindSafe(|| f(c))).is_err() {
+            shared.poisoned.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_round = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.round != seen_round {
+                    seen_round = st.round;
+                    if let Some(job) = st.job {
+                        break job;
+                    }
+                }
+                st = shared
+                    .work_ready
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        run_chunks(shared, job);
+        let mut st = lock(&shared.state);
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.round_done.notify_one();
+        }
+    }
+}
+
+impl WorkerPool {
+    /// A pool that brings total parallelism to `threads` (the caller counts
+    /// as one). Worker threads are named `dvelm-worker-<i>`.
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(RoundState {
+                round: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            round_done: Condvar::new(),
+            next_chunk: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        });
+        let workers = (1..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("dvelm-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .unwrap_or_else(|e| panic!("failed to spawn pool worker: {e}"))
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Total parallelism including the calling thread.
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Execute `f(c)` for every chunk `c < chunks`, on the pool plus the
+    /// calling thread, returning only when all chunks are done. Each chunk
+    /// index is claimed exactly once. Panics if any chunk panicked.
+    ///
+    /// Not reentrant: `f` must not call back into the pool.
+    pub fn run(&self, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if self.workers.is_empty() || chunks <= 1 {
+            for c in 0..chunks {
+                f(c);
+            }
+            return;
+        }
+        // Erase the borrow's lifetime to publish it to the workers.
+        // SAFETY: fat-pointer layout is identical; `run` blocks below until
+        // `remaining == 0`, i.e. until no worker can still dereference it.
+        let job = Job {
+            f: unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+            },
+            chunks,
+        };
+        {
+            let mut st = lock(&self.shared.state);
+            st.job = Some(job);
+            st.round = st.round.wrapping_add(1);
+            st.remaining = self.workers.len();
+            self.shared.next_chunk.store(0, Ordering::SeqCst);
+            self.shared.work_ready.notify_all();
+        }
+        run_chunks(&self.shared, job);
+        let mut st = lock(&self.shared.state);
+        while st.remaining != 0 {
+            st = self
+                .shared
+                .round_done
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        st.job = None;
+        drop(st);
+        if self.shared.poisoned.swap(false, Ordering::SeqCst) {
+            panic!("a worker panicked during a parallel round");
+        }
+    }
+
+    /// Run `each` over every task in `tasks`, one chunk per task. Tasks are
+    /// mutated in place; each is touched by exactly one thread per round.
+    pub fn run_tasks<T: Send>(&self, tasks: &mut [T], each: impl Fn(&mut T) + Sync) {
+        struct TaskBase<T>(*mut T, usize);
+        // SAFETY: workers receive disjoint indices (each chunk claimed
+        // exactly once), so no two threads alias the same task.
+        unsafe impl<T: Send> Sync for TaskBase<T> {}
+        impl<T> TaskBase<T> {
+            fn get(&self, c: usize) -> *mut T {
+                debug_assert!(c < self.1);
+                // SAFETY: `c < self.1`, the slice's length.
+                unsafe { self.0.add(c) }
+            }
+        }
+        let base = TaskBase(tasks.as_mut_ptr(), tasks.len());
+        let f = move |c: usize| {
+            // SAFETY: `run` claims each chunk index `c < len` exactly once,
+            // so this is the only live reference to task `c`.
+            each(unsafe { &mut *base.get(c) });
+        };
+        self.run(tasks.len(), &f);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_when_single_threaded() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let mut out = vec![0usize; 16];
+        pool.run_tasks(&mut out, |slot| *slot += 1);
+        assert!(out.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn all_chunks_run_exactly_once() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let counters: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(counters.len(), &|c| {
+            counters[c].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn pool_rounds_are_reusable_and_deterministic() {
+        let pool = WorkerPool::new(3);
+        let mut tasks: Vec<(u64, u64)> = (0..257).map(|i| (i, 0)).collect();
+        for _ in 0..50 {
+            pool.run_tasks(&mut tasks, |t| t.1 += t.0 * t.0);
+        }
+        for (i, (_, acc)) in tasks.iter().enumerate() {
+            assert_eq!(*acc, 50 * (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(2);
+        let hit = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(64, &|c| {
+                hit.fetch_add(1, Ordering::SeqCst);
+                if c == 13 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "round with a panicking chunk must panic");
+        // The pool survives the panic and runs clean rounds afterwards.
+        let mut out = vec![0u32; 8];
+        pool.run_tasks(&mut out, |slot| *slot = 7);
+        assert!(out.iter().all(|&v| v == 7));
+    }
+}

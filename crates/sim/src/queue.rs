@@ -2,23 +2,37 @@
 //!
 //! The sequence number guarantees FIFO order among events scheduled for the
 //! same instant, which makes the whole simulation deterministic regardless of
-//! heap internals.
+//! heap internals. The ordering pair is public as [`DispatchKey`] so the
+//! sharded scheduler's barrier merge and the heap provably sort by the same
+//! key.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// An event with its due time and tie-breaking sequence number.
+/// The total order every event dispatches in: due time first, then the
+/// globally monotone insertion sequence as the tie-break. Two queues (or N
+/// shards) merged by `DispatchKey` reproduce exactly the pop order a single
+/// queue would have produced, which is the invariant the parallel core's
+/// barrier merge rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DispatchKey {
+    /// Absolute due instant.
+    pub at: SimTime,
+    /// Insertion sequence; unique across all shards of one scheduler.
+    pub seq: u64,
+}
+
+/// An event with its dispatch key.
 #[derive(Debug)]
 struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
+    key: DispatchKey,
     event: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<E> Eq for Scheduled<E> {}
@@ -33,7 +47,7 @@ impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event is popped
         // first, with insertion order breaking ties.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
@@ -63,17 +77,43 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        self.heap.push(Scheduled {
+            key: DispatchKey { at, seq },
+            event,
+        });
+    }
+
+    /// Schedule `event` under an externally allocated dispatch key. Used by
+    /// the sharded scheduler, which hands out sequence numbers from a single
+    /// counter shared by all shards so the N-way merge stays a total order.
+    pub fn push_keyed(&mut self, key: DispatchKey, event: E) {
+        self.next_seq = self.next_seq.max(key.seq + 1);
+        self.heap.push(Scheduled { key, event });
     }
 
     /// Remove and return the earliest pending event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.at, s.event))
+        self.heap.pop().map(|s| (s.key.at, s.event))
+    }
+
+    /// Remove and return the earliest pending event with its full key.
+    pub fn pop_keyed(&mut self) -> Option<(DispatchKey, E)> {
+        self.heap.pop().map(|s| (s.key, s.event))
+    }
+
+    /// Dispatch key of the earliest pending event, if any.
+    pub fn peek_key(&self) -> Option<DispatchKey> {
+        self.heap.peek().map(|s| s.key)
+    }
+
+    /// The earliest pending event and its key, without removing it.
+    pub fn peek(&self) -> Option<(DispatchKey, &E)> {
+        self.heap.peek().map(|s| (s.key, &s.event))
     }
 
     /// Due time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        self.heap.peek().map(|s| s.key.at)
     }
 
     /// Number of pending events.
@@ -154,5 +194,36 @@ mod tests {
         // 7µs fires before the still-pending 10µs event.
         assert_eq!(q.pop().unwrap().1, 2);
         assert_eq!(q.pop().unwrap().1, 1);
+    }
+
+    #[test]
+    fn dispatch_key_orders_time_then_seq() {
+        let a = DispatchKey {
+            at: SimTime::from_micros(10),
+            seq: 9,
+        };
+        let b = DispatchKey {
+            at: SimTime::from_micros(10),
+            seq: 10,
+        };
+        let c = DispatchKey {
+            at: SimTime::from_micros(11),
+            seq: 0,
+        };
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn keyed_push_preserves_external_sequencing() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(4);
+        q.push_keyed(DispatchKey { at: t, seq: 7 }, "late");
+        q.push_keyed(DispatchKey { at: t, seq: 2 }, "early");
+        assert_eq!(q.peek().map(|(k, e)| (k.seq, *e)), Some((2, "early")));
+        assert_eq!(q.pop_keyed().map(|(k, e)| (k.seq, e)), Some((2, "early")));
+        assert_eq!(q.pop_keyed().map(|(k, e)| (k.seq, e)), Some((7, "late")));
+        // next_seq advanced past the largest external key.
+        q.push(t, "fresh");
+        assert_eq!(q.peek_key().map(|k| k.seq), Some(8));
     }
 }

@@ -5,8 +5,25 @@
 //! Generic over the event payload so every layer can be tested with its own
 //! little event enum.
 
-use crate::queue::EventQueue;
+use crate::queue::{DispatchKey, EventQueue};
 use crate::time::SimTime;
+
+/// Aggregate scheduler counters, identical in shape for the sequential
+/// [`Scheduler`] and the sharded one, so callers (benchmarks, tests) read
+/// exact totals rather than per-shard approximations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedStats {
+    /// Events dispatched so far.
+    pub dispatched: u64,
+    /// Events ever scheduled (across all shards, if sharded).
+    pub scheduled: u64,
+    /// Events still pending.
+    pub pending: u64,
+    /// `schedule_at` calls whose instant lay in the past and was clamped to
+    /// `now`. Zero in a fault-free run; nonzero under sharding would mean a
+    /// lookahead bug (an event generated behind the merged clock).
+    pub clamped: u64,
+}
 
 /// A simulated clock with a pending-event queue.
 #[derive(Debug)]
@@ -14,6 +31,7 @@ pub struct Scheduler<E> {
     now: SimTime,
     queue: EventQueue<E>,
     dispatched: u64,
+    clamped: u64,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -29,6 +47,7 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             dispatched: 0,
+            clamped: 0,
         }
     }
 
@@ -40,8 +59,11 @@ impl<E> Scheduler<E> {
 
     /// Schedule an event at an absolute instant. Instants in the past are
     /// clamped to `now` (the event fires immediately, after already-pending
-    /// events for `now`).
+    /// events for `now`) and counted in [`SchedStats::clamped`].
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        if at < self.now {
+            self.clamped += 1;
+        }
         self.queue.push(at.max(self.now), event);
     }
 
@@ -64,6 +86,11 @@ impl<E> Scheduler<E> {
         self.queue.peek_time()
     }
 
+    /// The next pending event with its dispatch key, without removing it.
+    pub fn peek(&self) -> Option<(DispatchKey, &E)> {
+        self.queue.peek()
+    }
+
     /// Number of pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
@@ -72,6 +99,21 @@ impl<E> Scheduler<E> {
     /// Number of events dispatched so far.
     pub fn dispatched(&self) -> u64 {
         self.dispatched
+    }
+
+    /// Number of past-instant `schedule_at` calls clamped to `now`.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Aggregate counters in one struct.
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            dispatched: self.dispatched,
+            scheduled: self.queue.scheduled_total(),
+            pending: self.queue.len() as u64,
+            clamped: self.clamped,
+        }
     }
 }
 
@@ -95,14 +137,19 @@ mod tests {
     }
 
     #[test]
-    fn past_events_clamp_to_now() {
+    fn past_events_clamp_to_now_and_are_counted() {
         let mut s: Scheduler<u32> = Scheduler::new();
         s.schedule_after(100, 1);
         s.pop_next();
+        assert_eq!(s.clamped(), 0);
         s.schedule_at(SimTime::from_micros(10), 2); // in the past
         let (t, e) = s.pop_next().unwrap();
         assert_eq!(e, 2);
         assert_eq!(t, SimTime::from_micros(100)); // clamped, clock monotone
+        assert_eq!(s.clamped(), 1);
+        // Scheduling exactly at `now` is not a clamp.
+        s.schedule_at(s.now(), 3);
+        assert_eq!(s.clamped(), 1);
     }
 
     #[test]
@@ -124,6 +171,25 @@ mod tests {
         s.pop_next();
         assert_eq!(s.pending(), 1);
         assert_eq!(s.dispatched(), 1);
+        assert_eq!(
+            s.stats(),
+            SchedStats {
+                dispatched: 1,
+                scheduled: 2,
+                pending: 1,
+                clamped: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn peek_exposes_key_without_dispatching() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_after(5, "x");
+        let (key, e) = s.peek().unwrap();
+        assert_eq!((key.at, key.seq, *e), (SimTime::from_micros(5), 0, "x"));
+        assert_eq!(s.dispatched(), 0);
+        assert_eq!(s.now(), SimTime::ZERO);
     }
 }
 

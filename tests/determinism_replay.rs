@@ -5,11 +5,23 @@
 //! determinism contract: if any `HashMap` iteration order, wall-clock read
 //! or unseeded RNG leaks into the simulation (lint rule R1), the two logs
 //! diverge here long before a figure regenerates differently.
+//!
+//! Since the parallel core landed, the contract is two-dimensional: the
+//! same world must also produce byte-identical effect streams at *any*
+//! worker-thread count. The chaos scenario is replayed at 1, 2 and 8
+//! shards, and a broadcast-heavy scenario (unlimited capture budget, so
+//! rx rounds stay active even while migrations are in flight) at 1, 2
+//! and 4 — the latter is the path where deliveries genuinely fan out
+//! across the worker pool.
 
+use dvelm::cluster::shards_from_env;
 use dvelm::lb::AdmissionConfig;
 use dvelm::migrate::OverloadGuard;
+use dvelm::openarena::apps::{OaClient, OaServer, OA_PORT};
 use dvelm::prelude::*;
 use dvelm::stack::CaptureBudget;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// The seed `tests/chaos_soak.rs` soaks under.
 const SOAK_SEED: u64 = 0x50a1;
@@ -35,10 +47,17 @@ impl App for Worker {
 }
 
 /// One full replay of the soak scenario: returns the rendered effect log
-/// and the final clock.
+/// and the final clock. Runs at the environment's default shard count
+/// (`DVELM_SHARDS` or 1), so the CI shard matrix replays it sharded.
 fn replay() -> (Vec<String>, SimTime) {
+    replay_with(shards_from_env().unwrap_or(1))
+}
+
+/// The soak replay at an explicit worker-thread count.
+fn replay_with(threads: usize) -> (Vec<String>, SimTime) {
     let mut w = World::new(WorldConfig {
         seed: SOAK_SEED,
+        threads,
         admission: AdmissionConfig {
             max_cluster_migrations: MIG_CAP,
             max_node_migrations: 1,
@@ -162,5 +181,111 @@ fn chaos_seed_replays_byte_identical() {
     // Element-wise first so a divergence points at the exact effect line.
     for (i, (a, b)) in log_a.iter().zip(&log_b).enumerate() {
         assert_eq!(a, b, "effect streams diverge at entry {i}");
+    }
+}
+
+/// Diff two effect logs byte-for-byte, pointing at the first divergent
+/// entry (with a line of context) rather than dumping both streams.
+fn assert_logs_identical(label_a: &str, log_a: &[String], label_b: &str, log_b: &[String]) {
+    for (i, (a, b)) in log_a.iter().zip(log_b).enumerate() {
+        assert_eq!(
+            a, b,
+            "effect streams {label_a} vs {label_b} diverge at entry {i}"
+        );
+    }
+    assert_eq!(
+        log_a.len(),
+        log_b.len(),
+        "effect streams {label_a} vs {label_b} differ in length after a \
+         common prefix of {} entries",
+        log_a.len().min(log_b.len())
+    );
+}
+
+/// The parallel core's contract on the chaos scenario: 1, 2 and 8 shards
+/// replay the same world into byte-identical effect streams. The chaos
+/// run uses a *bounded* capture budget, so rx rounds gate themselves off
+/// while migrations are in flight — this test proves the gate itself is
+/// thread-count-deterministic (a gate that consulted anything
+/// thread-dependent would diverge here).
+#[test]
+fn chaos_seed_is_shard_count_invariant() {
+    let (log_1, end_1) = replay_with(1);
+    assert!(!log_1.is_empty(), "the soak scenario must produce effects");
+    for threads in [2usize, 8] {
+        let (log_n, end_n) = replay_with(threads);
+        assert_eq!(
+            end_1, end_n,
+            "1-shard and {threads}-shard replays must end at the same instant"
+        );
+        assert_logs_identical("1-shard", &log_1, &format!("{threads}-shard"), &log_n);
+    }
+}
+
+/// A broadcast-heavy scenario where rx rounds are *active* (default
+/// unlimited capture budget), with UDP chatter from many clients and two
+/// live migrations under load: the path where same-instant deliveries
+/// genuinely fan out across the worker pool. Byte-identical at 1, 2 and
+/// 4 threads.
+#[test]
+fn parallel_rounds_replay_byte_identical() {
+    fn chatter_replay(threads: usize) -> (Vec<String>, SimTime) {
+        let mut w = World::new(WorldConfig {
+            seed: SOAK_SEED ^ 0xbca5,
+            threads,
+            ..WorldConfig::default()
+        });
+        w.enable_effect_log();
+
+        let mut nodes = Vec::new();
+        let mut pids = Vec::new();
+        let mut addrs = Vec::new();
+        let usercmds = Rc::new(RefCell::new(0u64));
+        for n in 0..4 {
+            let node = w.add_server_node();
+            let pid = w.spawn_process(
+                node,
+                &format!("oa{n}"),
+                128,
+                1024,
+                Box::new(OaServer::new(usercmds.clone())),
+            );
+            let addr = SockAddr::new(Ip::CLUSTER_PUBLIC, OA_PORT + n as u16);
+            w.app_udp_bind(node, pid, addr);
+            nodes.push(node);
+            pids.push(pid);
+            addrs.push(addr);
+        }
+        for c in 0..48 {
+            let ch = w.add_client_host();
+            let addr = addrs[c % addrs.len()];
+            let arrivals = Rc::new(RefCell::new(Vec::new()));
+            let pid = w.spawn_process(ch, "cl", 16, 64, Box::new(OaClient::new(addr, arrivals)));
+            w.app_udp_socket(ch, pid, Some(addr));
+        }
+
+        // Heartbeat broadcasts join the packet chatter.
+        w.enable_load_balancing();
+        w.run_for(SECOND);
+        // Two concurrent migrations while rounds stay active (unlimited
+        // capture budget): cross-shard freeze/copy/resume must not perturb
+        // the stream.
+        w.begin_migration(pids[0], nodes[2], Strategy::IncrementalCollective)
+            .expect("migration 0 admitted");
+        w.begin_migration(pids[1], nodes[3], Strategy::IncrementalCollective)
+            .expect("migration 1 admitted");
+        w.run_for(3 * SECOND);
+        (w.effect_log().to_vec(), w.now())
+    }
+
+    let (log_1, end_1) = chatter_replay(1);
+    assert!(
+        !log_1.is_empty(),
+        "the chatter scenario migrates under load; effects must flow"
+    );
+    for threads in [2usize, 4] {
+        let (log_n, end_n) = chatter_replay(threads);
+        assert_eq!(end_1, end_n, "replays must end at the same instant");
+        assert_logs_identical("1-thread", &log_1, &format!("{threads}-thread"), &log_n);
     }
 }
