@@ -60,6 +60,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                         strategy,
                         repetitions: 1,
                         seed: 5,
+                        monitored: false,
                     });
                     black_box(r.worst_freeze_us)
                 })

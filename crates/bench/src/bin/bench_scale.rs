@@ -46,6 +46,7 @@ fn cell(nodes: usize, clients: usize, migrations: usize, run_secs: u64) -> Scale
         run_secs,
         seed: SCALE_SEED,
         threads: 1,
+        monitored: false,
     }
 }
 

@@ -14,6 +14,7 @@ fn main() {
         strategy: Strategy::IncrementalCollective,
         repetitions: 1,
         seed: 7,
+        monitored: false,
     });
     let rep = &r.reports[0];
     let mut out = String::new();

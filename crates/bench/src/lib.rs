@@ -160,6 +160,7 @@ pub fn freeze_sweep(connections: &[usize], repetitions: usize, workers: usize) -
                     strategy,
                     repetitions,
                     seed: 0xF16_5BC,
+                    monitored: false,
                 });
                 results.lock().unwrap().push(SweepCell {
                     connections,

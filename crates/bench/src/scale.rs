@@ -45,6 +45,12 @@ pub struct ScaleConfig {
     /// fingerprint — by design the thread count must not change a single
     /// deterministic metric.
     pub threads: usize,
+    /// Arm the world's invariant monitor for the run. Like `threads`, this
+    /// is excluded from the fingerprint — the monitor observes the run
+    /// without scheduling events or drawing randomness, so a monitored
+    /// cell must fingerprint identically to a plain one (asserted by
+    /// `tests/determinism_replay.rs`).
+    pub monitored: bool,
 }
 
 impl ScaleConfig {
@@ -57,6 +63,7 @@ impl ScaleConfig {
             run_secs: 2,
             seed: SCALE_SEED,
             threads: 0,
+            monitored: false,
         }
     }
 }
@@ -194,6 +201,9 @@ fn build_world(cfg: &ScaleConfig) -> (World, Vec<dvelm_proc::Pid>, Vec<usize>, R
         threads: resolve_threads(cfg),
         ..WorldConfig::default()
     });
+    if cfg.monitored {
+        w.enable_monitor();
+    }
     let usercmds = Rc::new(RefCell::new(0u64));
     let mut node_hosts = Vec::with_capacity(cfg.nodes);
     let mut server_pids = Vec::with_capacity(cfg.nodes);
@@ -265,6 +275,18 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleCell {
     }
     w.run_until(warmup_end + cfg.run_secs * SECOND);
     w.run_for(DRAIN_US);
+    if cfg.monitored {
+        w.monitor_sweep();
+        assert!(
+            w.violations().is_empty(),
+            "fault-free scale cell must hold every invariant \
+             (cell {}x{}, seed {:#x}): {:?}",
+            cfg.nodes,
+            cfg.clients,
+            cfg.seed,
+            w.violations()
+        );
+    }
 
     let wall_ms = started_wall.elapsed().as_secs_f64() * 1000.0;
     let events = w.sched.dispatched() - events_before;
@@ -562,6 +584,7 @@ mod tests {
                 run_secs: 1,
                 seed: 1,
                 threads,
+                monitored: false,
             },
             threads,
             sched_clamped: 0,

@@ -51,6 +51,10 @@ pub enum Event {
     /// it on the same host in the meantime, the stale restore is ignored
     /// instead of cutting the new surge short.
     SurgeRestore { host: usize, gen: u64 },
+    /// A timed [`Fault::Partition`] heals. `gen` names the partition
+    /// installation that scheduled this heal: each partition is healed by
+    /// exactly its own event, so overlapping partitions compose.
+    PartitionHeal { gen: u64 },
     /// Periodic sweep evicting stale translation rules on every live host
     /// (only scheduled when `WorldConfig::xlate_gc_ttl_us` is set).
     XlateGc,
@@ -74,7 +78,10 @@ impl Event {
             | Event::RemoveXlate { host, .. }
             | Event::SurgeRestore { host, .. } => *host as u64,
             Event::BroadcastArrival { hosts, .. } => hosts.first().copied().unwrap_or(0) as u64,
-            Event::MigrationStep { .. } | Event::Fault { .. } | Event::XlateGc => 0,
+            Event::MigrationStep { .. }
+            | Event::Fault { .. }
+            | Event::PartitionHeal { .. }
+            | Event::XlateGc => 0,
         }
     }
 
@@ -95,6 +102,7 @@ impl Event {
             | Event::RemoveXlate { .. }
             | Event::Fault { .. }
             | Event::SurgeRestore { .. }
+            | Event::PartitionHeal { .. }
             | Event::XlateGc => false,
         }
     }

@@ -3,7 +3,7 @@
 use crate::app::{App, AppCtx};
 use crate::event::Event;
 use crate::host::{Host, HostKind, ProcEntry};
-use dvelm_faults::{Fault, FaultPlan};
+use dvelm_faults::{CtrlDir, Fault, FaultPlan, HostSet};
 use dvelm_lb::{
     AdmissionConfig, AdmissionControl, Conductor, LbEffect, LbMsg, LoadInfo, PolicyConfig,
     StrategyPreference,
@@ -13,6 +13,7 @@ use dvelm_migrate::{
     AbortIo, AbortReason, AbortRecovery, CostModel, Effect, EffectBuf, MigrationAborted,
     MigrationEngine, OverloadGuard, PhaseId, Side, StepIo, Strategy,
 };
+use dvelm_monitor::{InvariantMonitor, InvariantViolation};
 use dvelm_net::{
     BroadcastRouter, ClusterSwitch, Ip, LossModel, NodeId, Port, RouteError, SockAddr,
 };
@@ -62,6 +63,13 @@ pub struct WorldConfig {
     /// When set, translation rules unused for this long are periodically
     /// evicted (default `None`: rules live until revoked).
     pub xlate_gc_ttl_us: Option<u64>,
+    /// Epoch fencing of migration restores (default on). When enabled, a
+    /// destination refuses to commit a restore whose (pid, epoch) no longer
+    /// matches a live reservation lease — the guarantee that a partition
+    /// heal can never yield two running copies of one process. Disabling it
+    /// reproduces the unfenced protocol so tests can demonstrate the
+    /// invariant monitor catching the resulting split-brain.
+    pub fence_enabled: bool,
     /// Worker threads for the parallel event core (also the shard count of
     /// the event queue). `1` is the sequential loop; any value produces
     /// byte-identical output — threads change wall-clock time only. The
@@ -97,6 +105,7 @@ impl Default for WorldConfig {
             overload_guard: OverloadGuard::DISABLED,
             capture_budget: CaptureBudget::UNLIMITED,
             xlate_gc_ttl_us: None,
+            fence_enabled: true,
             threads: shards_from_env().unwrap_or(1),
         }
     }
@@ -237,9 +246,33 @@ pub struct World {
     /// Process images orphaned by aborts whose source host died (sockets
     /// lost, BLCR semantics); cold-restart fodder.
     pub lost_images: Vec<Process>,
-    /// Hosts whose conductor hears no control messages until the instant
-    /// ([`Fault::CtrlBlackout`]).
-    ctrl_dark_until: BTreeMap<usize, SimTime>,
+    /// Hosts whose conductor is dark on control messages until the instant,
+    /// in the recorded direction ([`Fault::CtrlBlackout`]).
+    ctrl_dark_until: BTreeMap<usize, (CtrlDir, SimTime)>,
+    /// Active network partitions ([`Fault::Partition`]), by installation
+    /// generation. Overlapping partitions compose: a frame is dropped if
+    /// *any* active partition separates its endpoints, and each heals on
+    /// its own [`Event::PartitionHeal`].
+    partitions: BTreeMap<u64, [HostSet; 2]>,
+    next_partition_gen: u64,
+    /// Migrations parked because their endpoints are partitioned. No
+    /// polling: [`on_migration_step`](World::on_migration_step) parks a
+    /// step that finds the path cut, and the heal event re-schedules it —
+    /// a fault-free run never touches this set.
+    stalled_migs: BTreeSet<MigId>,
+    /// Unreliable control delivery windows ([`Fault::CtrlLoss`] /
+    /// [`Fault::CtrlDup`] / [`Fault::CtrlReorder`]): `(pct, until)` and,
+    /// for reorder, the max extra delay. The RNG is only consulted while a
+    /// window is open, so fault-free runs draw nothing and stay
+    /// byte-identical.
+    ctrl_loss: Option<(u32, SimTime)>,
+    ctrl_dup: Option<(u32, SimTime)>,
+    ctrl_reorder: Option<(u32, u64, SimTime)>,
+    /// The always-on invariant monitor (`None` until
+    /// [`enable_monitor`](World::enable_monitor); every hook site is one
+    /// `if let` on this option, so a disabled monitor costs nothing and an
+    /// enabled one never schedules events or draws RNG).
+    monitor: Option<InvariantMonitor>,
     /// The migration admission ledger (semaphores + image-byte budgets),
     /// consulted in [`begin_migration`](World::begin_migration).
     admission: AdmissionControl,
@@ -321,6 +354,13 @@ impl World {
             outcomes: BTreeMap::new(),
             lost_images: Vec::new(),
             ctrl_dark_until: BTreeMap::new(),
+            partitions: BTreeMap::new(),
+            next_partition_gen: 0,
+            stalled_migs: BTreeSet::new(),
+            ctrl_loss: None,
+            ctrl_dup: None,
+            ctrl_reorder: None,
+            monitor: None,
             admission,
             surge: BTreeMap::new(),
             surge_gen: BTreeMap::new(),
@@ -372,6 +412,69 @@ impl World {
     /// growth without faults indicates a topology bug.
     pub fn route_errors(&self) -> u64 {
         self.route_errors
+    }
+
+    /// Turn on the invariant monitor, seeding its ownership model with
+    /// every process currently alive. From here on the world feeds it
+    /// ownership events as they happen; call
+    /// [`monitor_sweep`](World::monitor_sweep) periodically for the
+    /// reconciliation and budget checks, and read the findings via
+    /// [`violations`](World::violations). The monitor is passive — it never
+    /// schedules events or draws from the RNG, so enabling it leaves every
+    /// deterministic output byte-identical.
+    pub fn enable_monitor(&mut self) {
+        let now = self.now();
+        let mut m = InvariantMonitor::new();
+        for (h, host) in self.hosts.iter().enumerate() {
+            if host.alive {
+                for pid in host.procs.keys() {
+                    m.on_spawn(now, *pid, h);
+                }
+            }
+        }
+        self.monitor = Some(m);
+    }
+
+    /// Invariant violations observed so far (empty while the monitor is
+    /// disabled).
+    pub fn violations(&self) -> &[InvariantViolation] {
+        self.monitor.as_ref().map(|m| m.violations()).unwrap_or(&[])
+    }
+
+    /// One reconciliation pass of the invariant monitor against world
+    /// reality: the live process placement (split brains and lost processes
+    /// in either direction of drift) and every live host's capture-queue
+    /// peaks against the configured budget. No-op while the monitor is
+    /// disabled.
+    pub fn monitor_sweep(&mut self) {
+        let Some(mut m) = self.monitor.take() else {
+            return;
+        };
+        let now = self.now();
+        let mut live: Vec<(Pid, usize)> = Vec::new();
+        for (h, host) in self.hosts.iter().enumerate() {
+            if host.alive {
+                live.extend(host.procs.keys().map(|pid| (*pid, h)));
+            }
+        }
+        let alive: Vec<bool> = self.hosts.iter().map(|h| h.alive).collect();
+        m.reconcile(now, &live, |h| alive.get(h).copied().unwrap_or(false));
+        if !self.cfg.capture_budget.is_unlimited() {
+            for host in &self.hosts {
+                if !host.alive {
+                    continue;
+                }
+                let stats = host.stack.capture.stats();
+                m.check_capture(
+                    now,
+                    stats.peak_queued_packets,
+                    self.cfg.capture_budget.max_packets as u64,
+                    stats.peak_queued_bytes,
+                    self.cfg.capture_budget.max_bytes as u64,
+                );
+            }
+        }
+        self.monitor = Some(m);
     }
 
     // ------------------------------------------------------------------
@@ -475,6 +578,9 @@ impl World {
         let offset = self.rng.range_u64(0, period.max(1));
         self.sched
             .schedule_after(offset, Event::AppTick { host, pid, gen });
+        if let Some(m) = &mut self.monitor {
+            m.on_spawn(self.sched.now(), pid, host);
+        }
         pid
     }
 
@@ -755,6 +861,9 @@ impl World {
         let Some(h) = self.host_of(pid) else {
             return false;
         };
+        if let Some(m) = &mut self.monitor {
+            m.on_exit(self.sched.now(), pid, h);
+        }
         let entry = self.hosts[h]
             .procs
             .remove(&pid)
@@ -795,6 +904,12 @@ impl World {
         );
         self.sched
             .schedule_after(0, Event::AppTick { host, pid, gen });
+        // A cold restart adopts the image's pid: legitimate only if no
+        // other live copy exists — exactly what the monitor's adopt hook
+        // checks.
+        if let Some(m) = &mut self.monitor {
+            m.on_adopt(self.sched.now(), pid, host);
+        }
         pid
     }
 
@@ -875,8 +990,32 @@ impl World {
             Fault::RestoreFail { host } => {
                 self.hosts[host].stack.arm_install_failures(1);
             }
-            Fault::CtrlBlackout { host, for_us } => {
-                self.ctrl_dark_until.insert(host, now + for_us);
+            Fault::CtrlBlackout { host, dir, for_us } => {
+                self.ctrl_dark_until.insert(host, (dir, now + for_us));
+            }
+            Fault::Partition { groups, for_us } => {
+                let gen = self.next_partition_gen;
+                self.next_partition_gen += 1;
+                self.partitions.insert(gen, groups);
+                if for_us > 0 {
+                    self.sched
+                        .schedule_after(for_us, Event::PartitionHeal { gen });
+                }
+                // In-flight migrations crossing the cut park themselves at
+                // their next step; nothing to do here.
+            }
+            Fault::CtrlLoss { pct, for_us } => {
+                self.ctrl_loss = Some((pct, chaos_until(now, for_us)));
+            }
+            Fault::CtrlDup { pct, for_us } => {
+                self.ctrl_dup = Some((pct, chaos_until(now, for_us)));
+            }
+            Fault::CtrlReorder {
+                pct,
+                max_extra_us,
+                for_us,
+            } => {
+                self.ctrl_reorder = Some((pct, max_extra_us, chaos_until(now, for_us)));
             }
             Fault::Overload {
                 host,
@@ -934,6 +1073,10 @@ impl World {
         }
         // Dead before the aborts run, so the engine sees its stack as gone.
         self.hosts[host].alive = false;
+        // Its residents die with it — casualties, not violations.
+        if let Some(m) = &mut self.monitor {
+            m.on_host_down(host);
+        }
         let mut migs: Vec<(MigId, AbortReason)> = self
             .migrations
             .iter()
@@ -1035,14 +1178,46 @@ impl World {
             .migrations
             .remove(&mig)
             .expect("aborting an active migration");
+        self.stalled_migs.remove(&mig);
         self.migrating.remove(&pid);
         self.admission.release(mig);
+        let dst = task.dst;
+        let now = self.now();
         let recovery_tag = Recovery::from(&recovery);
         match recovery {
             // The source copy never stopped (precopy abort) or was resumed
             // via Effect::ResumeApp (which already restarted its ticks).
             AbortRecovery::SourceKeptRunning | AbortRecovery::ResumedOnSource => {}
             AbortRecovery::RestoredOnSource(process) => {
+                // With fencing off, a restore-phase abort across an active
+                // partition is exactly the split-brain window: the
+                // destination holds the complete image, cannot hear the
+                // cancel, and commits its copy while the source restores
+                // its own. Model the second copy so the invariant monitor
+                // can catch what the epoch fence would have prevented.
+                // `PhaseId::FreezeDetach` is the abort-report id of an
+                // internal post-detach (restore-phase) abort — the only
+                // point where the destination holds the complete image.
+                if !self.cfg.fence_enabled
+                    && phase == PhaseId::FreezeDetach
+                    && self.hosts[dst].alive
+                    && self.partitioned(src, dst)
+                {
+                    let gen = self.fresh_tick_gen();
+                    self.hosts[dst].procs.insert(
+                        pid,
+                        ProcEntry {
+                            process: process.clone(),
+                            app: Box::new(OrphanApp),
+                            suspended: false,
+                            tick_period_us: 0,
+                            tick_gen: gen,
+                        },
+                    );
+                    if let Some(m) = &mut self.monitor {
+                        m.on_adopt(now, pid, dst);
+                    }
+                }
                 // The rebuilt process: its fd table names the sockets the
                 // engine reinstalled on the source stack.
                 if let Some(entry) = self.hosts[src].procs.get_mut(&pid) {
@@ -1054,8 +1229,17 @@ impl World {
                 self.restart_ticks(src, pid);
                 self.drain_proc_sockets(src, pid);
             }
-            AbortRecovery::ImageOnly(process) => self.lost_images.push(process),
-            AbortRecovery::Lost => {}
+            AbortRecovery::ImageOnly(process) => {
+                if let Some(m) = &mut self.monitor {
+                    m.on_lost(now, pid, self.hosts[src].alive);
+                }
+                self.lost_images.push(process);
+            }
+            AbortRecovery::Lost => {
+                if let Some(m) = &mut self.monitor {
+                    m.on_lost(now, pid, self.hosts[src].alive);
+                }
+            }
         }
         self.reports.push(task.recorder.into_report());
         self.outcomes.insert(
@@ -1068,7 +1252,6 @@ impl World {
         );
         // The sender-side conductor learns of the failure (blacklists the
         // destination, schedules the retry with backoff).
-        let now = self.now();
         if self.hosts[src].alive {
             if let Some(c) = self.hosts[src].conductor.as_mut() {
                 let effects = c.on_migration_finished(now, false);
@@ -1273,6 +1456,7 @@ impl World {
             Event::MigrationStep { .. }
             | Event::Fault { .. }
             | Event::SurgeRestore { .. }
+            | Event::PartitionHeal { .. }
             | Event::XlateGc => None,
         };
         if let Some(h) = target_host {
@@ -1334,6 +1518,24 @@ impl World {
                 self.surge_gen.remove(&host);
                 if self.hosts[host].alive {
                     self.restart_host_ticks(host);
+                }
+            }
+            Event::PartitionHeal { gen } => {
+                if self.partitions.remove(&gen).is_none() {
+                    return; // already healed (manual heal raced the timer)
+                }
+                // Wake the parked migrations whose path is whole again;
+                // ones an overlapping partition still cuts stay parked.
+                let stalled: Vec<MigId> = self.stalled_migs.iter().copied().collect();
+                for mig in stalled {
+                    let Some(task) = self.migrations.get(&mig) else {
+                        self.stalled_migs.remove(&mig);
+                        continue;
+                    };
+                    if !self.partitioned(task.src, task.dst) {
+                        self.stalled_migs.remove(&mig);
+                        self.sched.schedule_after(0, Event::MigrationStep { mig });
+                    }
                 }
             }
             Event::XlateGc => {
@@ -1530,8 +1732,23 @@ impl World {
         if self.hosts[host].conductor.is_none() {
             return;
         }
-        // A control blackout (Fault::CtrlBlackout) swallows the message.
-        if self.ctrl_dark_until.get(&host).is_some_and(|&u| now < u) {
+        // An inbound-blocking control blackout (Fault::CtrlBlackout)
+        // swallows the message at the receiver's door.
+        if self
+            .ctrl_dark_until
+            .get(&host)
+            .is_some_and(|&(dir, u)| now < u && dir.blocks_inbound())
+        {
+            return;
+        }
+        // A partition between sender and receiver drops it on the wire.
+        // The check runs at delivery, so a frame in flight when the
+        // partition lands is cut too, and one sent just before a heal only
+        // arrives if the cut is gone by then.
+        if self
+            .host_by_node(from)
+            .is_some_and(|f| self.partitioned(f, host))
+        {
             return;
         }
         let local = self.local_load(host, now);
@@ -1546,28 +1763,33 @@ impl World {
     fn apply_lb_effects(&mut self, host: usize, effects: Vec<LbEffect>) {
         let now = self.now();
         let node = self.hosts[host].stack.node;
+        // An outbound-blocking control blackout swallows this conductor's
+        // own sends at the source (its daemon-local effects still run).
+        let dark_out = self
+            .ctrl_dark_until
+            .get(&host)
+            .is_some_and(|&(dir, u)| now < u && dir.blocks_outbound());
         for action in effects {
             match action {
                 LbEffect::Broadcast(msg) => {
+                    if dark_out {
+                        continue;
+                    }
                     let arrivals =
                         self.switch
                             .broadcast(now, node, msg.wire_bytes(), &mut self.rng);
                     for (dest, at) in arrivals {
                         if let Some(h) = self.host_by_node(dest) {
                             if self.hosts[h].conductor.is_some() {
-                                self.sched.schedule_at(
-                                    at,
-                                    Event::LbMessage {
-                                        host: h,
-                                        from: node,
-                                        msg,
-                                    },
-                                );
+                                self.schedule_lb_message(at, h, node, msg);
                             }
                         }
                     }
                 }
                 LbEffect::Send(dest, msg) => {
+                    if dark_out {
+                        continue;
+                    }
                     // The destination may have crashed or left (e.g. MigDone
                     // toward a dead receiver): the frame goes dark.
                     if !self.switch.is_attached(dest) {
@@ -1578,18 +1800,16 @@ impl World {
                             .unicast(now, node, dest, msg.wire_bytes(), &mut self.rng)
                     {
                         if let Some(h) = self.host_by_node(dest) {
-                            self.sched.schedule_at(
-                                at,
-                                Event::LbMessage {
-                                    host: h,
-                                    from: node,
-                                    msg,
-                                },
-                            );
+                            self.schedule_lb_message(at, h, node, msg);
                         }
                     }
                 }
-                LbEffect::StartMigration { pid, dest, prefer } => {
+                LbEffect::StartMigration {
+                    pid,
+                    dest,
+                    prefer,
+                    epoch,
+                } => {
                     let Some(dst_host) = self.host_by_node(dest) else {
                         continue;
                     };
@@ -1607,16 +1827,94 @@ impl World {
                         }
                         StrategyPreference::Iterative => Strategy::Iterative,
                     };
-                    if self.begin_migration(pid, dst_host, strategy).is_none() {
-                        // Could not start (pid vanished): release both sides.
-                        if let Some(c) = self.hosts[host].conductor.as_mut() {
-                            let effects = c.on_migration_finished(now, false);
-                            self.apply_lb_effects(host, effects);
+                    match self.begin_migration(pid, dst_host, strategy) {
+                        Some(mig) => {
+                            // Conductor-initiated migrations carry the
+                            // negotiated epoch: the destination's fenced
+                            // restore checks it against the live lease.
+                            self.migrations
+                                .get_mut(&mig)
+                                .expect("just created")
+                                .engine
+                                .epoch = epoch;
+                            if let Some(m) = &mut self.monitor {
+                                m.on_epoch(now, pid, epoch);
+                            }
+                        }
+                        None => {
+                            // Could not start (pid vanished): release both
+                            // sides.
+                            if let Some(c) = self.hosts[host].conductor.as_mut() {
+                                let effects = c.on_migration_finished(now, false);
+                                self.apply_lb_effects(host, effects);
+                            }
+                        }
+                    }
+                }
+                LbEffect::CancelMigration { pid, epoch } => {
+                    // The sender's force-cancel (migration timeout AND lease
+                    // both expired): abort the matching in-flight migration.
+                    // `finish_abort` reports back to the conductor, which
+                    // leaves Sending through the normal failure path.
+                    let matching = self.migration_of(pid).filter(|m| {
+                        self.migrations
+                            .get(m)
+                            .is_some_and(|t| t.engine.epoch == epoch)
+                    });
+                    match matching {
+                        Some(mig) => {
+                            self.abort_migration(mig, AbortReason::TransferStalled);
+                        }
+                        None => {
+                            // No such migration (it just finished, or the
+                            // daemon never started it): release the
+                            // conductor directly so it cannot wedge in
+                            // Sending.
+                            if let Some(c) = self.hosts[host].conductor.as_mut() {
+                                let effects = c.on_migration_finished(now, false);
+                                self.apply_lb_effects(host, effects);
+                            }
                         }
                     }
                 }
             }
         }
+    }
+
+    /// Schedule one control-message delivery, applying the unreliable-
+    /// delivery faults. The RNG is consulted only while a fault window is
+    /// open, so fault-free effect streams are byte-identical with this path
+    /// compiled in.
+    fn schedule_lb_message(&mut self, mut at: SimTime, host: usize, from: NodeId, msg: LbMsg) {
+        let now = self.now();
+        if let Some((pct, until)) = self.ctrl_loss {
+            if now < until && self.rng.range_u64(0, 100) < pct as u64 {
+                return; // dropped on the wire
+            }
+        }
+        if let Some((pct, max_extra_us, until)) = self.ctrl_reorder {
+            if now < until && self.rng.range_u64(0, 100) < pct as u64 {
+                // Extra delay pushes the frame behind later sends.
+                at += self.rng.range_u64(1, max_extra_us.max(1));
+            }
+        }
+        self.sched
+            .schedule_at(at, Event::LbMessage { host, from, msg });
+        if let Some((pct, until)) = self.ctrl_dup {
+            if now < until && self.rng.range_u64(0, 100) < pct as u64 {
+                let extra = self.rng.range_u64(1, 2_000);
+                self.sched
+                    .schedule_at(at + extra, Event::LbMessage { host, from, msg });
+            }
+        }
+    }
+
+    /// Whether any active partition separates hosts `a` and `b` (traffic
+    /// within a group, or touching hosts in neither group, is unaffected).
+    fn partitioned(&self, a: usize, b: usize) -> bool {
+        self.partitions.values().any(|[g0, g1]| {
+            (g0.contains(a) && g1.contains(b)) || (g1.contains(a) && g0.contains(b))
+        })
     }
 
     fn host_by_node(&self, node: NodeId) -> Option<usize> {
@@ -1638,6 +1936,33 @@ impl World {
             return;
         };
         let (src, dst, pid) = (task.src, task.dst, task.pid);
+        let (epoch, past_detach) = (task.engine.epoch, task.engine.past_detach());
+
+        // A partition between the endpoints stalls the transfer: park the
+        // migration (no polling — the heal event resumes it). The sender's
+        // conductor force-cancels it if the partition outlives both the
+        // migration timeout and the destination lease.
+        if self.partitioned(src, dst) {
+            self.stalled_migs.insert(mig);
+            return;
+        }
+
+        // Fenced restore: past the detach point the destination commits the
+        // process, which it may only do under a live epoch-matching
+        // reservation. A stale epoch (the receiver re-leased to a newer
+        // negotiation) or an expired lease (the receiver gave up while a
+        // partition stalled the transfer) refuses the resume — this is the
+        // single-ownership guarantee under partition heal.
+        if self.cfg.fence_enabled && epoch > 0 && past_detach {
+            let allowed = self.hosts[dst]
+                .conductor
+                .as_ref()
+                .is_some_and(|c| c.restore_allowed(pid, epoch, now));
+            if !allowed {
+                self.abort_migration(mig, AbortReason::FencedStaleEpoch);
+                return;
+            }
+        }
 
         // Split the borrows: engine lives in self.migrations, stacks and the
         // process in self.hosts. The step's side effects land in `buf`, a
@@ -1645,6 +1970,10 @@ impl World {
         // keeps the per-step cost allocation-free, and a freelist — not a
         // single slot — because effect dispatch can re-enter stepping).
         let mut buf = EffectBuf::with_storage(self.mig_fx_pool.pop().unwrap_or_default());
+        let task = self
+            .migrations
+            .get_mut(&mig)
+            .expect("checked above, not removed since");
         let plan = {
             let (lo, hi) = if src < dst { (src, dst) } else { (dst, src) };
             let (left, right) = self.hosts.split_at_mut(hi);
@@ -1790,7 +2119,11 @@ impl World {
             ..
         } = task;
         self.migrating.remove(&pid);
+        self.stalled_migs.remove(&mig);
         self.admission.release(mig);
+        if let Some(m) = &mut self.monitor {
+            m.on_transfer(self.sched.now(), pid, src, dst);
+        }
 
         // Move the application object; replace the process with the restored
         // one. The source keeps nothing (no residual dependencies).
@@ -1919,12 +2252,29 @@ impl World {
                 .router
                 .inbound_into(now, from, bytes, &mut self.rng, &mut arrivals)
             {
-                Ok(()) => self.schedule_broadcast(&arrivals, seg),
+                Ok(()) => {
+                    // A partition cuts the fan-out at the cut: recipients on
+                    // the far side never hear the frame (TCP retransmits
+                    // carry the data across once the partition heals).
+                    if !self.partitions.is_empty() {
+                        arrivals.retain(|&(node, _)| {
+                            self.host_by_node(node)
+                                .is_none_or(|h| !self.partitioned(host, h))
+                        });
+                    }
+                    self.schedule_broadcast(&arrivals, seg);
+                }
                 Err(e) => self.note_route_error(now, e),
             }
             self.arrival_buf = arrivals;
         } else if let Some(client) = route.client_host() {
             // Server → client, unicast through the router.
+            let cut = self
+                .host_by_node(client)
+                .is_some_and(|h| self.partitioned(host, h));
+            if cut {
+                return;
+            }
             match self
                 .router
                 .outbound(now, from, client, bytes, &mut self.rng)
@@ -1940,7 +2290,10 @@ impl World {
             }
         } else if route.is_local() {
             if let Some(dest) = route.local_host() {
-                if self.switch.is_attached(dest) {
+                let cut = self
+                    .host_by_node(dest)
+                    .is_some_and(|h| self.partitioned(host, h));
+                if !cut && self.switch.is_attached(dest) {
                     if let Some(at) = self.switch.unicast(now, from, dest, bytes, &mut self.rng) {
                         if let Some(h) = self.host_by_node(dest) {
                             self.sched
@@ -2033,6 +2386,28 @@ impl World {
             log.push(format!("{}us route-error {}", now.as_micros(), err));
         }
     }
+}
+
+/// When a timed chaos window closes: `for_us == 0` means "until further
+/// notice" (the window never expires on its own), mirroring the permanent
+/// form of [`Fault::Partition`].
+fn chaos_until(now: SimTime, for_us: u64) -> SimTime {
+    if for_us == 0 {
+        SimTime(u64::MAX)
+    } else {
+        now + for_us
+    }
+}
+
+/// The inert stand-in app installed on a destination that commits a stale
+/// copy during a fence-disabled split-brain window (see
+/// [`World::finish_abort`]'s `RestoredOnSource` arm). It never ticks — the
+/// duplicate exists so ownership accounting (and the invariant monitor) can
+/// see it, not so it can do work.
+struct OrphanApp;
+
+impl App for OrphanApp {
+    fn on_tick(&mut self, _ctx: &mut AppCtx<'_>) {}
 }
 
 /// Compact one-line rendering of a migration effect for the optional effect

@@ -150,6 +150,12 @@ pub enum AbortReason {
     /// the drain rate for N consecutive rounds, so freezing would mean an
     /// unbounded freeze payload. The source keeps running instead.
     NonConverging,
+    /// The destination refused to resume the process because the
+    /// migration's ownership epoch is stale: its reservation lease expired
+    /// or a newer epoch for the same pid was witnessed (e.g. after a
+    /// partition heal). Fencing the restore is what guarantees at most one
+    /// live copy per pid.
+    FencedStaleEpoch,
 }
 
 impl AbortReason {
@@ -165,6 +171,7 @@ impl AbortReason {
             AbortReason::NodeDetached => "node detached",
             AbortReason::Overloaded => "overloaded",
             AbortReason::NonConverging => "precopy not converging",
+            AbortReason::FencedStaleEpoch => "fenced stale epoch",
         }
     }
 }

@@ -203,6 +203,10 @@ pub struct MigrationEngine {
     src_jiffies_at_detach: Jiffies,
     /// Overload protection (deadline + convergence guard), off by default.
     pub guard: OverloadGuard,
+    /// Ownership epoch of the conductor negotiation that started this
+    /// migration; `0` means manually initiated (no negotiation, so restore
+    /// fencing does not apply). See `dvelm-lb`'s epoch/lease protocol.
+    pub epoch: u64,
     /// When the first step ran (the deadline's epoch).
     started_at: Option<SimTime>,
     /// Consecutive precopy rounds whose dirty diff did not shrink.
@@ -242,6 +246,7 @@ impl MigrationEngine {
             src_self_rules: Vec::new(),
             src_jiffies_at_detach: Jiffies(0),
             guard: OverloadGuard::DISABLED,
+            epoch: 0,
             started_at: None,
             stagnant_rounds: 0,
             last_round_bytes: None,

@@ -192,6 +192,13 @@ pub fn run_flow_sim(cfg: &FlowSimConfig) -> FlowSimResult {
                 LbEffect::StartMigration { pid, dest, .. } => {
                     started.push((src, pid, dest.0 as usize));
                 }
+                // The instantaneous bus never stalls a transfer long enough
+                // for the sender's lease-expiry cancel to fire; if one does,
+                // the flow model just records the failure on the sender.
+                LbEffect::CancelMigration { .. } => {
+                    let out = conductors[src].on_migration_finished(now, false);
+                    queue.extend(out.into_iter().map(|a| (src, a)));
+                }
             }
         }
     }

@@ -22,6 +22,11 @@ pub struct FreezeBenchConfig {
     pub repetitions: usize,
     /// Base RNG seed (each repetition derives its own).
     pub seed: u64,
+    /// Run with the invariant monitor enabled. The monitor observes the
+    /// effect stream without scheduling events or drawing randomness, so
+    /// every measurement must be byte-identical either way — asserted by
+    /// `tests/determinism_replay.rs`.
+    pub monitored: bool,
 }
 
 impl Default for FreezeBenchConfig {
@@ -31,6 +36,7 @@ impl Default for FreezeBenchConfig {
             strategy: Strategy::IncrementalCollective,
             repetitions: 3,
             seed: 7,
+            monitored: false,
         }
     }
 }
@@ -57,6 +63,9 @@ fn one_run(cfg: &FreezeBenchConfig, rep: usize) -> MigrationReport {
         ..WorldConfig::default()
     };
     let mut w = World::new(wcfg);
+    if cfg.monitored {
+        w.enable_monitor();
+    }
     let n0 = w.add_server_node();
     let n1 = w.add_server_node();
     let db_host = w.add_database_host();
@@ -88,6 +97,14 @@ fn one_run(cfg: &FreezeBenchConfig, rep: usize) -> MigrationReport {
     w.run_for(2 * SECOND);
     assert_eq!(w.active_migrations(), 0, "migration must have completed");
     assert_eq!(w.host_of(zone_pid), Some(n1));
+    if cfg.monitored {
+        w.monitor_sweep();
+        assert!(
+            w.violations().is_empty(),
+            "fault-free freeze bench must hold every invariant: {:?}",
+            w.violations()
+        );
+    }
     w.reports.pop().expect("one report")
 }
 
@@ -125,6 +142,7 @@ mod tests {
             strategy,
             repetitions: 1,
             seed: 11,
+            monitored: false,
         })
     }
 

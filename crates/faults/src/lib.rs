@@ -18,15 +18,79 @@
 //!   past its deadline and is aborted by the orchestrator;
 //! * [`Fault::CaptureInstallFail`] / [`Fault::RestoreFail`] — the
 //!   destination kernel refuses a capture hook / socket rehash;
-//! * [`Fault::CtrlBlackout`] — a node's conductor stops hearing control
-//!   messages (heartbeats, negotiation) for a while;
+//! * [`Fault::CtrlBlackout`] — a node's conductor goes dark on control
+//!   messages (heartbeats, negotiation) for a while, in an explicit
+//!   [`CtrlDir`]: inbound, outbound, or both;
 //! * [`Fault::Overload`] — a traffic surge multiplies the tick (and hence
 //!   send/dirty) rate of everything on a host, driving capture queues,
-//!   precopy convergence and the admission path into their budgets.
+//!   precopy convergence and the admission path into their budgets;
+//! * [`Fault::Partition`] — a network partition: control *and* data
+//!   traffic between two [`HostSet`] groups is dropped until the heal;
+//! * [`Fault::CtrlLoss`] / [`Fault::CtrlDup`] / [`Fault::CtrlReorder`] —
+//!   unreliable control delivery: `LbMsg` frames are probabilistically
+//!   dropped, duplicated, or delayed out of order via the world's seeded
+//!   RNG, exercising the conductor protocol's idempotency and
+//!   epoch-fencing guarantees.
 
 use dvelm_net::LossModel;
 use dvelm_proc::Pid;
 use dvelm_sim::SimTime;
+
+/// A set of host indices as a bitmask — `Copy`, so [`Fault`] stays plain
+/// data. Capacity is 128 hosts; partition scenarios live well below the
+/// bench harness's largest cells, which never inject partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostSet(pub u128);
+
+impl HostSet {
+    /// The empty set.
+    pub const EMPTY: HostSet = HostSet(0);
+
+    /// Build a set from host indices. Panics if an index is ≥ 128 (the
+    /// bitmask capacity).
+    pub fn of(hosts: &[usize]) -> HostSet {
+        let mut bits = 0u128;
+        for &h in hosts {
+            assert!(h < 128, "HostSet capacity is 128 hosts, got index {h}");
+            bits |= 1 << h;
+        }
+        HostSet(bits)
+    }
+
+    /// Whether `host` is in the set (indices ≥ 128 are never members).
+    pub fn contains(self, host: usize) -> bool {
+        host < 128 && self.0 & (1 << host) != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Which direction of a control blackout is suppressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlDir {
+    /// The host's conductor hears nothing (its own sends still leave).
+    Inbound,
+    /// The host's conductor's own broadcasts/unicasts are swallowed; it
+    /// still hears its peers.
+    Outbound,
+    /// Full blackout, both directions.
+    Both,
+}
+
+impl CtrlDir {
+    /// Whether inbound control delivery is suppressed.
+    pub fn blocks_inbound(self) -> bool {
+        matches!(self, CtrlDir::Inbound | CtrlDir::Both)
+    }
+
+    /// Whether outbound control delivery is suppressed.
+    pub fn blocks_outbound(self) -> bool {
+        matches!(self, CtrlDir::Outbound | CtrlDir::Both)
+    }
+}
 
 /// One injectable fault. Hosts are named by their index in the world's host
 /// table (the same indices `World::add_server_node` hands out).
@@ -51,8 +115,37 @@ pub enum Fault {
     /// The host's kernel refuses the next socket rehash, so a migration
     /// restoring onto this destination falls back to its source.
     RestoreFail { host: usize },
-    /// The host's conductor hears no control messages for `for_us` µs.
-    CtrlBlackout { host: usize, for_us: u64 },
+    /// The host's conductor goes dark on control messages for `for_us` µs,
+    /// in the given [`CtrlDir`]: inbound (requests are swallowed before the
+    /// conductor sees them), outbound (its own heartbeats and replies never
+    /// leave the host), or both.
+    CtrlBlackout {
+        host: usize,
+        dir: CtrlDir,
+        for_us: u64,
+    },
+    /// A network partition: every frame — control *and* data — crossing
+    /// between `groups[0]` and `groups[1]` is dropped for `for_us` µs, then
+    /// the partition heals (`for_us == 0` leaves it in place forever).
+    /// Traffic *within* a group, and to/from hosts in neither group, is
+    /// unaffected; overlapping partitions compose (a frame is dropped if
+    /// any active partition separates its endpoints).
+    Partition { groups: [HostSet; 2], for_us: u64 },
+    /// Unreliable control delivery: each scheduled `LbMsg` delivery is
+    /// dropped with probability `pct`/100 (seeded RNG) for `for_us` µs.
+    CtrlLoss { pct: u32, for_us: u64 },
+    /// Unreliable control delivery: each scheduled `LbMsg` delivery is
+    /// duplicated with probability `pct`/100 for `for_us` µs; the duplicate
+    /// arrives a seeded 1–2000 µs after the original.
+    CtrlDup { pct: u32, for_us: u64 },
+    /// Unreliable control delivery: each scheduled `LbMsg` delivery is
+    /// delayed by a seeded 1–`max_extra_us` extra µs with probability
+    /// `pct`/100 for `for_us` µs, reordering it behind later sends.
+    CtrlReorder {
+        pct: u32,
+        max_extra_us: u64,
+        for_us: u64,
+    },
     /// Traffic surge: every client/application flow hosted on `host` ticks
     /// `factor`× faster for `for_us` µs, multiplying its send rate and
     /// dirty rate (a flash crowd hitting a zone). `factor <= 1` restores
@@ -75,6 +168,10 @@ impl Fault {
             Fault::RestoreFail { .. } => "restore fail",
             Fault::CtrlBlackout { .. } => "control blackout",
             Fault::Overload { .. } => "overload",
+            Fault::Partition { .. } => "partition",
+            Fault::CtrlLoss { .. } => "control loss",
+            Fault::CtrlDup { .. } => "control duplication",
+            Fault::CtrlReorder { .. } => "control reorder",
         }
     }
 }
@@ -145,6 +242,7 @@ mod tests {
                 SimTime::from_secs(1),
                 Fault::CtrlBlackout {
                     host: 0,
+                    dir: CtrlDir::Both,
                     for_us: 1_000,
                 },
             );
@@ -184,5 +282,54 @@ mod tests {
             .label(),
             "overload"
         );
+        assert_eq!(
+            Fault::Partition {
+                groups: [HostSet::of(&[0, 1]), HostSet::of(&[2])],
+                for_us: 0
+            }
+            .label(),
+            "partition"
+        );
+        assert_eq!(
+            Fault::CtrlLoss { pct: 10, for_us: 0 }.label(),
+            "control loss"
+        );
+        assert_eq!(
+            Fault::CtrlDup { pct: 10, for_us: 0 }.label(),
+            "control duplication"
+        );
+        assert_eq!(
+            Fault::CtrlReorder {
+                pct: 10,
+                max_extra_us: 1_000,
+                for_us: 0
+            }
+            .label(),
+            "control reorder"
+        );
+    }
+
+    #[test]
+    fn host_set_membership_and_bounds() {
+        let set = HostSet::of(&[0, 3, 127]);
+        assert!(set.contains(0));
+        assert!(!set.contains(1));
+        assert!(set.contains(3));
+        assert!(set.contains(127));
+        // Out-of-capacity indices are simply never members.
+        assert!(!set.contains(128));
+        assert!(!set.contains(usize::MAX));
+        assert!(HostSet::EMPTY.is_empty());
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn ctrl_dir_direction_predicates() {
+        assert!(CtrlDir::Inbound.blocks_inbound());
+        assert!(!CtrlDir::Inbound.blocks_outbound());
+        assert!(!CtrlDir::Outbound.blocks_inbound());
+        assert!(CtrlDir::Outbound.blocks_outbound());
+        assert!(CtrlDir::Both.blocks_inbound());
+        assert!(CtrlDir::Both.blocks_outbound());
     }
 }

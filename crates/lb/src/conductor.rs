@@ -6,6 +6,37 @@
 //! location + selection policies), run the receiver side of the two-phase
 //! commit, and instrument the migration daemon (`migd`) — here represented
 //! by the [`LbEffect::StartMigration`] output.
+//!
+//! # Epoch/lease ownership protocol
+//!
+//! The 2-phase commit assumes nothing about the network: control messages
+//! may be lost, duplicated, reordered, or cut off by a partition. Safety
+//! (never two live copies of one pid) rests on three rules:
+//!
+//! * **Epochs** — every negotiation for a pid carries an epoch from
+//!   [`Conductor::next_epoch`]: one more than the highest epoch this node
+//!   has ever witnessed for that pid (proposal and witness share one fence
+//!   table, so epochs are monotone per pid across retries *and* across
+//!   ownership transfers — a receiver witnesses the epoch it accepts, so
+//!   when it later initiates as the owner it proposes a strictly larger
+//!   one). Handlers reject any message carrying an epoch at or below the
+//!   fence unless it matches their current negotiation exactly, which
+//!   makes every arm idempotent under duplication and safe under
+//!   reordering.
+//! * **Leases** — an accept reserves the receiver only until
+//!   `now + lease_us`. On sender silence (lost accept, partition, sender
+//!   death) the reservation expires on its own and the receiver returns to
+//!   `Idle`; symmetrically, the sender only force-cancels a wedged
+//!   transfer ([`LbEffect::CancelMigration`]) once both the migration
+//!   timeout *and* the lease have run out, so there is no instant at which
+//!   the sender has given up while the destination may still legitimately
+//!   resume the process.
+//! * **Fencing** — before the runtime resumes a migrated process on the
+//!   destination it asks the destination's conductor
+//!   [`Conductor::restore_allowed`]: the restore proceeds only under a
+//!   live, epoch-matching reservation. A stale transfer surfacing after a
+//!   partition heal is refused (`AbortReason::FencedStaleEpoch` in the
+//!   runtime) and the process stays where its lease says it lives.
 
 use crate::info::{LoadInfo, LOAD_INFO_BYTES};
 use crate::peers::PeerDb;
@@ -14,8 +45,11 @@ use crate::spanning::{tree_children, Dissemination};
 use dvelm_net::NodeId;
 use dvelm_proc::Pid;
 use dvelm_sim::SimTime;
+use std::collections::BTreeMap;
 
-/// Conductor-to-conductor messages.
+/// Conductor-to-conductor messages. Migration-protocol messages carry the
+/// pid and ownership epoch they belong to, so every handler can tell a live
+/// negotiation from a duplicated or reordered stale one.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LbMsg {
     /// Discovery probe broadcast at startup.
@@ -27,15 +61,22 @@ pub enum LbMsg {
     /// Two-phase commit, phase one: "may I migrate this process to you?"
     MigRequest {
         pid: Pid,
+        epoch: u64,
         share: f64,
         sender_load: f64,
     },
-    /// Accept (reserves the receiver).
-    MigAccept,
-    /// Reject.
-    MigReject,
-    /// Migration finished (releases the receiver into calm-down).
-    MigDone { success: bool },
+    /// Accept: reserves the receiver for this (pid, epoch) until
+    /// `lease_until`.
+    MigAccept {
+        pid: Pid,
+        epoch: u64,
+        lease_until: SimTime,
+    },
+    /// Reject the identified negotiation.
+    MigReject { pid: Pid, epoch: u64 },
+    /// Migration finished (releases the receiver into calm-down, if it
+    /// still holds the matching reservation).
+    MigDone { pid: Pid, epoch: u64, success: bool },
     /// Graceful leave.
     Leave,
 }
@@ -45,8 +86,10 @@ impl LbMsg {
     pub fn wire_bytes(&self) -> u64 {
         match self {
             LbMsg::Hello(_) | LbMsg::HelloReply(_) | LbMsg::Heartbeat(_) => LOAD_INFO_BYTES,
-            LbMsg::MigRequest { .. } => 40,
-            LbMsg::MigAccept | LbMsg::MigReject | LbMsg::MigDone { .. } | LbMsg::Leave => 16,
+            LbMsg::MigRequest { .. } => 48,
+            LbMsg::MigAccept { .. } => 40,
+            LbMsg::MigReject { .. } | LbMsg::MigDone { .. } => 32,
+            LbMsg::Leave => 16,
         }
     }
 }
@@ -98,11 +141,21 @@ pub enum LbEffect {
     /// Unicast to one peer.
     Send(NodeId, LbMsg),
     /// Hand the process to the migration daemon, destination decided.
+    /// `epoch` is the negotiation's ownership epoch; the daemon threads it
+    /// through to the restore fence on the destination.
     StartMigration {
         pid: Pid,
         dest: NodeId,
         prefer: StrategyPreference,
+        epoch: u64,
     },
+    /// Tell the migration daemon to abort the in-flight migration of
+    /// `pid` (epoch-matched): both the migration timeout and the
+    /// destination's lease have expired, so the destination can no longer
+    /// legitimately resume the process. The conductor stays in `Sending`
+    /// until the daemon reports back through
+    /// [`Conductor::on_migration_finished`].
+    CancelMigration { pid: Pid, epoch: u64 },
 }
 
 /// Migration-protocol state of a conductor.
@@ -114,17 +167,28 @@ pub enum ConductorPhase {
     AwaitingAccept {
         dest: NodeId,
         pid: Pid,
+        epoch: u64,
         since: SimTime,
     },
-    /// Sender side of a running migration.
+    /// Sender side of a running migration. `lease_until` is the
+    /// destination's reservation deadline, echoed back in its accept.
     Sending {
         dest: NodeId,
         pid: Pid,
+        epoch: u64,
         since: SimTime,
+        lease_until: SimTime,
     },
     /// Receiver side of a running migration (reserved by the 2-phase
-    /// commit; accepts no second migration).
-    Receiving { from: NodeId, since: SimTime },
+    /// commit; accepts no second migration). The reservation is a lease:
+    /// it expires at `lease_until` if the sender goes silent.
+    Receiving {
+        from: NodeId,
+        pid: Pid,
+        epoch: u64,
+        since: SimTime,
+        lease_until: SimTime,
+    },
     /// Stabilizing after a migration; initiates and accepts nothing.
     CalmDown { until: SimTime },
 }
@@ -149,6 +213,9 @@ pub struct LbStats {
     pub deferred_promoted: u64,
     /// Deferred intents shed because the bounded queue overflowed.
     pub deferred_shed: u64,
+    /// Receiver-side reservations that expired on sender silence (lost
+    /// accept, partition, sender death) before a matching `MigDone`.
+    pub leases_expired: u64,
 }
 
 /// A failed migration waiting for its backoff to elapse.
@@ -193,6 +260,11 @@ pub struct Conductor {
     /// Migration intents waiting for a destination to drain below the
     /// admission high-water mark. Bounded by `cfg.max_deferred`.
     deferred: Vec<Deferred>,
+    /// Highest ownership epoch witnessed per pid — proposals and received
+    /// messages both raise it (one table serves as proposal counter *and*
+    /// fence, see the module docs). Messages at or below the fence that do
+    /// not match the current negotiation are stale.
+    fence: BTreeMap<Pid, u64>,
 }
 
 impl Conductor {
@@ -209,6 +281,7 @@ impl Conductor {
             blacklist: Vec::new(),
             retry: None,
             deferred: Vec::new(),
+            fence: BTreeMap::new(),
         }
     }
 
@@ -220,6 +293,46 @@ impl Conductor {
     /// Counters.
     pub fn stats(&self) -> LbStats {
         self.stats
+    }
+
+    /// Highest ownership epoch witnessed for `pid` (0 if never seen).
+    pub fn fence_of(&self, pid: Pid) -> u64 {
+        self.fence.get(&pid).copied().unwrap_or(0)
+    }
+
+    /// Propose the next ownership epoch for `pid` and raise the fence to
+    /// it, so a duplicated echo of this very proposal is already stale and
+    /// every later proposal is strictly larger.
+    fn next_epoch(&mut self, pid: Pid) -> u64 {
+        let e = self.fence_of(pid) + 1;
+        self.fence.insert(pid, e);
+        e
+    }
+
+    /// Raise the fence for `pid` to at least `epoch`.
+    fn witness_epoch(&mut self, pid: Pid, epoch: u64) {
+        let f = self.fence.entry(pid).or_insert(0);
+        if epoch > *f {
+            *f = epoch;
+        }
+    }
+
+    /// Restore fence: may the runtime resume `pid` here under `epoch`?
+    /// True only while this conductor holds the matching `Receiving`
+    /// reservation and its lease is still live — a transfer surfacing
+    /// after its lease expired (or after a newer negotiation superseded
+    /// it) must be refused, or a partition heal could yield two live
+    /// copies.
+    pub fn restore_allowed(&self, pid: Pid, epoch: u64, now: SimTime) -> bool {
+        matches!(
+            self.phase,
+            ConductorPhase::Receiving {
+                pid: p,
+                epoch: e,
+                lease_until,
+                ..
+            } if p == pid && e == epoch && now <= lease_until
+        )
     }
 
     /// Destinations currently embargoed after failed migrations.
@@ -329,10 +442,29 @@ impl Conductor {
             {
                 self.phase = ConductorPhase::Idle;
             }
-            ConductorPhase::Sending { since, .. } | ConductorPhase::Receiving { since, .. }
-                if now.saturating_since(since) > self.cfg.migration_timeout_us =>
-            {
+            // Receiver lease expiry: the sender went silent (lost accept,
+            // partition, death) — the reservation dissolves on its own.
+            ConductorPhase::Receiving { lease_until, .. } if now > lease_until => {
+                self.stats.leases_expired += 1;
                 self.phase = ConductorPhase::Idle;
+            }
+            // Sender force-cancel: only once BOTH the migration timeout and
+            // the destination's lease have expired may the transfer be torn
+            // down — before the lease runs out the destination could still
+            // legitimately resume the process, and cancelling would race
+            // that restore. The phase stays `Sending`; the daemon's abort
+            // reports back through `on_migration_finished`, which performs
+            // the transition (and blacklist/retry bookkeeping).
+            ConductorPhase::Sending {
+                pid,
+                epoch,
+                since,
+                lease_until,
+                ..
+            } if now.saturating_since(since) > self.cfg.migration_timeout_us
+                && now > lease_until =>
+            {
+                effects.push(LbEffect::CancelMigration { pid, epoch });
             }
             ConductorPhase::CalmDown { until } if now >= until => {
                 self.phase = ConductorPhase::Idle;
@@ -358,9 +490,11 @@ impl Conductor {
                     let share = procs.iter().find(|(p, _)| *p == retry.pid).map(|(_, s)| *s);
                     match (dest, share) {
                         (Some(dest), Some(share)) => {
+                            let epoch = self.next_epoch(retry.pid);
                             self.phase = ConductorPhase::AwaitingAccept {
                                 dest,
                                 pid: retry.pid,
+                                epoch,
                                 since: now,
                             };
                             self.stats.retries += 1;
@@ -369,6 +503,7 @@ impl Conductor {
                                 dest,
                                 LbMsg::MigRequest {
                                     pid: retry.pid,
+                                    epoch,
                                     share,
                                     sender_load: local.cpu_pct,
                                 },
@@ -422,15 +557,18 @@ impl Conductor {
                     let d = self.deferred.remove(max_i);
                     self.stats.deferred_promoted += 1;
                     self.stats.requests_sent += 1;
+                    let epoch = self.next_epoch(d.pid);
                     self.phase = ConductorPhase::AwaitingAccept {
                         dest,
                         pid: d.pid,
+                        epoch,
                         since: now,
                     };
                     effects.push(LbEffect::Send(
                         dest,
                         LbMsg::MigRequest {
                             pid: d.pid,
+                            epoch,
                             share: d.share,
                             sender_load: local.cpu_pct,
                         },
@@ -467,9 +605,11 @@ impl Conductor {
                         &exclude,
                     ) {
                         Some(dest) => {
+                            let epoch = self.next_epoch(pid);
                             self.phase = ConductorPhase::AwaitingAccept {
                                 dest,
                                 pid,
+                                epoch,
                                 since: now,
                             };
                             self.stats.requests_sent += 1;
@@ -477,6 +617,7 @@ impl Conductor {
                                 dest,
                                 LbMsg::MigRequest {
                                     pid,
+                                    epoch,
                                     share,
                                     sender_load: local.cpu_pct,
                                 },
@@ -534,38 +675,157 @@ impl Conductor {
                     }
                 }
             }
-            LbMsg::MigRequest { .. } => {
+            LbMsg::MigRequest {
+                pid,
+                epoch,
+                share: _,
+                sender_load: _,
+            } => {
+                if let ConductorPhase::Receiving {
+                    from: f,
+                    pid: p,
+                    epoch: e,
+                    lease_until,
+                    ..
+                } = self.phase
+                {
+                    // Duplicate of the request that granted the current
+                    // reservation: re-send the same accept, touch nothing.
+                    if f == from && p == pid && e == epoch {
+                        return vec![LbEffect::Send(
+                            from,
+                            LbMsg::MigAccept {
+                                pid,
+                                epoch,
+                                lease_until,
+                            },
+                        )];
+                    }
+                    // A strictly newer epoch from the same sender for the
+                    // same pid supersedes the reservation it already holds
+                    // (its earlier accept was lost and it re-proposed):
+                    // re-grant under the new epoch with a fresh lease. No
+                    // counters — this is one logical reservation renewed,
+                    // not a second one granted.
+                    if f == from && p == pid && epoch > e {
+                        self.witness_epoch(pid, epoch);
+                        let lease_until = now + self.cfg.lease_us;
+                        self.phase = ConductorPhase::Receiving {
+                            from,
+                            pid,
+                            epoch,
+                            since: now,
+                            lease_until,
+                        };
+                        return vec![LbEffect::Send(
+                            from,
+                            LbMsg::MigAccept {
+                                pid,
+                                epoch,
+                                lease_until,
+                            },
+                        )];
+                    }
+                }
+                // Stale epoch: a duplicated or reordered leftover of an
+                // older negotiation. Echo a reject (idempotent — the sender
+                // only honours epoch-matching answers) without touching
+                // stats, so a duplicated trace leaves identical counters.
+                if epoch <= self.fence_of(pid) {
+                    return vec![LbEffect::Send(from, LbMsg::MigReject { pid, epoch })];
+                }
+                self.witness_epoch(pid, epoch);
                 // Receiver transfer policy: one migration at a time, not in
                 // calm-down, and genuinely below the cluster average.
                 let avg = self.peers.cluster_average(local.cpu_pct);
                 let accept = self.phase == ConductorPhase::Idle
                     && self.cfg.should_accept(local.cpu_pct, avg);
                 if accept {
-                    self.phase = ConductorPhase::Receiving { from, since: now };
+                    let lease_until = now + self.cfg.lease_us;
+                    self.phase = ConductorPhase::Receiving {
+                        from,
+                        pid,
+                        epoch,
+                        since: now,
+                        lease_until,
+                    };
                     self.stats.requests_accepted += 1;
-                    vec![LbEffect::Send(from, LbMsg::MigAccept)]
+                    vec![LbEffect::Send(
+                        from,
+                        LbMsg::MigAccept {
+                            pid,
+                            epoch,
+                            lease_until,
+                        },
+                    )]
                 } else {
                     self.stats.requests_rejected += 1;
-                    vec![LbEffect::Send(from, LbMsg::MigReject)]
+                    vec![LbEffect::Send(from, LbMsg::MigReject { pid, epoch })]
                 }
             }
-            LbMsg::MigAccept => match self.phase {
-                ConductorPhase::AwaitingAccept { dest, pid, since } if dest == from => {
-                    self.phase = ConductorPhase::Sending { dest, pid, since };
+            LbMsg::MigAccept {
+                pid,
+                epoch,
+                lease_until,
+            } => match self.phase {
+                ConductorPhase::AwaitingAccept {
+                    dest,
+                    pid: p,
+                    epoch: e,
+                    since,
+                } if dest == from && p == pid && e == epoch => {
+                    self.phase = ConductorPhase::Sending {
+                        dest,
+                        pid,
+                        epoch,
+                        since,
+                        lease_until,
+                    };
                     // Retries ask for one level less of socket-migration
                     // machinery per failed attempt.
                     let prefer = match self.retry {
                         Some(r) if r.pid == pid => StrategyPreference::for_attempt(r.failures + 1),
                         _ => StrategyPreference::Incremental,
                     };
-                    vec![LbEffect::StartMigration { pid, dest, prefer }]
+                    vec![LbEffect::StartMigration {
+                        pid,
+                        dest,
+                        prefer,
+                        epoch,
+                    }]
                 }
-                // Stale accept (we already timed out): release the receiver.
-                _ => vec![LbEffect::Send(from, LbMsg::MigDone { success: false })],
+                // Duplicate of the accept that started the current
+                // transfer: ignore (the old catch-all replied
+                // `MigDone { success: false }` here, which would have
+                // released the receiver mid-migration).
+                ConductorPhase::Sending {
+                    dest,
+                    pid: p,
+                    epoch: e,
+                    ..
+                } if dest == from && p == pid && e == epoch => Vec::new(),
+                // Stale accept (we already timed out, or a newer epoch
+                // superseded it): release exactly the reservation it names.
+                // The receiver ignores the release unless it still holds
+                // that (pid, epoch), so duplicates are harmless.
+                _ => vec![LbEffect::Send(
+                    from,
+                    LbMsg::MigDone {
+                        pid,
+                        epoch,
+                        success: false,
+                    },
+                )],
             },
-            LbMsg::MigReject => {
-                if let ConductorPhase::AwaitingAccept { dest, pid, .. } = self.phase {
-                    if dest == from {
+            LbMsg::MigReject { pid, epoch } => {
+                if let ConductorPhase::AwaitingAccept {
+                    dest,
+                    pid: p,
+                    epoch: e,
+                    ..
+                } = self.phase
+                {
+                    if dest == from && p == pid && e == epoch {
                         self.phase = ConductorPhase::Idle;
                         // A rejected retry waits a flat base backoff before
                         // asking again — the rejection is the receiver's
@@ -582,9 +842,19 @@ impl Conductor {
                 }
                 Vec::new()
             }
-            LbMsg::MigDone { success } => {
-                if let ConductorPhase::Receiving { from: f, .. } = self.phase {
-                    if f == from {
+            LbMsg::MigDone {
+                pid,
+                epoch,
+                success,
+            } => {
+                if let ConductorPhase::Receiving {
+                    from: f,
+                    pid: p,
+                    epoch: e,
+                    ..
+                } = self.phase
+                {
+                    if f == from && p == pid && e == epoch {
                         if success {
                             self.stats.migrations_completed += 1;
                         }
@@ -610,7 +880,10 @@ impl Conductor {
     /// or — once `retry_max_attempts` attempts failed — abandons the
     /// migration and calms down.
     pub fn on_migration_finished(&mut self, now: SimTime, success: bool) -> Vec<LbEffect> {
-        if let ConductorPhase::Sending { dest, pid, .. } = self.phase {
+        if let ConductorPhase::Sending {
+            dest, pid, epoch, ..
+        } = self.phase
+        {
             if success {
                 self.stats.migrations_completed += 1;
                 if self.retry.map(|r| r.pid) == Some(pid) {
@@ -641,7 +914,14 @@ impl Conductor {
                     self.phase = ConductorPhase::Idle;
                 }
             }
-            vec![LbEffect::Send(dest, LbMsg::MigDone { success })]
+            vec![LbEffect::Send(
+                dest,
+                LbMsg::MigDone {
+                    pid,
+                    epoch,
+                    success,
+                },
+            )]
         } else {
             Vec::new()
         }
@@ -652,6 +932,15 @@ impl Conductor {
 mod tests {
     use super::*;
     use dvelm_sim::SECOND;
+
+    /// An accept as the receiver would send it: default lease from `at`.
+    fn accept(pid: Pid, epoch: u64, at: SimTime) -> LbMsg {
+        LbMsg::MigAccept {
+            pid,
+            epoch,
+            lease_until: at + PolicyConfig::default().lease_us,
+        }
+    }
 
     /// In-memory bus of conductors: delivers messages instantly.
     struct Bus {
@@ -709,7 +998,9 @@ mod tests {
                         let out = self.conds[i].on_msg(self.now, NodeId(src as u32), msg, li);
                         queue.extend(out.into_iter().map(|a| (i, a)));
                     }
-                    LbEffect::StartMigration { .. } => migrations.push(action),
+                    LbEffect::StartMigration { .. } | LbEffect::CancelMigration { .. } => {
+                        migrations.push(action)
+                    }
                 }
             }
             migrations
@@ -832,11 +1123,20 @@ mod tests {
     fn stale_accept_releases_receiver() {
         let mut c = Conductor::new(NodeId(0), PolicyConfig::default());
         let li = LoadInfo::new(NodeId(0), 50.0, 20, SimTime::from_secs(1));
-        // An accept arrives while we are Idle (we already gave up).
-        let out = c.on_msg(SimTime::from_secs(1), NodeId(1), LbMsg::MigAccept, li);
+        // An accept arrives while we are Idle (we already gave up). The
+        // release names exactly the reservation the accept carried.
+        let t = SimTime::from_secs(1);
+        let out = c.on_msg(t, NodeId(1), accept(Pid(5), 3, t), li);
         assert_eq!(
             out,
-            vec![LbEffect::Send(NodeId(1), LbMsg::MigDone { success: false })]
+            vec![LbEffect::Send(
+                NodeId(1),
+                LbMsg::MigDone {
+                    pid: Pid(5),
+                    epoch: 3,
+                    success: false
+                }
+            )]
         );
     }
 
@@ -921,22 +1221,31 @@ mod tests {
         let t1 = SimTime::from_secs(1);
         learn(&mut c, t1);
         let out = c.on_tick(t1, local(95.0, t1), &procs);
-        assert!(out
-            .iter()
-            .any(|e| matches!(e, LbEffect::Send(NodeId(1), LbMsg::MigRequest { .. }))));
-        let out = c.on_msg(t1, NodeId(1), LbMsg::MigAccept, local(95.0, t1));
+        assert!(out.iter().any(|e| matches!(
+            e,
+            LbEffect::Send(NodeId(1), LbMsg::MigRequest { epoch: 1, .. })
+        )));
+        let out = c.on_msg(t1, NodeId(1), accept(Pid(7), 1, t1), local(95.0, t1));
         assert_eq!(
             out,
             vec![LbEffect::StartMigration {
                 pid: Pid(7),
                 dest: NodeId(1),
                 prefer: StrategyPreference::Incremental,
+                epoch: 1,
             }]
         );
         let out = c.on_migration_finished(t1, false);
         assert_eq!(
             out,
-            vec![LbEffect::Send(NodeId(1), LbMsg::MigDone { success: false })]
+            vec![LbEffect::Send(
+                NodeId(1),
+                LbMsg::MigDone {
+                    pid: Pid(7),
+                    epoch: 1,
+                    success: false
+                }
+            )]
         );
         assert_eq!(c.phase(), ConductorPhase::Idle, "failure skips calm-down");
         assert_eq!(c.retry_pending(), Some(Pid(7)));
@@ -959,17 +1268,19 @@ mod tests {
         let t3 = t1 + cfg.retry_backoff_base_us;
         learn(&mut c, t3);
         let out = c.on_tick(t3, local(95.0, t3), &procs);
-        assert!(out
-            .iter()
-            .any(|e| matches!(e, LbEffect::Send(NodeId(2), LbMsg::MigRequest { .. }))));
+        assert!(out.iter().any(|e| matches!(
+            e,
+            LbEffect::Send(NodeId(2), LbMsg::MigRequest { epoch: 2, .. })
+        )));
         assert_eq!(c.stats().retries, 1);
-        let out = c.on_msg(t3, NodeId(2), LbMsg::MigAccept, local(95.0, t3));
+        let out = c.on_msg(t3, NodeId(2), accept(Pid(7), 2, t3), local(95.0, t3));
         assert_eq!(
             out,
             vec![LbEffect::StartMigration {
                 pid: Pid(7),
                 dest: NodeId(2),
                 prefer: StrategyPreference::Collective,
+                epoch: 2,
             }]
         );
         c.on_migration_finished(t3, false);
@@ -990,17 +1301,19 @@ mod tests {
         learn(&mut c, t5);
         c.peers.update(LoadInfo::new(NodeId(3), 40.0, 20, t5));
         let out = c.on_tick(t5, local(95.0, t5), &procs);
-        assert!(out
-            .iter()
-            .any(|e| matches!(e, LbEffect::Send(NodeId(3), LbMsg::MigRequest { .. }))));
+        assert!(out.iter().any(|e| matches!(
+            e,
+            LbEffect::Send(NodeId(3), LbMsg::MigRequest { epoch: 3, .. })
+        )));
         assert_eq!(c.stats().retries, 2);
-        let out = c.on_msg(t5, NodeId(3), LbMsg::MigAccept, local(95.0, t5));
+        let out = c.on_msg(t5, NodeId(3), accept(Pid(7), 3, t5), local(95.0, t5));
         assert_eq!(
             out,
             vec![LbEffect::StartMigration {
                 pid: Pid(7),
                 dest: NodeId(3),
                 prefer: StrategyPreference::Iterative,
+                epoch: 3,
             }]
         );
 
@@ -1020,7 +1333,7 @@ mod tests {
         let t1 = SimTime::from_secs(1);
         c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t1));
         c.on_tick(t1, local(t1), &procs);
-        c.on_msg(t1, NodeId(1), LbMsg::MigAccept, local(t1));
+        c.on_msg(t1, NodeId(1), accept(Pid(7), 1, t1), local(t1));
         c.on_migration_finished(t1, false);
 
         // Only peer is blacklisted: the due retry re-arms without burning an
@@ -1052,7 +1365,7 @@ mod tests {
         let t1 = SimTime::from_secs(1);
         c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t1));
         c.on_tick(t1, local(t1), &[(Pid(7), 10.0)]);
-        c.on_msg(t1, NodeId(1), LbMsg::MigAccept, local(t1));
+        c.on_msg(t1, NodeId(1), accept(Pid(7), 1, t1), local(t1));
         c.on_migration_finished(t1, false);
         assert_eq!(c.retry_pending(), Some(Pid(7)));
 
@@ -1075,7 +1388,7 @@ mod tests {
         let t1 = SimTime::from_secs(1);
         c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t1));
         c.on_tick(t1, local(t1), &procs);
-        c.on_msg(t1, NodeId(1), LbMsg::MigAccept, local(t1));
+        c.on_msg(t1, NodeId(1), accept(Pid(7), 1, t1), local(t1));
         c.on_migration_finished(t1, false);
 
         // Retry fires toward node2, which rejects.
@@ -1083,7 +1396,15 @@ mod tests {
         c.peers.update(LoadInfo::new(NodeId(2), 40.0, 20, t2));
         c.on_tick(t2, local(t2), &procs);
         assert!(matches!(c.phase(), ConductorPhase::AwaitingAccept { .. }));
-        c.on_msg(t2, NodeId(2), LbMsg::MigReject, local(t2));
+        c.on_msg(
+            t2,
+            NodeId(2),
+            LbMsg::MigReject {
+                pid: Pid(7),
+                epoch: 2,
+            },
+            local(t2),
+        );
         assert_eq!(c.phase(), ConductorPhase::Idle);
         assert_eq!(c.retry_pending(), Some(Pid(7)), "rejection keeps the retry");
         assert_eq!(c.stats().migrations_failed, 1, "a rejection is no failure");
@@ -1236,16 +1557,286 @@ mod tests {
         let t1 = SimTime::from_secs(1);
         c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t1));
         c.on_tick(t1, local(t1), &procs);
-        c.on_msg(t1, NodeId(1), LbMsg::MigAccept, local(t1));
+        c.on_msg(t1, NodeId(1), accept(Pid(7), 1, t1), local(t1));
         c.on_migration_finished(t1, false);
 
         let t2 = t1 + cfg.retry_backoff_base_us;
         c.peers.update(LoadInfo::new(NodeId(2), 40.0, 20, t2));
         c.on_tick(t2, local(t2), &procs);
-        c.on_msg(t2, NodeId(2), LbMsg::MigAccept, local(t2));
+        c.on_msg(t2, NodeId(2), accept(Pid(7), 2, t2), local(t2));
         c.on_migration_finished(t2, true);
         assert_eq!(c.retry_pending(), None);
         assert_eq!(c.stats().migrations_completed, 1);
         assert!(matches!(c.phase(), ConductorPhase::CalmDown { .. }));
+    }
+
+    // -----------------------------------------------------------------
+    // Idempotency under duplication / staleness, per `on_msg` arm.
+    // -----------------------------------------------------------------
+
+    /// A receiver at 40% load in a 75%-average cluster, ready to accept.
+    fn receiver() -> (Conductor, LoadInfo, SimTime) {
+        let mut c = Conductor::new(NodeId(2), PolicyConfig::default());
+        let t = SimTime::from_secs(1);
+        c.peers.update(LoadInfo::new(NodeId(0), 95.0, 20, t));
+        c.peers.update(LoadInfo::new(NodeId(1), 90.0, 20, t));
+        let local = LoadInfo::new(NodeId(2), 40.0, 20, t);
+        (c, local, t)
+    }
+
+    fn request(pid: Pid, epoch: u64) -> LbMsg {
+        LbMsg::MigRequest {
+            pid,
+            epoch,
+            share: 10.0,
+            sender_load: 95.0,
+        }
+    }
+
+    #[test]
+    fn dup_request_replays_same_accept_without_stats() {
+        let (mut c, local, t) = receiver();
+        let out1 = c.on_msg(t, NodeId(0), request(Pid(7), 1), local);
+        assert_eq!(c.stats().requests_accepted, 1);
+        let phase = c.phase();
+        // The network duplicates the request: the very same accept (same
+        // lease) is re-sent, and nothing else moves.
+        let out2 = c.on_msg(t + 50, NodeId(0), request(Pid(7), 1), local);
+        assert_eq!(out1, out2, "replayed accept is byte-identical");
+        assert_eq!(c.phase(), phase, "reservation untouched");
+        assert_eq!(c.stats().requests_accepted, 1, "no double count");
+        assert_eq!(c.stats().requests_rejected, 0);
+    }
+
+    #[test]
+    fn stale_request_is_rejected_without_stats() {
+        let (mut c, local, t) = receiver();
+        c.on_msg(t, NodeId(0), request(Pid(7), 3), local);
+        let stats = c.stats();
+        // A reordered leftover of an older negotiation for the same pid
+        // (epoch 2 < fence 3) from anyone: silent epoch-matched reject.
+        let out = c.on_msg(t + 50, NodeId(1), request(Pid(7), 2), local);
+        assert_eq!(
+            out,
+            vec![LbEffect::Send(
+                NodeId(1),
+                LbMsg::MigReject {
+                    pid: Pid(7),
+                    epoch: 2
+                }
+            )]
+        );
+        assert_eq!(c.stats(), stats, "stale traffic moves no counters");
+        assert!(matches!(c.phase(), ConductorPhase::Receiving { .. }));
+    }
+
+    #[test]
+    fn newer_epoch_from_same_sender_renews_reservation() {
+        let (mut c, local, t) = receiver();
+        c.on_msg(t, NodeId(0), request(Pid(7), 1), local);
+        // The accept was lost; the sender re-proposed under epoch 2. The
+        // reservation is renewed in place — one logical reservation, one
+        // accepted count.
+        let out = c.on_msg(t + 100, NodeId(0), request(Pid(7), 2), local);
+        let lease_until = t + 100 + PolicyConfig::default().lease_us;
+        assert_eq!(
+            out,
+            vec![LbEffect::Send(
+                NodeId(0),
+                LbMsg::MigAccept {
+                    pid: Pid(7),
+                    epoch: 2,
+                    lease_until,
+                }
+            )]
+        );
+        assert_eq!(c.stats().requests_accepted, 1);
+        assert!(c.restore_allowed(Pid(7), 2, t + 200));
+        assert!(!c.restore_allowed(Pid(7), 1, t + 200), "old epoch fenced");
+    }
+
+    /// Regression: a duplicated accept arriving mid-transfer used to hit
+    /// the stale catch-all and send `MigDone { success: false }`, releasing
+    /// the receiver while the migration was still running.
+    #[test]
+    fn dup_accept_during_sending_is_ignored() {
+        let cfg = PolicyConfig::default();
+        let mut c = Conductor::new(NodeId(0), cfg);
+        let local = |at: SimTime| LoadInfo::new(NodeId(0), 95.0, 20, at);
+        let t1 = SimTime::from_secs(1);
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t1));
+        c.on_tick(t1, local(t1), &[(Pid(7), 10.0)]);
+        let out = c.on_msg(t1, NodeId(1), accept(Pid(7), 1, t1), local(t1));
+        assert!(matches!(out[0], LbEffect::StartMigration { .. }));
+        // The duplicate: no effects at all, phase untouched.
+        let out = c.on_msg(t1 + 50, NodeId(1), accept(Pid(7), 1, t1), local(t1));
+        assert_eq!(out, Vec::new(), "duplicate accept must not release");
+        assert!(matches!(c.phase(), ConductorPhase::Sending { .. }));
+    }
+
+    #[test]
+    fn mismatched_reject_leaves_negotiation_running() {
+        let cfg = PolicyConfig::default();
+        let mut c = Conductor::new(NodeId(0), cfg);
+        let local = |at: SimTime| LoadInfo::new(NodeId(0), 95.0, 20, at);
+        let t1 = SimTime::from_secs(1);
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t1));
+        c.on_tick(t1, local(t1), &[(Pid(7), 10.0)]);
+        assert!(matches!(c.phase(), ConductorPhase::AwaitingAccept { .. }));
+        // A stale reject from an older epoch: ignored.
+        c.on_msg(
+            t1,
+            NodeId(1),
+            LbMsg::MigReject {
+                pid: Pid(7),
+                epoch: 0,
+            },
+            local(t1),
+        );
+        assert!(matches!(c.phase(), ConductorPhase::AwaitingAccept { .. }));
+        // The matching reject lands; a duplicate of it is then a no-op.
+        c.on_msg(
+            t1,
+            NodeId(1),
+            LbMsg::MigReject {
+                pid: Pid(7),
+                epoch: 1,
+            },
+            local(t1),
+        );
+        assert_eq!(c.phase(), ConductorPhase::Idle);
+        let stats = c.stats();
+        c.on_msg(
+            t1,
+            NodeId(1),
+            LbMsg::MigReject {
+                pid: Pid(7),
+                epoch: 1,
+            },
+            local(t1),
+        );
+        assert_eq!(c.phase(), ConductorPhase::Idle);
+        assert_eq!(c.stats(), stats);
+    }
+
+    #[test]
+    fn dup_done_is_idempotent_on_receiver() {
+        let (mut c, local, t) = receiver();
+        c.on_msg(t, NodeId(0), request(Pid(7), 1), local);
+        let done = LbMsg::MigDone {
+            pid: Pid(7),
+            epoch: 1,
+            success: true,
+        };
+        c.on_msg(t + 100, NodeId(0), done, local);
+        assert!(matches!(c.phase(), ConductorPhase::CalmDown { .. }));
+        assert_eq!(c.stats().migrations_completed, 1);
+        // Duplicate: completion is not counted twice, calm-down untouched.
+        let out = c.on_msg(t + 150, NodeId(0), done, local);
+        assert_eq!(out, Vec::new());
+        assert_eq!(c.stats().migrations_completed, 1);
+        // A done for a mismatched epoch while Receiving is equally inert.
+        let (mut c2, local2, t2) = receiver();
+        c2.on_msg(t2, NodeId(0), request(Pid(7), 1), local2);
+        c2.on_msg(
+            t2 + 100,
+            NodeId(0),
+            LbMsg::MigDone {
+                pid: Pid(7),
+                epoch: 9,
+                success: true,
+            },
+            local2,
+        );
+        assert!(matches!(c2.phase(), ConductorPhase::Receiving { .. }));
+        assert_eq!(c2.stats().migrations_completed, 0);
+    }
+
+    #[test]
+    fn receiver_lease_expires_on_sender_silence() {
+        let (mut c, local, t) = receiver();
+        let cfg = PolicyConfig::default();
+        c.on_msg(t, NodeId(0), request(Pid(7), 1), local);
+        assert!(c.restore_allowed(Pid(7), 1, t + cfg.lease_us));
+        // One tick past the lease: the reservation dissolves.
+        let t2 = t + cfg.lease_us + 1;
+        let li = LoadInfo::new(NodeId(2), 40.0, 20, t2);
+        c.on_tick(t2, li, &[]);
+        assert_eq!(c.phase(), ConductorPhase::Idle);
+        assert_eq!(c.stats().leases_expired, 1);
+        assert!(!c.restore_allowed(Pid(7), 1, t2), "expired lease fences");
+    }
+
+    #[test]
+    fn sender_cancels_only_after_timeout_and_lease() {
+        let cfg = PolicyConfig::default();
+        let mut c = Conductor::new(NodeId(0), cfg);
+        let local = |at: SimTime| LoadInfo::new(NodeId(0), 95.0, 20, at);
+        let t1 = SimTime::from_secs(1);
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t1));
+        c.on_tick(t1, local(t1), &[(Pid(7), 10.0)]);
+        c.on_msg(t1, NodeId(1), accept(Pid(7), 1, t1), local(t1));
+        assert!(matches!(c.phase(), ConductorPhase::Sending { .. }));
+
+        // Past the migration timeout but inside the lease: no cancel — the
+        // destination could still legitimately resume the process.
+        let t2 = t1 + cfg.migration_timeout_us + SECOND;
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t2));
+        let out = c.on_tick(t2, local(t2), &[(Pid(7), 10.0)]);
+        assert!(
+            !out.iter()
+                .any(|e| matches!(e, LbEffect::CancelMigration { .. })),
+            "lease still live: {out:?}"
+        );
+
+        // Past both: the cancel fires, and the phase stays Sending until
+        // the daemon reports back.
+        let t3 = t1 + cfg.lease_us + SECOND;
+        c.peers.update(LoadInfo::new(NodeId(1), 40.0, 20, t3));
+        let out = c.on_tick(t3, local(t3), &[(Pid(7), 10.0)]);
+        assert!(out.iter().any(|e| matches!(
+            e,
+            LbEffect::CancelMigration {
+                pid: Pid(7),
+                epoch: 1
+            }
+        )));
+        assert!(matches!(c.phase(), ConductorPhase::Sending { .. }));
+        // The daemon aborts; the usual failure path runs.
+        c.on_migration_finished(t3, false);
+        assert_eq!(c.stats().migrations_failed, 1);
+        assert_eq!(c.retry_pending(), Some(Pid(7)));
+    }
+
+    #[test]
+    fn epochs_stay_monotone_across_ownership_transfer() {
+        let (mut c, local, t) = receiver();
+        // Accept pid 7 under epoch 5 (the sender had history with it).
+        c.on_msg(t, NodeId(0), request(Pid(7), 5), local);
+        assert_eq!(c.fence_of(Pid(7)), 5);
+        c.on_msg(
+            t + 100,
+            NodeId(0),
+            LbMsg::MigDone {
+                pid: Pid(7),
+                epoch: 5,
+                success: true,
+            },
+            local,
+        );
+        // This node now owns pid 7. When it later initiates a migration of
+        // it, the proposal must exceed every epoch it witnessed.
+        let t2 = t + PolicyConfig::default().calm_down_us + 2 * SECOND;
+        c.peers.update(LoadInfo::new(NodeId(0), 30.0, 20, t2));
+        c.peers.update(LoadInfo::new(NodeId(1), 30.0, 20, t2));
+        let li = LoadInfo::new(NodeId(2), 95.0, 20, t2);
+        let out = c.on_tick(t2, li, &[(Pid(7), 12.0)]);
+        let sent_epoch = out.iter().find_map(|e| match e {
+            LbEffect::Send(_, LbMsg::MigRequest { pid, epoch, .. }) if *pid == Pid(7) => {
+                Some(*epoch)
+            }
+            _ => None,
+        });
+        assert_eq!(sent_epoch, Some(6), "proposal = highest witnessed + 1");
     }
 }

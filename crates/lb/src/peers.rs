@@ -22,9 +22,17 @@ impl PeerDb {
         PeerDb::default()
     }
 
-    /// Record a heartbeat.
+    /// Record a heartbeat. Newest sample wins: under reordered control
+    /// delivery an older heartbeat may arrive after a fresher one, and it
+    /// must not clobber it (equal stamps overwrite, keeping the in-order
+    /// fast path unchanged).
     pub fn update(&mut self, info: LoadInfo) {
-        self.peers.insert(info.node, info);
+        match self.peers.get(&info.node) {
+            Some(existing) if info.at < existing.at => {}
+            _ => {
+                self.peers.insert(info.node, info);
+            }
+        }
     }
 
     /// Drop peers whose last heartbeat is older than `stale_us`. Returns the
@@ -89,6 +97,18 @@ mod tests {
         db.update(li(1, 70.0, 2));
         assert_eq!(db.len(), 1);
         assert_eq!(db.get(NodeId(1)).unwrap().cpu_pct, 70.0);
+    }
+
+    #[test]
+    fn reordered_older_sample_does_not_clobber_newer() {
+        let mut db = PeerDb::new();
+        db.update(li(1, 70.0, 2));
+        // A delayed heartbeat from t=1 arrives after the t=2 sample.
+        db.update(li(1, 50.0, 1));
+        assert_eq!(db.get(NodeId(1)).unwrap().cpu_pct, 70.0);
+        // Equal stamps overwrite (in-order fast path).
+        db.update(li(1, 55.0, 2));
+        assert_eq!(db.get(NodeId(1)).unwrap().cpu_pct, 55.0);
     }
 
     #[test]

@@ -34,8 +34,19 @@ pub struct PolicyConfig {
     /// Total attempts (first + retries) before a migration is abandoned.
     pub retry_max_attempts: u32,
     /// A destination involved in a failed migration is not chosen again for
-    /// this long, µs.
+    /// this long, µs (each failure counts once toward
+    /// `LbStats::migrations_failed`; the embargo itself is silent). The
+    /// default is 30 s — partition tests shorten it so a healed destination
+    /// becomes eligible again within the test window.
     pub blacklist_us: u64,
+    /// Ownership-lease duration, µs: a destination's `Receiving`
+    /// reservation (granted with `MigAccept`) expires this long after the
+    /// grant, releasing the receiver on sender silence; symmetrically the
+    /// sender only force-cancels a wedged transfer once both
+    /// `migration_timeout_us` *and* the lease have run out, so a
+    /// destination never resumes a process whose lease the sender already
+    /// considers dead. Must exceed `migration_timeout_us`.
+    pub lease_us: u64,
     /// A peer's load sample older than this many heartbeat periods is
     /// discarded for placement decisions — the node may have drifted
     /// arbitrarily far from the recorded value, so it is ineligible as a
@@ -66,6 +77,7 @@ impl Default for PolicyConfig {
             retry_backoff_base_us: 2 * SECOND,
             retry_max_attempts: 3,
             blacklist_us: 30 * SECOND,
+            lease_us: 15 * SECOND,
             load_fresh_factor: 2,
             dest_high_water: f64::INFINITY,
             max_deferred: 8,

@@ -64,6 +64,15 @@ impl Cluster {
                 LbEffect::StartMigration { dest, .. } => {
                     self.active_migrations.push((src, dest.0 as usize));
                 }
+                LbEffect::CancelMigration { .. } => {
+                    // The sender gave up (migration timeout + lease expiry):
+                    // the daemon aborts and reports failure.
+                    if let Some(idx) = self.active_migrations.iter().position(|(s, _)| *s == src) {
+                        self.active_migrations.swap_remove(idx);
+                    }
+                    let out = self.conds[src].on_migration_finished(self.now, false);
+                    queue.extend(out.into_iter().map(|a| (src, a)));
+                }
             }
         }
     }
@@ -204,6 +213,118 @@ proptest! {
             "the overloaded node never initiated: {:?}",
             cluster.active_migrations
         );
+    }
+}
+
+/// A recorded, valid control trace addressed to one conductor (node 2):
+/// discovery, gossip, a full migration it receives, and a competing request
+/// it turns down.
+fn valid_trace() -> Vec<(NodeId, LbMsg)> {
+    let t = SimTime::from_secs(1);
+    let li = |n: u32, cpu: f64| LoadInfo::new(NodeId(n), cpu, 20, t);
+    vec![
+        (NodeId(0), LbMsg::Hello(li(0, 95.0))),
+        (NodeId(1), LbMsg::Hello(li(1, 90.0))),
+        (NodeId(0), LbMsg::Heartbeat(li(0, 96.0))),
+        (NodeId(1), LbMsg::Heartbeat(li(1, 91.0))),
+        (
+            NodeId(0),
+            LbMsg::MigRequest {
+                pid: Pid(100),
+                epoch: 1,
+                share: 10.0,
+                sender_load: 96.0,
+            },
+        ),
+        (
+            NodeId(0),
+            LbMsg::MigDone {
+                pid: Pid(100),
+                epoch: 1,
+                success: true,
+            },
+        ),
+        (
+            NodeId(1),
+            LbMsg::MigRequest {
+                pid: Pid(200),
+                epoch: 1,
+                share: 9.0,
+                sender_load: 91.0,
+            },
+        ),
+        (NodeId(1), LbMsg::Heartbeat(li(1, 88.0))),
+        (NodeId(0), LbMsg::Leave),
+    ]
+}
+
+/// Messages whose relative order the shuffle must preserve: the migration
+/// protocol itself plus membership changes (Hello/Leave feed the admission
+/// decision's cluster average — losing a peer before its request arrives is
+/// a genuinely different world, not an equivalent reordering). Heartbeats
+/// float freely: newest-wins peer samples keep the decision stable.
+fn is_ordered(msg: &LbMsg) -> bool {
+    !matches!(msg, LbMsg::Heartbeat(_))
+}
+
+/// Deliver a trace to a fresh conductor (node 2, lightly loaded) at a fixed
+/// instant; return its final phase and stats.
+fn replay(trace: &[(NodeId, LbMsg)]) -> (ConductorPhase, dvelm_lb::LbStats) {
+    let mut c = Conductor::new(NodeId(2), PolicyConfig::default());
+    let t = SimTime::from_secs(1);
+    for (from, msg) in trace {
+        let li = LoadInfo::new(NodeId(2), 40.0, 20, t);
+        c.on_msg(t, *from, *msg, li);
+    }
+    (c.phase(), c.stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Satellite: duplicating any message and reordering gossip around the
+    /// migration protocol never changes where the conductor ends up.
+    /// Protocol and membership messages keep their relative order (the
+    /// protocol fences stale *epochs*, not arbitrary causality inversions
+    /// within one negotiation), but heartbeats float freely between them and
+    /// every message may be delivered again at any later point.
+    #[test]
+    fn duplicated_reordered_trace_converges(
+        keys in proptest::collection::vec(0u64..1_000_000, 9),
+        dups in proptest::collection::vec((0usize..9, 0usize..20), 0..8),
+    ) {
+        let trace = valid_trace();
+        let baseline = replay(&trace);
+
+        // Permute by random key, stable so equal keys keep input order.
+        let mut order: Vec<usize> = (0..trace.len()).collect();
+        order.sort_by_key(|&i| keys[i]);
+        // Restore the relative order of the ordered class: its slots stay
+        // where the shuffle put them, but the messages flow into those slots
+        // in original order.
+        let slots: Vec<usize> = (0..order.len())
+            .filter(|&s| is_ordered(&trace[order[s]].1))
+            .collect();
+        let mut msgs: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| is_ordered(&trace[i].1))
+            .collect();
+        msgs.sort_unstable();
+        for (slot, msg) in slots.into_iter().zip(msgs) {
+            order[slot] = msg;
+        }
+        let mut shuffled: Vec<(NodeId, LbMsg)> = order.iter().map(|&i| trace[i]).collect();
+
+        // Duplicate messages at arbitrary delivery points after (a copy of)
+        // the original.
+        for (orig, offset) in dups {
+            let pos = shuffled.iter().position(|m| *m == trace[orig]).unwrap();
+            let at = (pos + 1 + offset).min(shuffled.len());
+            shuffled.insert(at, trace[orig]);
+        }
+
+        prop_assert_eq!(replay(&shuffled), baseline);
     }
 }
 

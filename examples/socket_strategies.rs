@@ -26,6 +26,7 @@ fn main() {
             strategy,
             repetitions: 3,
             seed: 99,
+            monitored: false,
         });
         let rep = r
             .reports

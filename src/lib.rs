@@ -15,7 +15,8 @@
 //! | [`dvelm_ckpt`] | BLCR-style checkpoint/restart + incremental updates |
 //! | [`dvelm_migrate`] | **the contribution**: precopy live migration with iterative / collective / incremental-collective socket migration and packet-loss prevention |
 //! | [`dvelm_lb`] | decentralized conductor middleware (4 policies, 2-phase commit) |
-//! | [`dvelm_faults`] | scripted fault injection: crashes, loss bursts, install failures |
+//! | [`dvelm_faults`] | scripted fault injection: crashes, loss bursts, partitions, control-plane chaos |
+//! | [`dvelm_monitor`] | always-on invariant monitor: single ownership, no lost processes, capture budgets, epoch monotonicity |
 //! | [`dvelm_cluster`] | the runtime world wiring everything together |
 //! | [`dvelm_dve`] | the 10×10-zone, 10 000-client DVE workload |
 //! | [`dvelm_openarena`] | the OpenArena-like FPS workload (Fig. 4) |
@@ -32,6 +33,7 @@ pub use dvelm_faults as faults;
 pub use dvelm_lb as lb;
 pub use dvelm_metrics as metrics;
 pub use dvelm_migrate as migrate;
+pub use dvelm_monitor as monitor;
 pub use dvelm_net as net;
 pub use dvelm_openarena as openarena;
 pub use dvelm_proc as proc;
@@ -41,7 +43,7 @@ pub use dvelm_stack as stack;
 /// The commonly used surface of the library in one import.
 pub mod prelude {
     pub use dvelm_cluster::{App, AppCtx, MigrationOutcome, Recovery, World, WorldConfig};
-    pub use dvelm_faults::{Fault, FaultPlan};
+    pub use dvelm_faults::{CtrlDir, Fault, FaultPlan, HostSet};
     pub use dvelm_lb::{Conductor, LoadInfo, PolicyConfig};
     pub use dvelm_migrate::{CostModel, MigrationReport, Strategy};
     pub use dvelm_net::{Ip, NodeId, Port, SockAddr};

@@ -58,6 +58,7 @@ fn chaos_soak_holds_invariants() {
         xlate_gc_ttl_us: Some(10 * SECOND),
         ..WorldConfig::default()
     });
+    w.enable_monitor();
 
     // Five server nodes: three overloaded, two light. The doomed node (n4)
     // hosts sacrificial processes and dies mid-run.
@@ -116,6 +117,7 @@ fn chaos_soak_holds_invariants() {
             SimTime::from_secs(12),
             Fault::CtrlBlackout {
                 host: nodes[3],
+                dir: CtrlDir::Both,
                 for_us: 4 * SECOND,
             },
         )
@@ -208,6 +210,15 @@ fn chaos_soak_holds_invariants() {
                 "capture byte budget exceeded at step {step}: {stats:?}"
             );
         }
+
+        // Invariant 3: the always-on monitor's view agrees — exactly one
+        // owner per pid, nothing lost on an alive host, budgets respected.
+        w.monitor_sweep();
+        assert!(
+            w.violations().is_empty(),
+            "invariant monitor flagged the soak at step {step}: {:?}",
+            w.violations()
+        );
     }
 
     // The run saw real action: the crash fired, processes survived on the
@@ -239,4 +250,139 @@ fn chaos_soak_holds_invariants() {
     );
     // Per-world determinism: the same seed must reproduce the same world.
     assert_eq!(w.now(), last_now);
+}
+
+/// The partition-family soak (ISSUE 7): network partitions plus unreliable
+/// control delivery — loss, duplication, reordering — on top of live load
+/// balancing, with the epoch fence armed and the invariant monitor checked
+/// every 10 ms. No process may be lost or duplicated no matter how the
+/// control plane misbehaves, because no host dies in this run.
+#[test]
+fn partition_soak_holds_invariants() {
+    let mut w = World::new(WorldConfig {
+        seed: SOAK_SEED ^ 0x9a27,
+        admission: AdmissionConfig {
+            max_cluster_migrations: MIG_CAP,
+            max_node_migrations: 1,
+            max_inflight_image_bytes: 256 * 1024 * 1024,
+        },
+        capture_budget: CaptureBudget::bounded(CAPTURE_PACKETS, CAPTURE_BYTES),
+        ..WorldConfig::default()
+    });
+    w.enable_monitor();
+
+    let mut nodes = Vec::new();
+    let mut pids = Vec::new();
+    for n in 0..5 {
+        let node = w.add_server_node();
+        let (count, share) = match n {
+            0..=2 => (5, 16.0),
+            _ => (1, 6.0),
+        };
+        for i in 0..count {
+            pids.push(w.spawn_process(
+                node,
+                &format!("w{n}-{i}"),
+                16,
+                512,
+                Box::new(Worker {
+                    share,
+                    dirty: 20 + 7 * i,
+                }),
+            ));
+        }
+        nodes.push(node);
+    }
+
+    w.run_for(500 * MILLISECOND);
+    w.enable_load_balancing();
+
+    // Control-plane chaos from the start, partitions opening and healing
+    // while migrations are in flight. The second partition overlaps the
+    // first's heal, and a lossy+duplicating+reordering window spans both.
+    let plan = FaultPlan::new()
+        .at(
+            SimTime::from_secs(2),
+            Fault::CtrlLoss {
+                pct: 15,
+                for_us: 20 * SECOND,
+            },
+        )
+        .at(
+            SimTime::from_secs(2),
+            Fault::CtrlDup {
+                pct: 20,
+                for_us: 25 * SECOND,
+            },
+        )
+        .at(
+            SimTime::from_secs(2),
+            Fault::CtrlReorder {
+                pct: 20,
+                max_extra_us: 150_000,
+                for_us: 25 * SECOND,
+            },
+        )
+        .at(
+            SimTime::from_secs(5),
+            Fault::Partition {
+                groups: [
+                    HostSet::of(&[nodes[0], nodes[1]]),
+                    HostSet::of(&[nodes[2], nodes[3], nodes[4]]),
+                ],
+                for_us: 8 * SECOND,
+            },
+        )
+        .at(
+            SimTime::from_secs(11),
+            Fault::Partition {
+                groups: [HostSet::of(&[nodes[0], nodes[2]]), HostSet::of(&[nodes[4]])],
+                for_us: 6 * SECOND,
+            },
+        )
+        .at(
+            SimTime::from_secs(22),
+            Fault::Partition {
+                groups: [
+                    HostSet::of(&[nodes[0]]),
+                    HostSet::of(&[nodes[1], nodes[2], nodes[3], nodes[4]]),
+                ],
+                for_us: 5 * SECOND,
+            },
+        );
+    w.install_fault_plan(plan);
+
+    // 40 s in 10 ms steps, monitor reconciled each step. Every pid must
+    // stay placed (or in transit) the whole way — there is no crash to
+    // excuse a loss here.
+    let mut deadline = w.now();
+    for step in 0..4_000 {
+        deadline += 10 * MILLISECOND;
+        w.run_until(deadline);
+
+        for pid in &pids {
+            let placed = w.host_of(*pid).is_some() || w.migration_of(*pid).is_some();
+            assert!(placed, "process {pid:?} vanished at step {step}");
+        }
+        let usage = w.resource_usage();
+        assert!(
+            usage.active_migrations <= MIG_CAP,
+            "admission cap violated at step {step}: {usage:?}"
+        );
+
+        w.monitor_sweep();
+        assert!(
+            w.violations().is_empty(),
+            "invariant monitor flagged the partition soak at step {step}: {:?}",
+            w.violations()
+        );
+    }
+
+    assert!(
+        !w.reports.is_empty(),
+        "the conductors migrated something during the partition soak"
+    );
+    // Time healed every partition; the cluster is whole again and still
+    // balancing (heartbeats resumed flowing across the former cut).
+    assert!(w.now() >= SimTime::from_secs(40));
 }

@@ -55,6 +55,15 @@ fn replay() -> (Vec<String>, SimTime) {
 
 /// The soak replay at an explicit worker-thread count.
 fn replay_with(threads: usize) -> (Vec<String>, SimTime) {
+    replay_full(threads, false)
+}
+
+/// The soak replay with the invariant monitor optionally armed. The monitor
+/// observes the run without scheduling events or drawing randomness, so the
+/// `monitored == plain` comparison in
+/// [`monitor_does_not_perturb_the_stream`] is the zero-cost-when-disabled
+/// contract stated as a byte equality.
+fn replay_full(threads: usize, monitored: bool) -> (Vec<String>, SimTime) {
     let mut w = World::new(WorldConfig {
         seed: SOAK_SEED,
         threads,
@@ -72,6 +81,9 @@ fn replay_with(threads: usize) -> (Vec<String>, SimTime) {
         ..WorldConfig::default()
     });
     w.enable_effect_log();
+    if monitored {
+        w.enable_monitor();
+    }
 
     let mut nodes = Vec::new();
     for n in 0..5 {
@@ -123,6 +135,7 @@ fn replay_with(threads: usize) -> (Vec<String>, SimTime) {
             SimTime::from_secs(12),
             Fault::CtrlBlackout {
                 host: nodes[3],
+                dir: CtrlDir::Both,
                 for_us: 4 * SECOND,
             },
         )
@@ -158,7 +171,80 @@ fn replay_with(threads: usize) -> (Vec<String>, SimTime) {
     w.install_fault_plan(plan);
 
     w.run_for(REPLAY_SECS * SECOND);
+    if monitored {
+        w.monitor_sweep();
+        assert!(
+            w.violations().is_empty(),
+            "the fault-free-of-partitions soak run must hold every \
+             invariant: {:?}",
+            w.violations()
+        );
+    }
     (w.effect_log().to_vec(), w.now())
+}
+
+/// Arming the invariant monitor must not change a single byte of the
+/// effect stream: the monitor observes state transitions, it never
+/// schedules events or draws from the world RNG. This is the "always-on,
+/// zero cost when disabled" contract — figures regenerated with the
+/// monitor armed are the same figures.
+#[test]
+fn monitor_does_not_perturb_the_stream() {
+    let (plain, end_plain) = replay_full(1, false);
+    let (monitored, end_monitored) = replay_full(1, true);
+    assert_eq!(
+        end_plain, end_monitored,
+        "monitored and plain replays must end at the same instant"
+    );
+    assert_logs_identical("plain", &plain, "monitored", &monitored);
+}
+
+/// The figures stay honest under the monitor: the fault-free scale cell's
+/// deterministic fingerprint and the Fig. 5b/5c freeze-bench outputs
+/// (worst/mean freeze time, freeze-phase socket bytes, and the full
+/// per-run reports including the phase timeline) are byte-identical with
+/// the monitor armed. A monitor that scheduled an event or drew from the
+/// world RNG would shift a timestamp here.
+#[test]
+fn monitor_does_not_perturb_figures() {
+    use dvelm::dve::{run_freeze_bench, FreezeBenchConfig};
+    use dvelm_bench::scale::{run_scale, ScaleConfig};
+
+    let scale_cfg = ScaleConfig::smoke();
+    let plain = run_scale(&scale_cfg);
+    let monitored = run_scale(&ScaleConfig {
+        monitored: true,
+        ..scale_cfg
+    });
+    assert_eq!(
+        plain.det_fingerprint(),
+        monitored.det_fingerprint(),
+        "scale-cell fingerprint must not depend on the monitor"
+    );
+
+    let freeze_cfg = FreezeBenchConfig {
+        connections: 48,
+        repetitions: 2,
+        seed: 21,
+        ..FreezeBenchConfig::default()
+    };
+    let plain = run_freeze_bench(&freeze_cfg);
+    let monitored = run_freeze_bench(&FreezeBenchConfig {
+        monitored: true,
+        ..freeze_cfg
+    });
+    assert_eq!(plain.worst_freeze_us, monitored.worst_freeze_us);
+    assert_eq!(plain.mean_freeze_us, monitored.mean_freeze_us);
+    assert_eq!(
+        plain.worst_freeze_socket_bytes,
+        monitored.worst_freeze_socket_bytes
+    );
+    assert_eq!(
+        format!("{:?}", plain.reports),
+        format!("{:?}", monitored.reports),
+        "freeze-bench reports (incl. the phase timeline) must be \
+         identical with the monitor armed"
+    );
 }
 
 #[test]

@@ -85,6 +85,7 @@ fn freeze_bench_matches_paper_headline() {
         strategy: Strategy::IncrementalCollective,
         repetitions: 2,
         seed: 3,
+        monitored: false,
     });
     assert!(
         r.worst_freeze_us < 40 * MILLISECOND,
@@ -221,6 +222,7 @@ fn analytic_model_tracks_the_simulation() {
                 strategy,
                 repetitions: 2,
                 seed: 1234,
+                monitored: false,
             });
             let model = predict_freeze_us(&cost, &WorkloadProfile::zone_server(n as u64), strategy);
             let ratio = sim.worst_freeze_us as f64 / model as f64;

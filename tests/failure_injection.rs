@@ -97,6 +97,7 @@ fn tcp_freeze_bench_is_loss_agnostic_for_correctness() {
             strategy,
             repetitions: 2,
             seed: 77,
+            monitored: false,
         });
         for rep in &r.reports {
             assert_eq!(rep.sockets_migrated, 48 + 2);

@@ -466,6 +466,7 @@ fn fault_ctrl_blackout_stalls_negotiation_without_wedging() {
     // negotiation timeout (500 ms) keeps releasing it to try again.
     w.inject_fault(Fault::CtrlBlackout {
         host: n1,
+        dir: CtrlDir::Both,
         for_us: 10 * SECOND,
     });
 
@@ -485,6 +486,61 @@ fn fault_ctrl_blackout_stalls_negotiation_without_wedging() {
     assert!(
         w.reports.iter().any(|r| !r.is_aborted()),
         "a migration completed after the blackout"
+    );
+}
+
+/// Directional blackout (ISSUE 7 satellite): the receiver can *hear* but
+/// not *speak*. It accepts the sender's request and reserves the slot, but
+/// the accept never leaves the host — the sender's negotiation timeout
+/// keeps it retrying, the receiver's reservation lease expires on its own,
+/// and once the blackout lifts the handshake completes. Asymmetric
+/// control-plane failure must wedge neither side.
+#[test]
+fn fault_ctrl_blackout_outbound_only_mutes_the_receiver() {
+    let mut w = World::new(WorldConfig {
+        seed: 0xfa0a,
+        ..WorldConfig::default()
+    });
+    let n0 = w.add_server_node();
+    let n1 = w.add_server_node();
+    for i in 0..6 {
+        w.spawn_process(n0, &format!("hog{i}"), 8, 32, Box::new(Hog { share: 15.0 }));
+    }
+    w.spawn_process(n1, "small", 8, 32, Box::new(Hog { share: 10.0 }));
+
+    w.run_for(300 * MILLISECOND);
+    w.enable_load_balancing();
+    w.inject_fault(Fault::CtrlBlackout {
+        host: n1,
+        dir: CtrlDir::Outbound,
+        for_us: 20 * SECOND,
+    });
+
+    w.run_for(18 * SECOND);
+    let sender = w.hosts[n0].conductor.as_ref().expect("conductor").stats();
+    assert!(
+        sender.requests_sent >= 2,
+        "the sender kept retrying into the silence: {sender:?}"
+    );
+    assert!(
+        w.reports.is_empty(),
+        "no transfer can start while every accept is swallowed"
+    );
+    let receiver = w.hosts[n1].conductor.as_ref().expect("conductor").stats();
+    assert!(
+        receiver.requests_accepted >= 1,
+        "the receiver heard and accepted (inbound stayed open): {receiver:?}"
+    );
+    assert!(
+        receiver.leases_expired >= 1,
+        "unclaimed reservations must expire on their own: {receiver:?}"
+    );
+
+    // Voice restored: the next accept gets through and the migration runs.
+    w.run_for(60 * SECOND);
+    assert!(
+        w.reports.iter().any(|r| !r.is_aborted()),
+        "a migration completed once the receiver could speak again"
     );
 }
 
