@@ -8,6 +8,9 @@
 //! * `--quick` — the three small single-thread cells plus a 4-thread
 //!   64x1000 row (what CI runs; the cells are identical to the full
 //!   run's, so the committed baseline compares like-for-like);
+//! * `--strategy` — the 4x100 cell once per migration strategy (all five,
+//!   including post-copy and hybrid), recording per-strategy demand-fetch
+//!   and write-back counters in strategy-qualified rows;
 //! * `--threads N` — the base trajectory with every cell forced to N
 //!   worker threads (for measuring one thread count on a given host);
 //! * `--compare <baseline.json> <fresh.json> [tolerance]` — exit non-zero
@@ -23,6 +26,7 @@ use dvelm_bench::json::Json;
 use dvelm_bench::scale::{
     compare_bench, run_scale, scale_json, stack_json, Baseline, ScaleCell, ScaleConfig, SCALE_SEED,
 };
+use dvelm_migrate::Strategy;
 
 /// The 64-node/1000-client cell measured once on the pre-optimization tree
 /// (the parent of the commit introducing this harness; same harness source,
@@ -47,7 +51,21 @@ fn cell(nodes: usize, clients: usize, migrations: usize, run_secs: u64) -> Scale
         seed: SCALE_SEED,
         threads: 1,
         monitored: false,
+        strategy: Strategy::IncrementalCollective,
     }
+}
+
+/// The `--strategy` sweep: the 4x100 cell once per migration strategy
+/// (including the restore-first family), so `BENCH_scale.json` carries one
+/// row per strategy with its demand-fetch / write-back traffic counters.
+fn strategy_trajectory() -> Vec<ScaleConfig> {
+    Strategy::ALL_WITH_RESIDUAL
+        .into_iter()
+        .map(|strategy| ScaleConfig {
+            strategy,
+            ..cell(4, 100, 2, 5)
+        })
+        .collect()
 }
 
 /// The base trajectory: one single-thread row per cell size.
@@ -103,8 +121,8 @@ fn run_sweep(cfgs: &[ScaleConfig]) -> Vec<ScaleCell> {
     let mut cells = Vec::with_capacity(cfgs.len());
     for cfg in cfgs {
         eprintln!(
-            "[bench_scale] nodes={} clients={} migrations={} run_secs={} threads={} ...",
-            cfg.nodes, cfg.clients, cfg.migrations, cfg.run_secs, cfg.threads
+            "[bench_scale] nodes={} clients={} migrations={} run_secs={} threads={} strategy={} ...",
+            cfg.nodes, cfg.clients, cfg.migrations, cfg.run_secs, cfg.threads, cfg.strategy
         );
         let cell = run_scale(cfg);
         eprintln!(
@@ -247,6 +265,10 @@ fn main() {
             let cells = run_sweep(&quick_trajectory());
             write_outputs(&cells);
         }
+        Some("--strategy") => {
+            let cells = run_sweep(&strategy_trajectory());
+            write_outputs(&cells);
+        }
         Some("--threads") => {
             let threads: usize = args.get(1).and_then(|t| t.parse().ok()).unwrap_or_else(|| {
                 eprintln!("usage: bench_scale --threads <N>");
@@ -268,8 +290,8 @@ fn main() {
         }
         Some(other) => {
             eprintln!(
-                "unknown argument {other:?}; use --quick, --threads, --compare \
-                 or --compare-threads"
+                "unknown argument {other:?}; use --quick, --strategy, --threads, \
+                 --compare or --compare-threads"
             );
             std::process::exit(2);
         }

@@ -51,6 +51,12 @@ pub struct ScaleConfig {
     /// cell must fingerprint identically to a plain one (asserted by
     /// `tests/determinism_replay.rs`).
     pub monitored: bool,
+    /// Socket-migration strategy for the cell's migrations (and the
+    /// world's conductor ceiling). The default trajectory runs
+    /// [`Strategy::IncrementalCollective`]; the `--strategy` sweep covers
+    /// the full five-variant family, whose residual counters
+    /// (`demand_fetch_*`/`writeback_*`) land in `BENCH_scale.json`.
+    pub strategy: Strategy,
 }
 
 impl ScaleConfig {
@@ -64,6 +70,7 @@ impl ScaleConfig {
             seed: SCALE_SEED,
             threads: 0,
             monitored: false,
+            strategy: Strategy::IncrementalCollective,
         }
     }
 }
@@ -119,6 +126,15 @@ pub struct ScaleCell {
     /// Summed time spent in each migration phase across completed
     /// migrations (µs), keyed by phase name.
     pub phase_us: BTreeMap<&'static str, u64>,
+    /// Pages fetched on demand from source ledgers across completed
+    /// migrations (zero for the precopy-only strategies).
+    pub demand_fetch_pages: u64,
+    /// Bytes moved by demand fetches across completed migrations.
+    pub demand_fetch_bytes: u64,
+    /// Pages pushed by background write-back across completed migrations.
+    pub writeback_pages: u64,
+    /// Bytes pushed by background write-back across completed migrations.
+    pub writeback_bytes: u64,
     /// High-water mark of capture-queued packets on any single host.
     pub peak_queued_packets: u64,
     /// High-water mark of capture-queued payload bytes on any single host.
@@ -146,14 +162,16 @@ impl ScaleCell {
             .map(|(name, us)| format!("{name}={us}"))
             .collect();
         format!(
-            "n{} c{} m{} s{} seed{:#x}: sim_us={} events={} deliveries={} usercmds={} route_errors={} \
+            "n{} c{} m{} s{} seed{:#x} strat[{}]: sim_us={} events={} deliveries={} usercmds={} route_errors={} \
              started={} rejected={} completed={} aborted={} freeze_max={} total_max={} \
+             df={}p/{}b wb={}p/{}b \
              peak_pkts={} peak_bytes={} shed_udp={} clamped={} phases=[{}]",
             self.cfg.nodes,
             self.cfg.clients,
             self.cfg.migrations,
             self.cfg.run_secs,
             self.cfg.seed,
+            self.cfg.strategy,
             self.sim_us,
             self.events,
             self.deliveries,
@@ -165,6 +183,10 @@ impl ScaleCell {
             self.migrations_aborted,
             self.freeze_us_max,
             self.total_us_max,
+            self.demand_fetch_pages,
+            self.demand_fetch_bytes,
+            self.writeback_pages,
+            self.writeback_bytes,
             self.peak_queued_packets,
             self.peak_queued_bytes,
             self.shed_udp,
@@ -194,10 +216,9 @@ fn resolve_threads(cfg: &ScaleConfig) -> usize {
 /// Build the cell's world: `nodes` server nodes each running an `OaServer`
 /// on its own public port, `clients` client hosts round-robin connected.
 fn build_world(cfg: &ScaleConfig) -> (World, Vec<dvelm_proc::Pid>, Vec<usize>, Rc<RefCell<u64>>) {
-    let strategy = Strategy::IncrementalCollective;
     let mut w = World::new(WorldConfig {
         seed: cfg.seed,
-        strategy,
+        strategy: cfg.strategy,
         threads: resolve_threads(cfg),
         ..WorldConfig::default()
     });
@@ -268,7 +289,7 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleCell {
         w.run_until(warmup_end + k as u64 * stagger);
         let src = k % cfg.nodes;
         let dst = node_hosts[(src + cfg.nodes / 2) % cfg.nodes];
-        match w.begin_migration(server_pids[src], dst, Strategy::IncrementalCollective) {
+        match w.begin_migration(server_pids[src], dst, cfg.strategy) {
             Some(_) => migrations_started += 1,
             None => migrations_rejected += 1,
         }
@@ -302,6 +323,10 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleCell {
     let mut total_us_max = 0u64;
     let mut migrations_completed = 0usize;
     let mut migrations_aborted = 0usize;
+    let mut demand_fetch_pages = 0u64;
+    let mut demand_fetch_bytes = 0u64;
+    let mut writeback_pages = 0u64;
+    let mut writeback_bytes = 0u64;
     let mut phase_us: BTreeMap<&'static str, u64> = BTreeMap::new();
     for r in &w.reports {
         if r.is_aborted() {
@@ -311,6 +336,10 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleCell {
         migrations_completed += 1;
         freeze_us_max = freeze_us_max.max(r.freeze_us());
         total_us_max = total_us_max.max(r.total_us());
+        demand_fetch_pages += r.demand_fetch_pages;
+        demand_fetch_bytes += r.demand_fetch_bytes;
+        writeback_pages += r.writeback_pages;
+        writeback_bytes += r.writeback_bytes;
         // `phase_log` records entry instants; a phase lasts until the next
         // entry, the last one until the process resumed.
         for pair in r.phase_log.windows(2) {
@@ -356,6 +385,10 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleCell {
         migrations_aborted,
         freeze_us_max,
         total_us_max,
+        demand_fetch_pages,
+        demand_fetch_bytes,
+        writeback_pages,
+        writeback_bytes,
         phase_us,
         peak_queued_packets,
         peak_queued_bytes,
@@ -368,7 +401,19 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleCell {
 }
 
 fn cell_key(cfg: &ScaleConfig) -> String {
-    format!("{}x{}", cfg.nodes, cfg.clients)
+    // Default-strategy cells keep their historical key so committed
+    // baselines compare like-for-like; strategy-sweep rows get a
+    // distinct key (rows are matched on `(cell, threads)`).
+    if cfg.strategy == Strategy::IncrementalCollective {
+        format!("{}x{}", cfg.nodes, cfg.clients)
+    } else {
+        format!(
+            "{}x{}@{}",
+            cfg.nodes,
+            cfg.clients,
+            cfg.strategy.to_string().replace(' ', "-")
+        )
+    }
 }
 
 /// Physical parallelism available on this machine (1 when unknown).
@@ -386,7 +431,7 @@ fn round2(x: f64) -> f64 {
 pub fn scale_json(cells: &[ScaleCell], baseline: Option<&Baseline>) -> Json {
     let mut doc = Json::obj();
     doc.set("bench", Json::Str("scale".into()));
-    doc.set("schema_version", Json::Num(2.0));
+    doc.set("schema_version", Json::Num(3.0));
     // Physical cores on the measuring host: thread-sweep rows are only
     // meaningful speedup evidence when host_cores exceeds the row's thread
     // count, so consumers (the `--compare-threads` gate, humans reading the
@@ -432,6 +477,7 @@ pub fn scale_json(cells: &[ScaleCell], baseline: Option<&Baseline>) -> Json {
         o.set("migrations", Json::Num(c.cfg.migrations as f64));
         o.set("run_secs", Json::Num(c.cfg.run_secs as f64));
         o.set("seed", Json::Num(c.cfg.seed as f64));
+        o.set("strategy", Json::Str(c.cfg.strategy.to_string()));
         o.set("threads", Json::Num(c.threads as f64));
         o.set("sched_clamped", Json::Num(c.sched_clamped as f64));
         o.set("sim_us", Json::Num(c.sim_us as f64));
@@ -456,6 +502,10 @@ pub fn scale_json(cells: &[ScaleCell], baseline: Option<&Baseline>) -> Json {
             Json::Num(c.migrations_completed as f64),
         );
         o.set("migrations_aborted", Json::Num(c.migrations_aborted as f64));
+        o.set("demand_fetch_pages", Json::Num(c.demand_fetch_pages as f64));
+        o.set("demand_fetch_bytes", Json::Num(c.demand_fetch_bytes as f64));
+        o.set("writeback_pages", Json::Num(c.writeback_pages as f64));
+        o.set("writeback_bytes", Json::Num(c.writeback_bytes as f64));
         arr.push(o);
     }
     doc.set("cells", Json::Arr(arr));
@@ -585,6 +635,7 @@ mod tests {
                 seed: 1,
                 threads,
                 monitored: false,
+                strategy: Strategy::IncrementalCollective,
             },
             threads,
             sched_clamped: 0,
@@ -600,6 +651,10 @@ mod tests {
             freeze_us_max: 100,
             total_us_max: 500,
             phase_us: BTreeMap::new(),
+            demand_fetch_pages: 0,
+            demand_fetch_bytes: 0,
+            writeback_pages: 0,
+            writeback_bytes: 0,
             peak_queued_packets: 4,
             peak_queued_bytes: 1024,
             shed_udp: 0,

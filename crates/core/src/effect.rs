@@ -74,6 +74,13 @@ pub enum ByteClass {
     FreezeMem,
     /// Socket state shipped during the freeze phase (the Fig. 5c metric).
     FreezeSocket,
+    /// Residual pages pulled on demand from the source ledger after the
+    /// destination resumed (post-copy family). The app is running on the
+    /// destination — these bytes do not count toward the freeze window.
+    DemandFetch,
+    /// Residual pages pushed by the source's background write-back stream
+    /// after switch-over (post-copy family).
+    WriteBack,
 }
 
 impl ByteClass {
@@ -85,6 +92,12 @@ impl ByteClass {
     /// Whether these bytes are socket state (vs. memory/records).
     pub fn is_socket(self) -> bool {
         matches!(self, ByteClass::PrecopySocket | ByteClass::FreezeSocket)
+    }
+
+    /// Whether these bytes resolve residual dependencies after switch-over
+    /// (post-copy family); never shipped by the three paper strategies.
+    pub fn is_residual(self) -> bool {
+        matches!(self, ByteClass::DemandFetch | ByteClass::WriteBack)
     }
 }
 
@@ -103,6 +116,10 @@ pub enum PhaseId {
     FreezeDetach,
     /// Sockets rehashed, captured packets re-injected, threads resumed.
     Restore,
+    /// Post-copy residual resolution: the process runs on the destination
+    /// while the source ledger services demand fetches (priority) and a
+    /// background write-back stream drains the rest.
+    DemandResolve,
 }
 
 impl PhaseId {
@@ -115,6 +132,7 @@ impl PhaseId {
             PhaseId::FreezeCapture => "freeze: signal + capture setup",
             PhaseId::FreezeDetach => "freeze: detach + transfer",
             PhaseId::Restore => "restore: rehash + reinject + resume",
+            PhaseId::DemandResolve => "demand-resolve: fetch + write-back",
         }
     }
 
@@ -371,8 +389,13 @@ mod tests {
             PhaseId::Restore.label(),
             "restore: rehash + reinject + resume"
         );
+        assert_eq!(
+            PhaseId::DemandResolve.label(),
+            "demand-resolve: fetch + write-back"
+        );
         assert!(PhaseId::PrecopyIter.is_precopy());
         assert!(!PhaseId::Restore.is_precopy());
+        assert!(!PhaseId::DemandResolve.is_precopy());
     }
 
     #[test]
@@ -381,6 +404,11 @@ mod tests {
         assert!(!ByteClass::PrecopyMem.is_socket());
         assert!(ByteClass::FreezeSocket.is_socket());
         assert!(!ByteClass::FreezeSocket.is_precopy());
+        assert!(ByteClass::DemandFetch.is_residual());
+        assert!(ByteClass::WriteBack.is_residual());
+        assert!(!ByteClass::DemandFetch.is_precopy());
+        assert!(!ByteClass::WriteBack.is_socket());
+        assert!(!ByteClass::FreezeMem.is_residual());
     }
 
     #[test]

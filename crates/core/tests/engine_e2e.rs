@@ -465,6 +465,111 @@ fn memory_contents_identical_after_restore() {
 }
 
 #[test]
+fn postcopy_family_completes_with_residual_counters() {
+    // Both residual strategies complete through DemandResolve, restore
+    // byte-identical memory, and account every deferred page exactly once
+    // (demand-fetched or written back, never both, never dropped).
+    for strategy in [Strategy::PostCopy, Strategy::Hybrid { precopy_rounds: 2 }] {
+        let mut world = World::new();
+        let (mut proc, _c, _db, _l) = setup(&mut world, 8);
+        let mut rng = DetRng::new(35);
+        proc.do_work(&mut rng, 400);
+        let (report, restored, _) =
+            run_migration(&mut world, &mut proc, strategy, |_, p, suspended| {
+                if !suspended {
+                    let mut rng = DetRng::new(36);
+                    p.do_work(&mut rng, 50);
+                }
+            });
+        assert!(!report.is_aborted(), "{strategy}");
+        assert!(
+            report
+                .phase_log
+                .iter()
+                .any(|(label, _)| *label == PhaseId::DemandResolve.label()),
+            "{strategy} must pass through demand-resolve: {:?}",
+            report.phase_log
+        );
+        assert!(
+            report.demand_fetch_pages + report.writeback_pages > 0,
+            "{strategy} must defer pages to the ledger"
+        );
+        assert_eq!(
+            report.residual_bytes(),
+            report.demand_fetch_bytes + report.writeback_bytes
+        );
+        assert_eq!(
+            restored.addr_space.content_hash(),
+            proc.addr_space.content_hash(),
+            "{strategy}: restored memory differs from source after resolve"
+        );
+        assert!(!restored.is_frozen(), "{strategy}: threads resumed");
+    }
+    // The paper strategies never touch the ledger.
+    let mut world = World::new();
+    let (mut proc, _c, _db, _l) = setup(&mut world, 8);
+    let (report, _, _) = run_migration(
+        &mut world,
+        &mut proc,
+        Strategy::IncrementalCollective,
+        |_, _, _| {},
+    );
+    assert_eq!(report.demand_fetch_pages, 0);
+    assert_eq!(report.writeback_pages, 0);
+}
+
+#[test]
+fn postcopy_switchover_beats_precopy_freeze() {
+    // The post-copy family's selling point: downtime is the switch-over
+    // window only — the dirty set is deferred to the ledger. Compare
+    // like-for-like on socket cost: post-copy ships full records (like
+    // collective) and must beat collective's freeze; hybrid ships deltas
+    // (like incremental) and must beat incremental's. Hybrid's bounded
+    // precopy prefix also keeps the residual ledger smaller than pure
+    // post-copy's.
+    let freeze_of = |strategy| {
+        let mut world = World::new();
+        let (mut proc, client_sids, _db, _l) = setup(&mut world, 64);
+        let mut rng = DetRng::new(37);
+        proc.do_work(&mut rng, 200);
+        let (report, _, _) =
+            run_migration(&mut world, &mut proc, strategy, |world, p, suspended| {
+                if !suspended {
+                    let mut rng = DetRng::new(38);
+                    p.do_work(&mut rng, 20);
+                    for &c in client_sids.iter().take(8) {
+                        world.send(CLIENT, c, b"tick");
+                    }
+                }
+            });
+        report
+    };
+    let coll = freeze_of(Strategy::Collective);
+    let inc = freeze_of(Strategy::IncrementalCollective);
+    let post = freeze_of(Strategy::PostCopy);
+    let hybrid = freeze_of(Strategy::Hybrid { precopy_rounds: 2 });
+    assert!(
+        post.freeze_us() < coll.freeze_us(),
+        "post-copy switch-over {} must beat collective freeze {}",
+        post.freeze_us(),
+        coll.freeze_us()
+    );
+    assert!(
+        hybrid.freeze_us() < inc.freeze_us(),
+        "hybrid switch-over {} must beat incremental freeze {}",
+        hybrid.freeze_us(),
+        inc.freeze_us()
+    );
+    assert!(
+        hybrid.demand_fetch_pages + hybrid.writeback_pages
+            < post.demand_fetch_pages + post.writeback_pages,
+        "hybrid's precopy prefix must shrink the residual ledger: {} vs {}",
+        hybrid.demand_fetch_pages + hybrid.writeback_pages,
+        post.demand_fetch_pages + post.writeback_pages
+    );
+}
+
+#[test]
 fn udp_socket_migrates() {
     let mut world = World::new();
     let mut proc = Process::new(Pid(2), "oa_server", 32, 128);

@@ -128,6 +128,9 @@ impl App for ZoneServer {
 
     fn on_conn_closed(&mut self, _ctx: &mut AppCtx<'_>, fd: Fd) {
         self.conns.retain(|c| *c != fd);
+        if self.db_fd == Some(fd) {
+            self.db_fd = None;
+        }
     }
 
     fn tick_period_us(&self) -> u64 {

@@ -14,7 +14,7 @@
 //! (never two live copies of one pid) rests on three rules:
 //!
 //! * **Epochs** — every negotiation for a pid carries an epoch from
-//!   [`Conductor::next_epoch`]: one more than the highest epoch this node
+//!   `Conductor::next_epoch`: one more than the highest epoch this node
 //!   has ever witnessed for that pid (proposal and witness share one fence
 //!   table, so epochs are monotone per pid across retries *and* across
 //!   ownership transfers — a receiver witnesses the epoch it accepts, so
@@ -103,7 +103,16 @@ impl LbMsg {
 /// through, and per-socket iteration is the conservative last resort.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StrategyPreference {
-    /// Full speed: socket deltas shipped during precopy.
+    /// Restore-first switch-over: no precopy loop at all, residual pages
+    /// resolved on demand. The most aggressive ask — and the one with
+    /// residual source dependencies, so a failed attempt must never be
+    /// retried at this level (see [`degrade`](Self::degrade)).
+    PostCopy,
+    /// A bounded precopy prefix, then the post-copy switch-over. Still
+    /// carries residual dependencies, but a shorter demand-resolve tail.
+    Hybrid,
+    /// Full speed among the residual-free strategies: socket deltas shipped
+    /// during precopy.
     Incremental,
     /// No socket diff tracking: one collective transfer in the freeze phase.
     Collective,
@@ -113,8 +122,16 @@ pub enum StrategyPreference {
 
 impl StrategyPreference {
     /// One level more conservative (saturates at [`Iterative`](Self::Iterative)).
+    /// The residual family degrades *out of* itself before anything else:
+    /// a post-copy attempt that failed left the destination suspect, and
+    /// re-picking a strategy that parks authoritative pages behind that
+    /// same suspect destination would turn one failure into data-loss
+    /// exposure. `PostCopy → Hybrid → Incremental` then the residual-free
+    /// ladder.
     pub fn degrade(self) -> StrategyPreference {
         match self {
+            StrategyPreference::PostCopy => StrategyPreference::Hybrid,
+            StrategyPreference::Hybrid => StrategyPreference::Incremental,
             StrategyPreference::Incremental => StrategyPreference::Collective,
             StrategyPreference::Collective | StrategyPreference::Iterative => {
                 StrategyPreference::Iterative
@@ -123,13 +140,24 @@ impl StrategyPreference {
     }
 
     /// The preference for attempt `n` (1-based): full speed first, one
-    /// degradation per retry.
+    /// degradation per retry. The residual family is opt-in per migration
+    /// (via the runtime's configured strategy ceiling), never the default
+    /// ask, so the attempt ladder starts at `Incremental`.
     pub fn for_attempt(n: u32) -> StrategyPreference {
         match n {
             0 | 1 => StrategyPreference::Incremental,
             2 => StrategyPreference::Collective,
             _ => StrategyPreference::Iterative,
         }
+    }
+
+    /// Whether this preference leaves residual source dependencies after
+    /// switch-over (the post-copy family).
+    pub fn has_residual_dependencies(self) -> bool {
+        matches!(
+            self,
+            StrategyPreference::PostCopy | StrategyPreference::Hybrid
+        )
     }
 }
 
@@ -1201,6 +1229,25 @@ mod tests {
             StrategyPreference::Iterative,
             "saturates"
         );
+        // The residual family degrades out of itself first: a retry after
+        // a post-copy failure must never re-pick a residual strategy.
+        assert_eq!(
+            StrategyPreference::PostCopy.degrade(),
+            StrategyPreference::Hybrid
+        );
+        assert_eq!(
+            StrategyPreference::Hybrid.degrade(),
+            StrategyPreference::Incremental
+        );
+        assert!(StrategyPreference::PostCopy.has_residual_dependencies());
+        assert!(StrategyPreference::Hybrid.has_residual_dependencies());
+        assert!(!StrategyPreference::Hybrid
+            .degrade()
+            .has_residual_dependencies());
+        // And the attempt ladder never *asks* for a residual strategy.
+        for n in 0..12 {
+            assert!(!StrategyPreference::for_attempt(n).has_residual_dependencies());
+        }
     }
 
     /// Drives one sender conductor through: attempt 1 (fails) → backoff →

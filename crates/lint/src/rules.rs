@@ -27,7 +27,14 @@ const R5_SCOPE: &[&str] = &["crates/core/", "crates/stack/"];
 /// The cross-layer enums every dispatcher must match exhaustively: adding a
 /// variant has to force each layer to decide, not fall into a `_` arm
 /// (PR 3's capture-pressure misattribution hid behind exactly such an arm).
-const R3_ENUMS: &[&str] = &["Effect", "AbortReason", "Fault", "Event", "LbMsg"];
+const R3_ENUMS: &[&str] = &[
+    "Effect",
+    "AbortReason",
+    "Fault",
+    "Event",
+    "LbMsg",
+    "Strategy",
+];
 
 /// R1 `determinism`: no `HashMap`/`HashSet` (RandomState iteration order),
 /// no `Instant::now`/`SystemTime::now` (wall clock), no `thread_rng`

@@ -43,8 +43,27 @@ impl App for Worker {
 
 #[test]
 fn chaos_soak_holds_invariants() {
+    chaos_soak(Strategy::IncrementalCollective, SOAK_SEED);
+}
+
+/// The same disaster schedule with every conductor-initiated migration
+/// running post-copy: switch-over windows, residual ledgers and demand
+/// fetches are now in flight when the crashes, stalls and surges land.
+#[test]
+fn chaos_soak_postcopy_strategy() {
+    chaos_soak(Strategy::PostCopy, SOAK_SEED ^ 0xbc01);
+}
+
+/// And with the hybrid strategy: bounded precopy prefix, then switch-over.
+#[test]
+fn chaos_soak_hybrid_strategy() {
+    chaos_soak(Strategy::Hybrid { precopy_rounds: 2 }, SOAK_SEED ^ 0xbc02);
+}
+
+fn chaos_soak(strategy: Strategy, seed: u64) {
     let mut w = World::new(WorldConfig {
-        seed: SOAK_SEED,
+        seed,
+        strategy,
         admission: AdmissionConfig {
             max_cluster_migrations: MIG_CAP,
             max_node_migrations: 1,
@@ -53,6 +72,9 @@ fn chaos_soak_holds_invariants() {
         overload_guard: OverloadGuard {
             deadline_us: Some(10 * SECOND),
             max_stagnant_rounds: Some(8),
+            // Soak the escalation path too: non-converging precopies become
+            // hybrid switch-overs instead of aborting.
+            escalate_nonconverging: true,
         },
         capture_budget: CaptureBudget::bounded(CAPTURE_PACKETS, CAPTURE_BYTES),
         xlate_gc_ttl_us: Some(10 * SECOND),
@@ -139,6 +161,22 @@ fn chaos_soak_holds_invariants() {
                 host: nodes[3],
                 factor: 4,
                 for_us: 0,
+            },
+        )
+        // Residual-stream stalls for whatever happens to be mid-resolve
+        // (a documented no-op in the precopy-only runs).
+        .at(
+            SimTime::from_secs(28),
+            Fault::FetchStall {
+                pid: pids[0],
+                for_us: 2 * SECOND,
+            },
+        )
+        .at(
+            SimTime::from_secs(30),
+            Fault::FetchStall {
+                pid: pids[7],
+                for_us: SECOND,
             },
         )
         .at(crash_at, Fault::NodeCrash { host: doomed })

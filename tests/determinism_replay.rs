@@ -75,6 +75,10 @@ fn replay_full(threads: usize, monitored: bool) -> (Vec<String>, SimTime) {
         overload_guard: OverloadGuard {
             deadline_us: Some(10 * SECOND),
             max_stagnant_rounds: Some(8),
+            // Mirror the chaos soak: non-converging precopies escalate to
+            // hybrid switch-overs, so the replay also proves the
+            // demand-resolve path is shard-count-deterministic.
+            escalate_nonconverging: true,
         },
         capture_budget: CaptureBudget::bounded(CAPTURE_PACKETS, CAPTURE_BYTES),
         xlate_gc_ttl_us: Some(10 * SECOND),
@@ -245,6 +249,48 @@ fn monitor_does_not_perturb_figures() {
         "freeze-bench reports (incl. the phase timeline) must be \
          identical with the monitor armed"
     );
+}
+
+/// The residual-dependency strategies go through demand-fetch and
+/// write-back queues that post-copy work shares with ordinary traffic —
+/// the scale cell's deterministic fingerprint (which folds in the
+/// demand-fetch / write-back counters) must still be thread-invariant,
+/// and the cells must actually exercise those queues.
+#[test]
+fn residual_scale_cells_are_thread_invariant() {
+    use dvelm_bench::scale::{run_scale, ScaleConfig};
+    use dvelm_migrate::Strategy;
+
+    for strategy in [Strategy::PostCopy, Strategy::Hybrid { precopy_rounds: 2 }] {
+        let mut fingerprints = Vec::new();
+        let mut resolved = None;
+        for threads in [1usize, 2, 8] {
+            let cell = run_scale(&ScaleConfig {
+                threads,
+                strategy,
+                ..ScaleConfig::smoke()
+            });
+            assert!(
+                cell.migrations_completed > 0,
+                "{strategy}: the smoke cell must complete migrations"
+            );
+            assert!(
+                cell.demand_fetch_pages > 0 || cell.writeback_pages > 0,
+                "{strategy}: a residual-strategy cell must move pages through \
+                 the demand-fetch or write-back queue"
+            );
+            resolved.get_or_insert_with(|| cell.det_fingerprint());
+            fingerprints.push((threads, cell.det_fingerprint()));
+        }
+        let reference = resolved.unwrap();
+        for (threads, fp) in &fingerprints {
+            assert_eq!(
+                fp, &reference,
+                "{strategy}: scale-cell fingerprint must not depend on the \
+                 worker-thread count (diverged at {threads} threads)"
+            );
+        }
+    }
 }
 
 #[test]

@@ -19,7 +19,7 @@
 
 use dvelm::dve::{SwarmClient, ZoneServer, ZONE_BASE_PORT};
 use dvelm::lb::AdmissionConfig;
-use dvelm::migrate::{AbortReason, OverloadGuard};
+use dvelm::migrate::{AbortReason, OverloadGuard, PhaseId};
 use dvelm::prelude::*;
 use dvelm::stack::{CaptureBudget, TcpShedPolicy, XlateRule};
 use std::cell::RefCell;
@@ -91,6 +91,7 @@ fn fault_surge_during_precopy_aborts_nonconverging() {
         overload_guard: OverloadGuard {
             deadline_us: None,
             max_stagnant_rounds: Some(2),
+            escalate_nonconverging: false,
         },
         ..WorldConfig::default()
     });
@@ -138,6 +139,7 @@ fn fault_migration_deadline_aborts_overloaded() {
         overload_guard: OverloadGuard {
             deadline_us: Some(10_000),
             max_stagnant_rounds: None,
+            escalate_nonconverging: false,
         },
         ..WorldConfig::default()
     });
@@ -159,6 +161,162 @@ fn fault_migration_deadline_aborts_overloaded() {
     assert_eq!(w.host_of(zone), Some(n0));
     assert_eq!(w.reports.last().unwrap().freeze_us(), 0);
     assert_stream_alive(&mut w, &c.updates_sent, "zone after deadline abort");
+}
+
+// ---------------------------------------------------------------------
+// escalation: a non-converging precopy degrades into hybrid switch-over
+// ---------------------------------------------------------------------
+
+#[test]
+fn surge_escalates_nonconverging_precopy_into_hybrid_switchover() {
+    // Baseline: the identical surge scenario with the guard disabled. The
+    // precopy loop still terminates (the loop timeout shrinks to the final
+    // checkpoint threshold) but the freeze ships the whole re-dirtied
+    // set — the unbounded-payload cost the convergence guard exists to
+    // avoid paying.
+    let freeze_baseline = {
+        let (mut w, n0, n1, _ch, zone, _c) = zone_world_with(WorldConfig {
+            seed: 0x0b01,
+            ..WorldConfig::default()
+        });
+        w.inject_fault(Fault::Overload {
+            host: n0,
+            factor: 32,
+            for_us: 0,
+        });
+        let mig = w.begin_migration(zone, n1, Strategy::Collective).unwrap();
+        w.run_for(4 * SECOND);
+        assert!(
+            w.migration_outcome(mig).is_some_and(|o| o.is_completed()),
+            "unguarded run must push through: {:?}",
+            w.migration_outcome(mig)
+        );
+        w.reports.last().unwrap().freeze_us()
+    };
+    assert!(freeze_baseline > 0, "the baseline pays a real freeze");
+
+    // Escalated: same seed, same surge, but the guard degrades the
+    // non-converging precopy into a hybrid switch-over instead of
+    // aborting (`fault_surge_during_precopy_aborts_nonconverging` is the
+    // escalation-off sibling). The migration that used to be abandoned now
+    // completes, and its freeze undercuts the push-through baseline
+    // because only metadata + sockets cross the freeze window.
+    let (mut w, n0, n1, _ch, zone, c) = zone_world_with(WorldConfig {
+        seed: 0x0b01,
+        overload_guard: OverloadGuard {
+            deadline_us: None,
+            max_stagnant_rounds: Some(2),
+            escalate_nonconverging: true,
+        },
+        ..WorldConfig::default()
+    });
+    w.inject_fault(Fault::Overload {
+        host: n0,
+        factor: 32,
+        for_us: 0,
+    });
+    let mig = w.begin_migration(zone, n1, Strategy::Collective).unwrap();
+    w.run_for(4 * SECOND);
+
+    assert!(
+        w.migration_outcome(mig).is_some_and(|o| o.is_completed()),
+        "escalation must turn the NonConverging abort into a completion: {:?}",
+        w.migration_outcome(mig)
+    );
+    assert_eq!(w.host_of(zone), Some(n1), "the zone actually moved");
+    let report = w.reports.last().expect("completion produces a report");
+    assert!(
+        report
+            .phase_log
+            .iter()
+            .any(|(p, _)| *p == PhaseId::DemandResolve.label()),
+        "the completion went through demand-resolve: {:?}",
+        report.phase_log
+    );
+    assert!(
+        report.demand_fetch_pages + report.writeback_pages > 0,
+        "the residual ledger was actually drained"
+    );
+    assert!(
+        report.freeze_us() < freeze_baseline,
+        "switch-over freeze {} must undercut the push-through freeze {}",
+        report.freeze_us(),
+        freeze_baseline
+    );
+
+    // The swarm keeps receiving updates from the new host under the
+    // still-active surge.
+    assert_stream_alive(
+        &mut w,
+        &c.updates_received,
+        "swarm after hybrid switch-over",
+    );
+}
+
+// ---------------------------------------------------------------------
+// deadline audit: a stalled post-detach transfer still hits the budget
+// ---------------------------------------------------------------------
+
+#[test]
+fn fault_stalled_postdetach_transfer_exceeds_deadline() {
+    // Regression (ISSUE 8 satellite): the wall-clock budget used to be
+    // checked only between precopy rounds, so a migration parked *after*
+    // detach (here by a partition) could overshoot the deadline by an
+    // unbounded amount and still commit. The audit enforces the budget at
+    // the restore boundary too: when the partition heals, the restore step
+    // finds the deadline blown and compensates with restore-on-source.
+    let (mut w, n0, n1, _ch, zone, c) = zone_world_with(WorldConfig {
+        seed: 0x0b0b,
+        overload_guard: OverloadGuard {
+            // Roomy enough for the unstalled migration (~630 ms end to
+            // end), far too tight for a 2 s mid-transfer park.
+            deadline_us: Some(700 * MILLISECOND),
+            max_stagnant_rounds: None,
+            escalate_nonconverging: false,
+        },
+        ..WorldConfig::default()
+    });
+    // Collective's freeze transfer (final delta + full socket records,
+    // ~6 ms) is the post-detach interval the partition will park.
+    let mig = w.begin_migration(zone, n1, Strategy::Collective).unwrap();
+    // Step an absolute deadline until the sockets have left the source.
+    let mut t = w.now();
+    while w.migration_past_detach(mig) == Some(false) {
+        t += 200;
+        w.run_until(t);
+    }
+    assert_eq!(
+        w.migration_past_detach(mig),
+        Some(true),
+        "migration finished before the stall window opened: {:?}",
+        w.migration_outcome(mig)
+    );
+
+    // Park the in-flight transfer well past the whole budget.
+    w.inject_fault(Fault::Partition {
+        groups: [HostSet::of(&[n0]), HostSet::of(&[n1])],
+        for_us: 2 * SECOND,
+    });
+    w.run_for(3 * SECOND);
+
+    match w.migration_outcome(mig) {
+        Some(MigrationOutcome::Aborted {
+            phase,
+            reason,
+            recovery,
+        }) => {
+            assert_eq!(phase, PhaseId::FreezeDetach, "the abort is post-detach");
+            assert_eq!(reason, AbortReason::Overloaded, "the deadline guard fired");
+            assert_eq!(
+                recovery,
+                Recovery::RestoredOnSource,
+                "past detach the compensation is restore-on-source"
+            );
+        }
+        other => panic!("expected the blown deadline to abort, got {other:?}"),
+    }
+    assert_eq!(w.host_of(zone), Some(n0));
+    assert_stream_alive(&mut w, &c.updates_sent, "zone after deadline restore");
 }
 
 // ---------------------------------------------------------------------
