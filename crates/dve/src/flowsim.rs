@@ -203,25 +203,6 @@ pub fn run_flow_sim(cfg: &FlowSimConfig) -> FlowSimResult {
         }
     }
 
-    // Discovery round.
-    {
-        let counts = pop.zone_counts(&space);
-        let loads = node_loads(&space, &counts, &active, cfg);
-        let mut started = Vec::new();
-        for i in 0..NODES {
-            let li = LoadInfo::new(NodeId(i as u32), loads[i], 20, SimTime::ZERO);
-            let effects = conductors[i].on_start(li);
-            dispatch(
-                &mut conductors,
-                SimTime::ZERO,
-                &loads,
-                i,
-                effects,
-                &mut started,
-            );
-        }
-    }
-
     for step in 0..=cfg.duration_s {
         let t_s = step as f64;
         let now = SimTime::from_secs(step as u64);
@@ -253,6 +234,18 @@ pub fn run_flow_sim(cfg: &FlowSimConfig) -> FlowSimResult {
         active = still_active;
 
         let loads = node_loads(&space, &counts, &active, cfg);
+
+        // Discovery round: the first instant of the run, before any tick —
+        // threaded through the same `now` as everything else (at step 0 it
+        // equals the epoch, but constants don't survive clock refactors).
+        if step == 0 {
+            let mut started = Vec::new();
+            for i in 0..NODES {
+                let li = LoadInfo::new(NodeId(i as u32), loads[i], 20, now);
+                let effects = conductors[i].on_start(li);
+                dispatch(&mut conductors, now, &loads, i, effects, &mut started);
+            }
+        }
 
         // Conductor ticks.
         if cfg.lb_enabled {

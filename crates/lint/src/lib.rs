@@ -5,8 +5,17 @@
 //! invariant violations a machine could have found: a stale sim clock
 //! reaching the xlate TTL hot path, and a wildcard fallback misattributing
 //! capture pressure. This crate encodes those incident classes — plus the
-//! determinism and hygiene rules that prevent the next ones — as token-level
-//! lint rules with `file:line` diagnostics:
+//! determinism and hygiene rules that prevent the next ones — in two layers:
+//!
+//! * **Lexical rules (R1–R6)**, in [`rules`]: pure functions over one file's
+//!   token stream ([`FileCtx`]).
+//! * **Semantic rules (R7–R9)**, in [`semantic`]: run over a workspace-wide
+//!   symbol graph ([`graph::SymbolGraph`]) built by a lightweight parser
+//!   pass ([`parse`]) on top of the same lexer — enum definitions with
+//!   their variants, fn signatures with parameter names, call sites with
+//!   argument shapes, and classified path uses. Cross-file invariants
+//!   (effect dispatch coverage, abort-row coverage, interprocedural clock
+//!   threading) live here.
 //!
 //! | rule | severity | scope | invariant |
 //! |---|---|---|---|
@@ -15,16 +24,26 @@
 //! | R3 `no-wildcard-arm` | error | all crates | no `_` arm in matches over `Effect`/`AbortReason`/`Fault`/`Event` |
 //! | R4 `panic-hygiene` | error | core, stack | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` |
 //! | R5 `doc-hygiene` | warning | core, stack | every `pub` item documented |
+//! | R6 `shard-isolation` | error | sim, core, stack, cluster, lb | no shared-state concurrency primitives outside `sim/par.rs` |
+//! | R7 `effect-coverage` | error | workspace | every `Effect`/`LbEffect`/`Fault` variant dispatched and constructed |
+//! | R8 `abort-row` | error | workspace | every entered `PhaseId` has an abort row; every emittable `AbortReason` is asserted in a matrix test |
+//! | R9 `clock-dataflow` | error | sim family + dve | no `SimTime::ZERO`-derived constant into a clock parameter, transitively |
 //!
 //! Test code (`#[cfg(test)]` / `#[test]` items, `tests/`, `benches/`) is
 //! exempt from every rule; strings and comments never trigger rules (the
 //! vendored [`lexer`] strips them). Grandfathered sites live in the
 //! repo-root `lint.allow` file, keyed by `(rule, path, enclosing item)` so
-//! entries survive line drift; CI fails if the file grows. `check` treats
-//! warnings as errors (strict mode) so the tree stays clean.
+//! entries survive line drift — function keys are `impl`-qualified
+//! (`fn:MigrationEngine::step_precopy`) so same-named methods in different
+//! `impl` blocks of one file never share a suppression. CI fails if the file
+//! grows. `check` treats warnings as errors (strict mode) so the tree stays
+//! clean.
 
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod semantic;
 
 use lexer::{lex, Tok, TokKind};
 use std::collections::BTreeSet;
@@ -95,30 +114,49 @@ pub struct FileCtx<'a> {
     pub toks: Vec<Tok>,
     /// For each token: inside a `#[cfg(test)]` / `#[test]` item?
     pub in_test: Vec<bool>,
-    /// For each token: name of the innermost enclosing `fn`, if any.
+    /// For each token: `impl`-qualified name (`Type::method`, or the bare
+    /// name for free functions) of the innermost enclosing `fn`, if any.
     pub fn_of: Vec<Option<String>>,
+    /// For each token: type name of the innermost enclosing `impl` block,
+    /// if any.
+    pub impl_of: Vec<Option<String>>,
 }
 
 impl<'a> FileCtx<'a> {
-    /// Lex `src` and compute the test-region and enclosing-function maps.
+    /// Lex `src` and compute the test-region and enclosing-scope maps.
     pub fn new(path: &'a str, src: &str) -> FileCtx<'a> {
         let toks = lex(src);
         let in_test = test_regions(&toks);
-        let fn_of = enclosing_fns(&toks);
+        let (fn_of, impl_of) = scope_maps(&toks);
         FileCtx {
             path,
             toks,
             in_test,
             fn_of,
+            impl_of,
         }
     }
 
     /// Allowlist key for a finding at token `i`: the innermost enclosing
-    /// function, or `top` for module-level code.
+    /// function (`impl`-qualified), or `top` for module-level code.
     pub fn key_at(&self, i: usize) -> String {
         match &self.fn_of[i] {
             Some(f) => format!("fn:{f}"),
             None => "top".to_string(),
+        }
+    }
+
+    /// The `impl`-qualified name of the fn whose `fn` keyword sits at token
+    /// `fn_kw`: `Type::bare` for methods, `bare` for free functions and for
+    /// fns nested inside another fn body.
+    pub fn qualified_fn(&self, fn_kw: usize, bare: &str) -> String {
+        if self.fn_of[fn_kw].is_some() {
+            // Nested inside another fn: not an impl method.
+            return bare.to_string();
+        }
+        match &self.impl_of[fn_kw] {
+            Some(ty) => format!("{ty}::{bare}"),
+            None => bare.to_string(),
         }
     }
 
@@ -212,54 +250,313 @@ pub fn matching_close(toks: &[Tok], open: usize) -> Option<usize> {
     None
 }
 
-/// For each token, the name of the innermost enclosing `fn` body.
-fn enclosing_fns(toks: &[Tok]) -> Vec<Option<String>> {
-    let mut out = vec![None; toks.len()];
-    // Stack of (fn name, brace depth at which its body opened).
-    let mut stack: Vec<(String, u32)> = Vec::new();
+/// For each token, the `impl`-qualified name of the innermost enclosing `fn`
+/// body and the type name of the innermost enclosing `impl` block.
+///
+/// Methods are qualified by their `impl` type (`MigrationEngine::step`), so
+/// allowlist keys distinguish same-named fns in different `impl` blocks of
+/// one file. Fns nested inside another fn body keep their bare name.
+fn scope_maps(toks: &[Tok]) -> (Vec<Option<String>>, Vec<Option<String>>) {
+    let impl_opens = impl_body_opens(toks);
+    let mut fn_of = vec![None; toks.len()];
+    let mut impl_of = vec![None; toks.len()];
+    // Stacks of (name, brace depth at which the body opened).
+    let mut fn_stack: Vec<(String, u32)> = Vec::new();
+    let mut impl_stack: Vec<(String, u32)> = Vec::new();
     let mut pending: Option<String> = None;
+    // Delimiter depth inside the pending fn's signature (arrays in types,
+    // parameter groups) so a `;` or `{` there is not mistaken for the
+    // declaration end / body start.
+    let mut sig_depth = 0i32;
     let mut depth = 0u32;
     for (i, t) in toks.iter().enumerate() {
         match &t.kind {
             TokKind::Ident if t.text == "fn" => {
                 if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
                     pending = Some(name.text.clone());
+                    sig_depth = 0;
                 }
             }
-            TokKind::Punct(';') if depth == stack.last().map_or(0, |(_, d)| *d) => {
+            TokKind::Punct(';') if pending.is_some() && sig_depth == 0 => {
                 // Bodyless declaration (trait method): discard.
                 pending = None;
             }
             TokKind::Open('{') => {
-                depth += 1;
-                if let Some(name) = pending.take() {
-                    stack.push((name, depth));
+                if let Some(ty) = impl_opens.get(&i) {
+                    depth += 1;
+                    impl_stack.push((ty.clone(), depth));
+                    pending = None;
+                } else if pending.is_some() && sig_depth == 0 {
+                    depth += 1;
+                    let bare = pending.take().unwrap_or_default();
+                    // Qualify by the impl type unless nested in another fn.
+                    let qual = match (impl_stack.last(), fn_stack.is_empty()) {
+                        (Some((ty, _)), true) => format!("{ty}::{bare}"),
+                        _ => bare,
+                    };
+                    fn_stack.push((qual, depth));
+                } else if pending.is_some() {
+                    sig_depth += 1;
+                } else {
+                    depth += 1;
                 }
             }
-            TokKind::Close('}') => {
-                if stack.last().is_some_and(|(_, d)| *d == depth) {
-                    stack.pop();
+            TokKind::Open(_) if pending.is_some() => sig_depth += 1,
+            TokKind::Close('}') if pending.is_none() || sig_depth == 0 => {
+                if fn_stack.last().is_some_and(|(_, d)| *d == depth) {
+                    fn_stack.pop();
+                }
+                if impl_stack.last().is_some_and(|(_, d)| *d == depth) {
+                    impl_stack.pop();
                 }
                 depth = depth.saturating_sub(1);
             }
+            TokKind::Close(_) if pending.is_some() && sig_depth > 0 => sig_depth -= 1,
             _ => {}
         }
-        out[i] = stack.last().map(|(n, _)| n.clone());
+        fn_of[i] = fn_stack.last().map(|(n, _)| n.clone());
+        impl_of[i] = impl_stack.last().map(|(n, _)| n.clone());
+    }
+    (fn_of, impl_of)
+}
+
+/// Map from the token index of each `impl` block's body `{` to the impl'd
+/// type name: the last path segment after `for` for trait impls, else the
+/// last top-level path segment of the self type.
+///
+/// Only item-position `impl` counts — `impl Trait` in type position (after
+/// `:`, `(`, `=`, `->`, …) is ignored by checking the preceding token.
+fn impl_body_opens(toks: &[Tok]) -> std::collections::BTreeMap<usize, String> {
+    let mut out = std::collections::BTreeMap::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("impl") {
+            continue;
+        }
+        let item_position = match toks.get(i.wrapping_sub(1)).filter(|_| i > 0) {
+            None => true,
+            Some(p) => {
+                matches!(
+                    p.kind,
+                    TokKind::Close('}')
+                        | TokKind::Close(']')
+                        | TokKind::DocOuter
+                        | TokKind::DocInner
+                ) || p.is_punct(';')
+                    || p.is_ident("unsafe")
+            }
+        };
+        if !item_position {
+            continue;
+        }
+        // Scan the header: track angle/delimiter depth, collect the last
+        // top-level type name before and after `for`, stop at the body `{`.
+        let mut angle = 0i32;
+        let mut delim = 0i32;
+        let mut for_seen = false;
+        let mut where_seen = false;
+        let mut pre: Option<String> = None;
+        let mut post: Option<String> = None;
+        let mut j = i + 1;
+        while let Some(t) = toks.get(j) {
+            match &t.kind {
+                TokKind::Punct('<') => angle += 1,
+                TokKind::Punct('>') => angle -= 1,
+                TokKind::Open('{') if angle <= 0 && delim == 0 => {
+                    if let Some(name) = post.or(pre) {
+                        out.insert(j, name);
+                    }
+                    break;
+                }
+                TokKind::Open(_) => delim += 1,
+                TokKind::Close(_) => delim -= 1,
+                TokKind::Punct(';') if angle <= 0 && delim == 0 => break,
+                TokKind::Ident if angle <= 0 && delim == 0 && !where_seen => {
+                    match t.text.as_str() {
+                        "for" => for_seen = true,
+                        "where" => where_seen = true,
+                        "const" | "unsafe" | "dyn" | "mut" => {}
+                        _ if for_seen => post = Some(t.text.clone()),
+                        _ => pre = Some(t.text.clone()),
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
     }
     out
 }
 
-/// Run every rule over one file. `path` must be repo-relative with `/`
-/// separators — rule scoping matches on its prefix.
+/// One entry in the rule registry: identity, layer and the metadata the
+/// CLI renders (`rules`, `explain`).
+pub struct RuleInfo {
+    /// Rule id, e.g. `"R7"`.
+    pub id: &'static str,
+    /// Short rule name, e.g. `"effect-coverage"`.
+    pub name: &'static str,
+    /// Severity of the rule's findings.
+    pub severity: Severity,
+    /// `"lexical"` (per-file token pass) or `"semantic"` (symbol graph).
+    pub layer: &'static str,
+    /// Human-readable scope.
+    pub scope: &'static str,
+    /// One-line summary for the rule table.
+    pub summary: &'static str,
+    /// Name of the implementing fn, for doc-comment extraction.
+    fn_ident: &'static str,
+    /// Source of the module holding the implementing fn.
+    src: &'static str,
+}
+
+const RULES_SRC: &str = include_str!("rules.rs");
+const SEMANTIC_SRC: &str = include_str!("semantic.rs");
+
+/// Every rule, in id order. The CLI's `rules` table and `explain` output
+/// are generated from this so they cannot drift from the implementations.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "R1",
+        name: "determinism",
+        severity: Severity::Error,
+        layer: "lexical",
+        scope: "sim,core,stack,cluster,lb",
+        summary: "no HashMap/HashSet/Instant::now/SystemTime::now/thread_rng",
+        fn_ident: "r1_determinism",
+        src: RULES_SRC,
+    },
+    RuleInfo {
+        id: "R2",
+        name: "clock-threading",
+        severity: Severity::Error,
+        layer: "lexical",
+        scope: "stack",
+        summary: "last_hit/TTL state needs a `now` param; no SimTime::ZERO into *_at()",
+        fn_ident: "r2_clock_threading",
+        src: RULES_SRC,
+    },
+    RuleInfo {
+        id: "R3",
+        name: "no-wildcard-arm",
+        severity: Severity::Error,
+        layer: "lexical",
+        scope: "all crates",
+        summary: "no `_` arm in matches over Effect/AbortReason/Fault/Event/LbMsg/Strategy",
+        fn_ident: "r3_no_wildcard_arm",
+        src: RULES_SRC,
+    },
+    RuleInfo {
+        id: "R4",
+        name: "panic-hygiene",
+        severity: Severity::Error,
+        layer: "lexical",
+        scope: "core,stack",
+        summary: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented!",
+        fn_ident: "r4_panic_hygiene",
+        src: RULES_SRC,
+    },
+    RuleInfo {
+        id: "R5",
+        name: "doc-hygiene",
+        severity: Severity::Warning,
+        layer: "lexical",
+        scope: "core,stack",
+        summary: "every pub item documented",
+        fn_ident: "r5_doc_hygiene",
+        src: RULES_SRC,
+    },
+    RuleInfo {
+        id: "R6",
+        name: "shard-isolation",
+        severity: Severity::Error,
+        layer: "lexical",
+        scope: "sim,core,stack,cluster,lb",
+        summary: "no Mutex/RwLock/Condvar/Atomic*/mpsc/thread::spawn outside sim/par.rs",
+        fn_ident: "r6_shard_isolation",
+        src: RULES_SRC,
+    },
+    RuleInfo {
+        id: "R7",
+        name: "effect-coverage",
+        severity: Severity::Error,
+        layer: "semantic",
+        scope: "workspace",
+        summary: "every Effect/LbEffect/Fault variant dispatched and constructed",
+        fn_ident: "r7_effect_coverage",
+        src: SEMANTIC_SRC,
+    },
+    RuleInfo {
+        id: "R8",
+        name: "abort-row",
+        severity: Severity::Error,
+        layer: "semantic",
+        scope: "workspace",
+        summary: "every entered PhaseId has an abort row; every emittable AbortReason asserted in a matrix test",
+        fn_ident: "r8_abort_rows",
+        src: SEMANTIC_SRC,
+    },
+    RuleInfo {
+        id: "R9",
+        name: "clock-dataflow",
+        severity: Severity::Error,
+        layer: "semantic",
+        scope: "sim,core,stack,cluster,lb,dve",
+        summary: "no literal/SimTime::ZERO-derived constant into a clock parameter, transitively",
+        fn_ident: "r9_clock_dataflow",
+        src: SEMANTIC_SRC,
+    },
+];
+
+/// Look up a rule by id (`"R7"`) or name (`"effect-coverage"`).
+pub fn rule_info(id_or_name: &str) -> Option<&'static RuleInfo> {
+    RULES
+        .iter()
+        .find(|r| r.id.eq_ignore_ascii_case(id_or_name) || r.name == id_or_name)
+}
+
+/// The rule's full explanation: rationale, minimal bad/good example and bug
+/// lineage, extracted from the doc comment of the implementing fn (embedded
+/// via `include_str!` so the text cannot drift from the code).
+pub fn explain(id_or_name: &str) -> Option<String> {
+    let info = rule_info(id_or_name)?;
+    let needle = format!("pub fn {}(", info.fn_ident);
+    let lines: Vec<&str> = info.src.lines().collect();
+    let def = lines.iter().position(|l| l.contains(&needle))?;
+    let mut doc: Vec<String> = Vec::new();
+    for l in lines[..def].iter().rev() {
+        let t = l.trim_start();
+        if let Some(rest) = t.strip_prefix("///") {
+            doc.push(rest.strip_prefix(' ').unwrap_or(rest).to_string());
+        } else {
+            break;
+        }
+    }
+    doc.reverse();
+    let mut out = format!(
+        "{} {} ({}, {} layer)\nscope: {}\n\n",
+        info.id, info.name, info.severity, info.layer, info.scope
+    );
+    out.push_str(&doc.join("\n"));
+    out.push('\n');
+    Some(out)
+}
+
+/// Run every lexical rule over an already-built [`FileCtx`].
+fn lexical_rules(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    rules::r1_determinism(ctx, out);
+    rules::r2_clock_threading(ctx, out);
+    rules::r3_no_wildcard_arm(ctx, out);
+    rules::r4_panic_hygiene(ctx, out);
+    rules::r5_doc_hygiene(ctx, out);
+    rules::r6_shard_isolation(ctx, out);
+}
+
+/// Run every lexical rule over one file. `path` must be repo-relative with
+/// `/` separators — rule scoping matches on its prefix. The semantic rules
+/// need the whole workspace and run only through [`check_workspace`].
 pub fn lint_file(path: &str, src: &str) -> Vec<Diagnostic> {
     let ctx = FileCtx::new(path, src);
     let mut out = Vec::new();
-    rules::r1_determinism(&ctx, &mut out);
-    rules::r2_clock_threading(&ctx, &mut out);
-    rules::r3_no_wildcard_arm(&ctx, &mut out);
-    rules::r4_panic_hygiene(&ctx, &mut out);
-    rules::r5_doc_hygiene(&ctx, &mut out);
-    rules::r6_shard_isolation(&ctx, &mut out);
+    lexical_rules(&ctx, &mut out);
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
@@ -330,11 +627,17 @@ pub struct CheckReport {
 }
 
 /// Walk every workspace source directory under `root` (`crates/*/src` and
-/// the umbrella crate's `src/`), lint each `.rs` file, and apply `allow`.
-/// `compat/` stubs and this crate's own `tests/fixtures` are outside the
-/// walked set by construction.
+/// the umbrella crate's `src/`), lint each `.rs` file, run the semantic
+/// rules over the workspace symbol graph, and apply `allow`.
+///
+/// Integration-test files (the umbrella `tests/` and each crate's `tests/`)
+/// are never linted but *are* parsed into the symbol graph: the construction
+/// census (R7) and the assertion census (R8) need to see them. `compat/`
+/// stubs and this crate's own `tests/fixtures` are outside the walked set by
+/// construction.
 pub fn check_workspace(root: &Path, allow: &Allowlist) -> std::io::Result<CheckReport> {
     let mut files: Vec<std::path::PathBuf> = Vec::new();
+    let mut aux_files: Vec<std::path::PathBuf> = Vec::new();
     let crates = root.join("crates");
     if crates.is_dir() {
         let mut members: Vec<_> = std::fs::read_dir(&crates)?
@@ -344,32 +647,58 @@ pub fn check_workspace(root: &Path, allow: &Allowlist) -> std::io::Result<CheckR
         members.sort();
         for member in members {
             collect_rs(&member.join("src"), &mut files)?;
+            collect_rs(&member.join("tests"), &mut aux_files)?;
         }
     }
     collect_rs(&root.join("src"), &mut files)?;
+    collect_rs(&root.join("tests"), &mut aux_files)?;
     files.sort();
+    aux_files.sort();
 
     let mut findings = Vec::new();
     let mut allowed = 0usize;
     let mut used = BTreeSet::new();
+    let mut syms: Vec<parse::FileSyms> = Vec::new();
     let scanned = files.len();
-    for file in files {
+    for (file, lint_it) in files
+        .iter()
+        .map(|f| (f, true))
+        .chain(aux_files.iter().map(|f| (f, false)))
+    {
         let rel = file
             .strip_prefix(root)
-            .unwrap_or(&file)
+            .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = std::fs::read_to_string(&file)?;
-        for d in lint_file(&rel, &src) {
-            if allow.allows(&d) {
-                allowed += 1;
-                used.insert(d.allow_entry());
-            } else {
-                findings.push(d);
-            }
+        let src = std::fs::read_to_string(file)?;
+        let ctx = FileCtx::new(&rel, &src);
+        if lint_it {
+            let mut file_findings = Vec::new();
+            lexical_rules(&ctx, &mut file_findings);
+            findings.append(&mut file_findings);
         }
+        syms.push(parse::FileSyms::from_ctx(&ctx));
     }
-    findings.sort_by_key(|a| (a.path.clone(), a.line));
+    let graph = graph::SymbolGraph::build(syms);
+    semantic::run(&graph, &mut findings);
+
+    findings.retain(|d| {
+        if allow.allows(d) {
+            allowed += 1;
+            used.insert(d.allow_entry());
+            false
+        } else {
+            true
+        }
+    });
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.key.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.key.as_str(),
+        ))
+    });
     let stale_allows = allow.unused(&used).into_iter().map(String::from).collect();
     Ok(CheckReport {
         findings,
@@ -427,6 +756,63 @@ mod tests {
         let ctx = FileCtx::new("crates/stack/src/x.rs", src);
         let mark = ctx.toks.iter().position(|t| t.is_ident("mark")).unwrap();
         assert_eq!(ctx.fn_of[mark].as_deref(), Some("inner"));
+    }
+
+    #[test]
+    fn impl_qualified_fn_names() {
+        let src = "impl Table { fn install(&mut self) { mark(); } }\n\
+                   impl Other { fn install(&mut self) { mark2(); } }\n\
+                   fn free() { mark3(); }\n\
+                   impl fmt::Display for Wide { fn fmt(&self) { mark4(); } }";
+        let ctx = FileCtx::new("crates/stack/src/x.rs", src);
+        let at = |name: &str| {
+            let i = ctx.toks.iter().position(|t| t.is_ident(name)).unwrap();
+            ctx.fn_of[i].clone().unwrap()
+        };
+        assert_eq!(at("mark"), "Table::install");
+        assert_eq!(at("mark2"), "Other::install");
+        assert_eq!(at("mark3"), "free");
+        assert_eq!(at("mark4"), "Wide::fmt");
+    }
+
+    #[test]
+    fn impl_in_type_position_is_not_a_scope() {
+        let src = "fn f(g: impl Fn(u8) -> u8) { mark(); }";
+        let ctx = FileCtx::new("crates/stack/src/x.rs", src);
+        let mark = ctx.toks.iter().position(|t| t.is_ident("mark")).unwrap();
+        assert_eq!(ctx.fn_of[mark].as_deref(), Some("f"));
+        assert_eq!(ctx.impl_of[mark], None);
+    }
+
+    #[test]
+    fn generic_impl_and_nested_fn_qualification() {
+        let src = "impl<K: Ord> Heap<K> { fn push(&mut self, k: K) { fn helper() { mark(); } } }";
+        let ctx = FileCtx::new("crates/stack/src/x.rs", src);
+        let mark = ctx.toks.iter().position(|t| t.is_ident("mark")).unwrap();
+        // The nested helper is not a method: bare name.
+        assert_eq!(ctx.fn_of[mark].as_deref(), Some("helper"));
+        let k = ctx.toks.iter().rposition(|t| t.is_ident("k")).unwrap();
+        assert_eq!(ctx.impl_of[k].as_deref(), Some("Heap"));
+    }
+
+    #[test]
+    fn explain_extracts_rule_docs() {
+        let text = explain("R9").expect("R9 is registered");
+        assert!(text.starts_with("R9 clock-dataflow"));
+        assert!(text.contains("PR 3"), "lineage must be stated: {text}");
+        assert!(text.contains("Bad"), "needs a bad example: {text}");
+        assert!(text.contains("Good"), "needs a good example: {text}");
+        // Every registered rule must explain itself.
+        for r in RULES {
+            let t = explain(r.id).unwrap_or_else(|| panic!("{} has no explanation", r.id));
+            assert!(
+                t.contains(r.name),
+                "{} explanation must name the rule",
+                r.id
+            );
+        }
+        assert!(explain("effect-coverage").is_some(), "lookup by name works");
+        assert!(explain("R99").is_none());
     }
 
     #[test]

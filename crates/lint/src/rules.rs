@@ -1,8 +1,14 @@
-//! The repo-specific lint rules. Each rule is a pure function over a
+//! The lexical lint rules (R1–R6). Each rule is a pure function over a
 //! [`FileCtx`] appending [`Diagnostic`]s; scoping (which crates a rule
-//! watches) lives here next to the rule it configures.
+//! watches) lives here next to the rule it configures. Cross-file rules
+//! (R7–R9) live in [`crate::semantic`] and run over the symbol graph.
+//!
+//! Rule doc comments double as the `explain` subcommand's output (extracted
+//! from the embedded source), so each carries its rationale, a minimal
+//! bad/good example and the bug class it descends from.
 
 use crate::lexer::{Tok, TokKind};
+use crate::parse::{arms, fn_sites, match_body};
 use crate::{matching_close, Diagnostic, FileCtx, Severity};
 
 /// Crates whose runtime behaviour feeds the deterministic simulation: any
@@ -39,6 +45,13 @@ const R3_ENUMS: &[&str] = &[
 /// R1 `determinism`: no `HashMap`/`HashSet` (RandomState iteration order),
 /// no `Instant::now`/`SystemTime::now` (wall clock), no `thread_rng`
 /// (unseeded randomness) in simulation-facing crates.
+///
+/// Lineage: the repo's acceptance bar is byte-identical fig5b/5c/timeline
+/// output across PRs and shard counts; one RandomState iteration in a hot
+/// loop silently reorders events and breaks that forever.
+///
+/// Bad:  `let mut queues: HashMap<NodeId, Vec<Msg>> = HashMap::new();`
+/// Good: `let mut queues: BTreeMap<NodeId, Vec<Msg>> = BTreeMap::new();`
 pub fn r1_determinism(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     if !ctx.in_scope(R1_SCOPE) {
         return;
@@ -82,11 +95,19 @@ fn path_call(toks: &[Tok], i: usize, method: &str) -> bool {
 ///   xlate rules.
 /// * **R2b** — passing `SimTime::ZERO` as an argument to a `*_at(…)` call is
 ///   that invention at the call site: a clock-threaded API fed a constant.
+///
+/// Lineage: PR 3 shipped an xlate-table wrapper that installed TTL rules at
+/// `SimTime::ZERO`, so the GC sweep saw every rule as idle-expired and
+/// evicted live translations mid-migration. R9 (`clock-dataflow`)
+/// generalizes this rule across call hops and crates.
+///
+/// Bad:  `fn install(&mut self, r: Rule) { self.install_at(r, SimTime::ZERO) }`
+/// Good: `fn install(&mut self, r: Rule, now: SimTime) { self.install_at(r, now) }`
 pub fn r2_clock_threading(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     if !ctx.in_scope(&["crates/stack/"]) {
         return;
     }
-    for f in functions(&ctx.toks) {
+    for f in fn_sites(&ctx.toks) {
         if ctx.in_test[f.fn_kw] {
             continue;
         }
@@ -102,14 +123,15 @@ pub fn r2_clock_threading(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
             .any(|t| t.is_ident("now"));
         if touches_ttl && !has_now {
             // Keyed by the offending fn itself (at the `fn` keyword the
-            // enclosing-fn map would say `top`).
+            // enclosing-fn map would say `top`), impl-qualified so two
+            // same-named methods never share a suppression.
             out.push(Diagnostic {
                 rule: "R2",
                 name: "clock-threading",
                 severity: Severity::Error,
                 path: ctx.path.to_string(),
                 line: ctx.toks[f.fn_kw].line,
-                key: format!("fn:{}", f.name),
+                key: format!("fn:{}", ctx.qualified_fn(f.fn_kw, &f.name)),
                 msg: format!(
                     "fn `{}` touches `last_hit` (TTL state) but takes no `now` parameter; thread the sim clock through",
                     f.name
@@ -157,6 +179,15 @@ pub fn r2_clock_threading(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
 
 /// R3 `no-wildcard-arm`: a `match` whose arm patterns name one of the
 /// cross-layer enums must not contain a bare `_` arm.
+///
+/// Lineage: PR 3's capture-pressure misattribution — a `_` fallback in the
+/// effect dispatcher silently swallowed a new variant, charging its cost to
+/// the wrong phase. Adding a variant has to force every layer to decide.
+/// R7 (`effect-coverage`) proves the complementary cross-file half: the arm
+/// actually exists in every dispatcher.
+///
+/// Bad:  `match e { Effect::Complete => done(), _ => {} }`
+/// Good: `match e { Effect::Complete => done(), Effect::Aborted => undo() }`
 pub fn r3_no_wildcard_arm(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     if !ctx.in_scope(&["crates/"]) {
         return;
@@ -219,6 +250,14 @@ fn path_sep(pat: &[Tok], k: usize) -> bool {
 /// `panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test core/stack
 /// code — hot paths must surface typed errors or documented allowlisted
 /// invariants, not process aborts.
+///
+/// Lineage: a panic mid-migration tears down the whole simulated cluster
+/// instead of surfacing a typed `AbortReason`, so one bad unwrap turns a
+/// recoverable fault into a vanished experiment. Grandfathered sites live
+/// in `lint.allow`, each keyed `fn:<Impl::name>` with a written invariant.
+///
+/// Bad:  `let p = self.staged.take().unwrap();`
+/// Good: `let Some(p) = self.staged.take() else { return self.abort(reason) };`
 pub fn r4_panic_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     if !ctx.in_scope(R4_SCOPE) {
         return;
@@ -259,6 +298,14 @@ pub fn r4_panic_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
 /// core/stack carries an outer doc comment. `pub(crate)`/`pub(super)`
 /// restricted items and `pub use` re-exports (documented at the definition)
 /// are exempt.
+///
+/// Lineage: the contribution layer (core/stack) is the paper-facing API;
+/// undocumented knobs are how configuration drift between experiments went
+/// unnoticed pre-PR 2. Warning severity, but `check` is strict, so the tree
+/// stays at zero either way.
+///
+/// Bad:  `pub fn detach_budget(&self) -> u32 { … }`
+/// Good: `/// Bytes the freeze window may still ship.` above it.
 pub fn r5_doc_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     if !ctx.in_scope(R5_SCOPE) {
         return;
@@ -306,6 +353,14 @@ const R6_EXEMPT: &[&str] = &["crates/sim/src/par.rs"];
 /// barrier in dispatch order; a stray primitive is a channel for
 /// scheduling-dependent (thread-count-dependent) behaviour to leak into
 /// simulation state.
+///
+/// Lineage: PR 6 sharded the event loop with a byte-identical-at-any-
+/// thread-count guarantee; that guarantee survives only while `sim/par.rs`
+/// is the single home of shared-state primitives.
+///
+/// Bad:  `static HITS: AtomicU64 = AtomicU64::new(0);` in a shard hot path.
+/// Good: count in the task's mailbox and merge at the barrier in dispatch
+/// order.
 pub fn r6_shard_isolation(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     if !ctx.in_scope(R1_SCOPE) || R6_EXEMPT.contains(&ctx.path) {
         return;
@@ -427,138 +482,6 @@ fn documented(toks: &[Tok], i: usize) -> bool {
         }
     }
     false
-}
-
-/// A function found in the stream: its `fn` keyword, name, parameter-group
-/// token span (inclusive of the delimiters) and body span, if any.
-struct FnSite {
-    fn_kw: usize,
-    name: String,
-    params: (usize, usize),
-    body: Option<(usize, usize)>,
-}
-
-/// Find every `fn` with its parameter list and body. Generic parameter
-/// lists between name and `(` are skipped by angle-depth tracking.
-fn functions(toks: &[Tok]) -> Vec<FnSite> {
-    let mut out = Vec::new();
-    for (i, t) in toks.iter().enumerate() {
-        if !t.is_ident("fn") {
-            continue;
-        }
-        let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
-            continue;
-        };
-        // Parameter group: first `(` at generic-angle depth 0.
-        let mut j = i + 2;
-        let mut angle = 0i32;
-        let params_open = loop {
-            match toks.get(j).map(|t| &t.kind) {
-                Some(TokKind::Punct('<')) => angle += 1,
-                Some(TokKind::Punct('>')) => angle -= 1,
-                Some(TokKind::Open('(')) if angle <= 0 => break Some(j),
-                Some(_) => {}
-                None => break None,
-            }
-            j += 1;
-        };
-        let Some(params_open) = params_open else {
-            continue;
-        };
-        let Some(params_close) = matching_close(toks, params_open) else {
-            continue;
-        };
-        // Body: first `{` before a top-level `;` (bodyless trait method).
-        let mut k = params_close + 1;
-        let mut body = None;
-        let mut depth = 0i32;
-        while let Some(t) = toks.get(k) {
-            match t.kind {
-                TokKind::Open('{') if depth == 0 => {
-                    body = matching_close(toks, k).map(|c| (k, c));
-                    break;
-                }
-                TokKind::Open(_) => depth += 1,
-                TokKind::Close(_) => depth -= 1,
-                TokKind::Punct(';') if depth == 0 => break,
-                _ => {}
-            }
-            k += 1;
-        }
-        out.push(FnSite {
-            fn_kw: i,
-            name: name_tok.text.clone(),
-            params: (params_open, params_close),
-            body,
-        });
-    }
-    out
-}
-
-/// The `{` opening a match body: first top-level `{` after the scrutinee
-/// (parens/brackets in the scrutinee are depth-tracked).
-fn match_body(toks: &[Tok], match_kw: usize) -> Option<usize> {
-    let mut depth = 0i32;
-    for (j, t) in toks.iter().enumerate().skip(match_kw + 1) {
-        match t.kind {
-            TokKind::Open('{') if depth == 0 => return Some(j),
-            TokKind::Open(_) => depth += 1,
-            TokKind::Close(_) => depth -= 1,
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Split a match body into arms: returns `(pattern_start, arrow_index)` for
-/// each `pattern => value` at the body's top level.
-fn arms(toks: &[Tok], body_open: usize, body_close: usize) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    let mut j = body_open + 1;
-    while j < body_close {
-        let pat_start = j;
-        // Scan the pattern to its `=>` at arm level.
-        let mut depth = 0i32;
-        let mut arrow = None;
-        while j < body_close {
-            let t = &toks[j];
-            match t.kind {
-                TokKind::Open(_) => depth += 1,
-                TokKind::Close(_) => depth -= 1,
-                TokKind::Punct('=')
-                    if depth == 0 && toks.get(j + 1).is_some_and(|n| n.is_punct('>')) =>
-                {
-                    arrow = Some(j);
-                    break;
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        let Some(arrow) = arrow else { break };
-        out.push((pat_start, arrow));
-        // Skip the arm value: a brace group, or tokens to a `,` at arm level.
-        j = arrow + 2;
-        if j < body_close && matches!(toks[j].kind, TokKind::Open('{')) {
-            j = matching_close(toks, j).map_or(body_close, |c| c + 1);
-        } else {
-            let mut depth = 0i32;
-            while j < body_close {
-                match toks[j].kind {
-                    TokKind::Open(_) => depth += 1,
-                    TokKind::Close(_) => depth -= 1,
-                    TokKind::Punct(',') if depth == 0 => break,
-                    _ => {}
-                }
-                j += 1;
-            }
-        }
-        // Skip the trailing comma.
-        if j < body_close && toks[j].is_punct(',') {
-            j += 1;
-        }
-    }
-    out
 }
 
 fn diag(

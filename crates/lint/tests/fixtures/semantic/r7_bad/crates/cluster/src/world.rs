@@ -1,0 +1,16 @@
+//! The runtime dispatcher of the R7 mini-root: routes every variant
+//! except `QueuePressure` — the missing arm R7 must report.
+
+struct World {
+    shipped: u64,
+}
+
+impl World {
+    fn apply_effect(&mut self, e: Effect) {
+        match e {
+            Effect::PhaseEntered => {}
+            Effect::Shipped => self.shipped += 1,
+            Effect::Aborted => self.shipped = 0,
+        }
+    }
+}

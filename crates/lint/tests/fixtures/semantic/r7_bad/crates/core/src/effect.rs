@@ -1,0 +1,11 @@
+//! R7 mini-root: the effect vocabulary. `QueuePressure` is constructed in
+//! `emit.rs` but `World::apply_effect` never names it (missing arm);
+//! `Aborted` is named by every dispatcher but constructed nowhere (dead
+//! variant).
+
+enum Effect {
+    PhaseEntered,
+    Shipped,
+    QueuePressure,
+    Aborted,
+}

@@ -1,0 +1,8 @@
+//! Construction census for the R7 mini-root: everything but `Aborted` is
+//! built here.
+
+fn emit_all(q: &mut Vec<Effect>) {
+    q.push(Effect::PhaseEntered);
+    q.push(Effect::Shipped);
+    q.push(Effect::QueuePressure);
+}

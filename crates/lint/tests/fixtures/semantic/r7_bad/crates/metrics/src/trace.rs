@@ -1,0 +1,17 @@
+//! The trace recorder of the R7 mini-root: names every variant, so the
+//! only findings come from the runtime dispatcher and the dead variant.
+
+struct TraceRecorder {
+    events: u64,
+}
+
+impl TraceRecorder {
+    fn observe(&mut self, e: &Effect) {
+        match e {
+            Effect::PhaseEntered => self.events += 1,
+            Effect::Shipped => self.events += 1,
+            Effect::QueuePressure => self.events += 1,
+            Effect::Aborted => self.events += 1,
+        }
+    }
+}

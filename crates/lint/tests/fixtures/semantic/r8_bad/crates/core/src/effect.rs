@@ -1,0 +1,13 @@
+//! R8 mini-root vocabulary: two phases, two abort reasons. `Freeze` is
+//! entered without an abort row; `Torn` is emittable but no matrix test
+//! asserts it.
+
+enum PhaseId {
+    Precopy,
+    Freeze,
+}
+
+enum AbortReason {
+    Stalled,
+    Torn,
+}

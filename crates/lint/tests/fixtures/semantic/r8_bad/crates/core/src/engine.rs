@@ -1,0 +1,30 @@
+//! R8 mini-root engine: enters `Precopy` (abort row: `abort_precopy` plus
+//! a `MigrationAborted` literal) and `Freeze` (no abort row — the phase
+//! finding). `AbortReason::Stalled` is asserted by the matrix test;
+//! `AbortReason::Torn` is emittable but asserted nowhere — the reason
+//! finding.
+
+struct Engine {
+    effects: Vec<Effect>,
+}
+
+impl Engine {
+    fn step_precopy(&mut self) {
+        self.effects.push(Effect::PhaseEntered(PhaseId::Precopy));
+    }
+
+    fn step_freeze(&mut self) {
+        self.effects.push(Effect::PhaseEntered(PhaseId::Freeze));
+    }
+
+    fn abort_precopy(&mut self) -> MigrationAborted {
+        MigrationAborted {
+            phase: PhaseId::Precopy,
+            reason: AbortReason::Stalled,
+        }
+    }
+
+    fn fail_freeze(&mut self) -> AbortReason {
+        AbortReason::Torn
+    }
+}

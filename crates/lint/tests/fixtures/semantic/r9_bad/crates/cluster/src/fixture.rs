@@ -1,0 +1,22 @@
+//! R9 mini-root: the PR-3 stale-clock shape, one hop removed and outside
+//! `crates/stack`, so the lexical R2 cannot see it — only the call-graph
+//! taint can. `refresh`'s `now` seeds the taint, `sweep`'s `t` inherits it,
+//! and `tick` feeds the epoch constant in at the top.
+
+struct Cache {
+    last_hit: SimTime,
+}
+
+impl Cache {
+    fn refresh(&mut self, now: SimTime) {
+        self.last_hit = now;
+    }
+
+    fn sweep(&mut self, t: SimTime) {
+        self.refresh(t);
+    }
+
+    fn tick(&mut self) {
+        self.sweep(SimTime::ZERO);
+    }
+}

@@ -21,6 +21,7 @@
 use dvelm::dve::apps::UPDATE_BYTES;
 use dvelm::dve::{SwarmClient, ZoneServer, ZONE_BASE_PORT};
 use dvelm::lb::ConductorPhase;
+use dvelm::migrate::AbortReason;
 use dvelm::monitor::InvariantViolation;
 use dvelm::prelude::*;
 use std::cell::RefCell;
@@ -487,6 +488,51 @@ fn fence_prevents_split_brain_past_detach() {
     });
     s.w.run_for(40 * SECOND);
     assert_cell_safe(&mut s, "fenced post-detach");
+}
+
+/// The abort row for the fence itself: `AbortReason::FencedStaleEpoch` by
+/// name, not merely a safe cell. The 20 s heal above never reaches the
+/// fence — the sender's force-cancel ticks at ~15 s mid-partition and wins
+/// with `TransferStalled`. Here the heal is aimed *into the fence window*:
+/// the cut opens past detach and closes 1 µs after the destination's lease
+/// expires, before the sender's next 500 ms conductor tick can cancel. The
+/// woken transfer steps first, the destination refuses the stale-epoch
+/// resume, and the fence is the component that reports the abort.
+#[test]
+fn fence_reports_stale_epoch_abort_by_name() {
+    let mut s = build(0x9ae0, true);
+    run_until_phase(&mut s.w, s.n0, "fence window", |p| {
+        matches!(p, ConductorPhase::Sending { .. })
+    });
+    let mig = s.w.migration_of(s.zone).expect("transfer in flight");
+    let mut deadline = s.w.now();
+    while s.w.migration_past_detach(mig) == Some(false) {
+        deadline += 200;
+        s.w.run_until(deadline);
+    }
+    let phase = s.w.hosts[s.n0]
+        .conductor
+        .as_ref()
+        .expect("conductor")
+        .phase();
+    let ConductorPhase::Sending { lease_until, .. } = phase else {
+        panic!("sender must still be mid-transfer, got {phase:?}");
+    };
+    let (a, b) = (s.n0, s.n1);
+    s.w.inject_fault(Fault::Partition {
+        groups: [HostSet::of(&[a]), HostSet::of(&[b])],
+        for_us: lease_until.saturating_since(s.w.now()) + 1,
+    });
+    s.w.run_for(40 * SECOND);
+    match s.w.migration_outcome(mig) {
+        Some(MigrationOutcome::Aborted { reason, .. }) => assert_eq!(
+            reason,
+            AbortReason::FencedStaleEpoch,
+            "the fence, not the stall timeout, must be what stopped the resume"
+        ),
+        other => panic!("fenced transfer must abort at the fence, got {other:?}"),
+    }
+    assert_cell_safe(&mut s, "fence window");
 }
 
 /// The same scenario with the fence *disabled* is the control experiment:
