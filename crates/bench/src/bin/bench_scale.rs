@@ -11,6 +11,9 @@
 //! * `--strategy` — the 4x100 cell once per migration strategy (all five,
 //!   including post-copy and hybrid), recording per-strategy demand-fetch
 //!   and write-back counters in strategy-qualified rows;
+//! * `--aoi` — the interest-routed sweep (`@aoi` rows): 64x1000 and
+//!   256x10000 under zone multicast instead of broadcast, plus the first
+//!   1024-node/100k-client cell, which only AOI makes tractable;
 //! * `--threads N` — the base trajectory with every cell forced to N
 //!   worker threads (for measuring one thread count on a given host);
 //! * `--compare <baseline.json> <fresh.json> [tolerance]` — exit non-zero
@@ -52,7 +55,28 @@ fn cell(nodes: usize, clients: usize, migrations: usize, run_secs: u64) -> Scale
         threads: 1,
         monitored: false,
         strategy: Strategy::IncrementalCollective,
+        aoi: false,
     }
+}
+
+/// An interest-routed variant of [`cell`] (`@aoi`-suffixed row key).
+fn aoi_cell(nodes: usize, clients: usize, migrations: usize, run_secs: u64) -> ScaleConfig {
+    ScaleConfig {
+        aoi: true,
+        ..cell(nodes, clients, migrations, run_secs)
+    }
+}
+
+/// The `--aoi` sweep: interest-managed routing at the sizes where the
+/// broadcast wall bites. The 256x10000 zoned row is the headline (same
+/// world as the broadcast row, O(1) instead of O(nodes) inbound fan-out);
+/// 1024x100000 is the first cell past the broadcast-feasible region.
+fn aoi_trajectory() -> Vec<ScaleConfig> {
+    vec![
+        aoi_cell(64, 1000, 8, 2),
+        aoi_cell(256, 10_000, 16, 1),
+        aoi_cell(1024, 100_000, 8, 1),
+    ]
 }
 
 /// The `--strategy` sweep: the 4x100 cell once per migration strategy
@@ -90,6 +114,7 @@ fn full_trajectory() -> Vec<ScaleConfig> {
             cfgs.push(c);
         }
     }
+    cfgs.extend(aoi_trajectory());
     cfgs
 }
 
@@ -105,6 +130,10 @@ fn quick_trajectory() -> Vec<ScaleConfig> {
     let mut par = cell(64, 1000, 8, 2);
     par.threads = 4;
     cfgs.push(par);
+    // The zoned headline row: CI gates it against the committed baseline
+    // like any other cell, so a regression in the interest-routing fast
+    // path shows up as a wall-clock failure, not just a determinism one.
+    cfgs.push(aoi_cell(256, 10_000, 16, 1));
     cfgs
 }
 
@@ -181,12 +210,15 @@ fn compare_mode(args: &[String]) -> ! {
     };
     let baseline = read_json(base_path);
     let fresh = read_json(fresh_path);
-    let problems = compare_bench(&baseline, &fresh, tolerance);
-    if problems.is_empty() {
+    let outcome = compare_bench(&baseline, &fresh, tolerance);
+    for w in &outcome.warnings {
+        eprintln!("WARNING: {w}");
+    }
+    if outcome.problems.is_empty() {
         println!("bench_scale: no regression beyond {tolerance}x against {base_path}");
         std::process::exit(0);
     }
-    for p in &problems {
+    for p in &outcome.problems {
         eprintln!("REGRESSION: {p}");
     }
     std::process::exit(1);
@@ -269,6 +301,10 @@ fn main() {
             let cells = run_sweep(&strategy_trajectory());
             write_outputs(&cells);
         }
+        Some("--aoi") => {
+            let cells = run_sweep(&aoi_trajectory());
+            write_outputs(&cells);
+        }
         Some("--threads") => {
             let threads: usize = args.get(1).and_then(|t| t.parse().ok()).unwrap_or_else(|| {
                 eprintln!("usage: bench_scale --threads <N>");
@@ -290,8 +326,8 @@ fn main() {
         }
         Some(other) => {
             eprintln!(
-                "unknown argument {other:?}; use --quick, --strategy, --threads, \
-                 --compare or --compare-threads"
+                "unknown argument {other:?}; use --quick, --strategy, --aoi, \
+                 --threads, --compare or --compare-threads"
             );
             std::process::exit(2);
         }

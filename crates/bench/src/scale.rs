@@ -16,7 +16,7 @@
 use crate::json::Json;
 use dvelm_cluster::{shards_from_env, World, WorldConfig};
 use dvelm_migrate::Strategy;
-use dvelm_net::{Ip, SockAddr};
+use dvelm_net::{Ip, SockAddr, ZoneId};
 use dvelm_openarena::apps::{OaClient, OaServer, OA_PORT};
 use dvelm_sim::{SimTime, MILLISECOND, SECOND};
 use std::cell::RefCell;
@@ -57,6 +57,11 @@ pub struct ScaleConfig {
     /// the full five-variant family, whose residual counters
     /// (`demand_fetch_*`/`writeback_*`) land in `BENCH_scale.json`.
     pub strategy: Strategy,
+    /// Interest-managed (AOI) routing: each server's port is mapped to its
+    /// own zone, so inbound usercmds reach only the serving node instead of
+    /// the full broadcast. AOI rows get an `@aoi`-suffixed cell key; the
+    /// broadcast rows keep their historical keys and bytes.
+    pub aoi: bool,
 }
 
 impl ScaleConfig {
@@ -71,6 +76,7 @@ impl ScaleConfig {
             threads: 0,
             monitored: false,
             strategy: Strategy::IncrementalCollective,
+            aoi: false,
         }
     }
 }
@@ -162,7 +168,7 @@ impl ScaleCell {
             .map(|(name, us)| format!("{name}={us}"))
             .collect();
         format!(
-            "n{} c{} m{} s{} seed{:#x} strat[{}]: sim_us={} events={} deliveries={} usercmds={} route_errors={} \
+            "n{} c{} m{} s{} seed{:#x} strat[{}] aoi={}: sim_us={} events={} deliveries={} usercmds={} route_errors={} \
              started={} rejected={} completed={} aborted={} freeze_max={} total_max={} \
              df={}p/{}b wb={}p/{}b \
              peak_pkts={} peak_bytes={} shed_udp={} clamped={} phases=[{}]",
@@ -172,6 +178,7 @@ impl ScaleCell {
             self.cfg.run_secs,
             self.cfg.seed,
             self.cfg.strategy,
+            self.cfg.aoi,
             self.sim_us,
             self.events,
             self.deliveries,
@@ -220,6 +227,7 @@ fn build_world(cfg: &ScaleConfig) -> (World, Vec<dvelm_proc::Pid>, Vec<usize>, R
         seed: cfg.seed,
         strategy: cfg.strategy,
         threads: resolve_threads(cfg),
+        aoi: cfg.aoi,
         ..WorldConfig::default()
     });
     if cfg.monitored {
@@ -240,6 +248,11 @@ fn build_world(cfg: &ScaleConfig) -> (World, Vec<dvelm_proc::Pid>, Vec<usize>, R
         );
         let addr = SockAddr::new(Ip::CLUSTER_PUBLIC, OA_PORT + i as u16);
         w.app_udp_bind(host, pid, addr);
+        if cfg.aoi {
+            // Server i is the zone server for zone i; its service port is
+            // the zone's identity on the shared public IP.
+            w.register_zone_interest(host, pid, addr.port, ZoneId(i as u32));
+        }
         node_hosts.push(host);
         server_pids.push(pid);
         server_addrs.push(addr);
@@ -401,10 +414,10 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleCell {
 }
 
 fn cell_key(cfg: &ScaleConfig) -> String {
-    // Default-strategy cells keep their historical key so committed
-    // baselines compare like-for-like; strategy-sweep rows get a
+    // Default-configuration cells keep their historical key so committed
+    // baselines compare like-for-like; strategy-sweep and AOI rows get a
     // distinct key (rows are matched on `(cell, threads)`).
-    if cfg.strategy == Strategy::IncrementalCollective {
+    let mut key = if cfg.strategy == Strategy::IncrementalCollective {
         format!("{}x{}", cfg.nodes, cfg.clients)
     } else {
         format!(
@@ -413,7 +426,11 @@ fn cell_key(cfg: &ScaleConfig) -> String {
             cfg.clients,
             cfg.strategy.to_string().replace(' ', "-")
         )
+    };
+    if cfg.aoi {
+        key.push_str("@aoi");
     }
+    key
 }
 
 /// Physical parallelism available on this machine (1 when unknown).
@@ -478,6 +495,7 @@ pub fn scale_json(cells: &[ScaleCell], baseline: Option<&Baseline>) -> Json {
         o.set("run_secs", Json::Num(c.cfg.run_secs as f64));
         o.set("seed", Json::Num(c.cfg.seed as f64));
         o.set("strategy", Json::Str(c.cfg.strategy.to_string()));
+        o.set("aoi", Json::Bool(c.cfg.aoi));
         o.set("threads", Json::Num(c.threads as f64));
         o.set("sched_clamped", Json::Num(c.sched_clamped as f64));
         o.set("sim_us", Json::Num(c.sim_us as f64));
@@ -567,19 +585,34 @@ fn row_threads(row: &Json) -> u64 {
         .map_or(1, |t| t as u64)
 }
 
+/// What [`compare_bench`] found: `problems` fail the gate; `warnings` are
+/// schema-skew notes (a metric key absent on one side) that skip the
+/// affected comparison without failing the run.
+#[derive(Debug, Default)]
+pub struct CompareOutcome {
+    pub problems: Vec<String>,
+    pub warnings: Vec<String>,
+}
+
 /// Compare a fresh `BENCH_scale.json` against a committed baseline file.
 ///
 /// Only wall-clock throughput metrics are compared (the deterministic
 /// fields are covered by the smoke test); rows match on `cell` *and*
 /// `threads` (absent in pre-parallel files means 1), and a row regresses
-/// when it is more than `tolerance`× slower than the baseline. Returns
-/// one message per regression — empty means pass.
-pub fn compare_bench(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<String> {
-    let mut problems = Vec::new();
+/// when it is more than `tolerance`× slower than the baseline.
+///
+/// Schema skew is expected in both directions — an old baseline predating
+/// a newly-added metric key, or a fresh file measured by an older harness —
+/// so a metric missing from *either* side skips that one comparison with a
+/// warning instead of failing the gate. A baseline *row* with no fresh
+/// counterpart is still a hard failure: cells only disappear when someone
+/// dropped them from the trajectory.
+pub fn compare_bench(baseline: &Json, fresh: &Json, tolerance: f64) -> CompareOutcome {
+    let mut out = CompareOutcome::default();
     let base_cells = baseline.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
     let fresh_cells = fresh.get("cells").and_then(Json::as_arr).unwrap_or(&[]);
     if base_cells.is_empty() {
-        problems.push("baseline has no cells".into());
+        out.problems.push("baseline has no cells".into());
     }
     for b in base_cells {
         let key = b.get("cell").and_then(Json::as_str).unwrap_or("?");
@@ -587,28 +620,39 @@ pub fn compare_bench(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<Strin
         let Some(f) = fresh_cells.iter().find(|f| {
             f.get("cell").and_then(Json::as_str) == Some(key) && row_threads(f) == threads
         }) else {
-            problems.push(format!(
+            out.problems.push(format!(
                 "cell {key} (threads={threads}): missing from fresh results"
             ));
             continue;
         };
         let num = |j: &Json, k: &str| j.get(k).and_then(Json::as_f64);
         match (num(b, "events_per_sec"), num(f, "events_per_sec")) {
-            (Some(base), Some(fresh_v)) if fresh_v * tolerance < base => problems.push(format!(
+            (Some(base), Some(fresh_v)) if fresh_v * tolerance < base => out.problems.push(format!(
                 "cell {key}: events_per_sec {fresh_v:.0} is more than {tolerance}x below baseline {base:.0}"
             )),
             (Some(_), Some(_)) => {}
-            _ => problems.push(format!("cell {key}: events_per_sec missing")),
+            (base, fresh_v) => out.warnings.push(skew_warning(key, "events_per_sec", base, fresh_v)),
         }
         match (num(b, "wall_ms_per_sim_s"), num(f, "wall_ms_per_sim_s")) {
-            (Some(base), Some(fresh_v)) if fresh_v > base * tolerance => problems.push(format!(
+            (Some(base), Some(fresh_v)) if fresh_v > base * tolerance => out.problems.push(format!(
                 "cell {key}: wall_ms_per_sim_s {fresh_v:.1} is more than {tolerance}x above baseline {base:.1}"
             )),
             (Some(_), Some(_)) => {}
-            _ => problems.push(format!("cell {key}: wall_ms_per_sim_s missing")),
+            (base, fresh_v) => out.warnings.push(skew_warning(key, "wall_ms_per_sim_s", base, fresh_v)),
         }
     }
-    problems
+    out
+}
+
+/// The skip-with-warning message for a metric key absent on one side of a
+/// [`compare_bench`] row (schema skew between harness generations).
+fn skew_warning(key: &str, metric: &str, base: Option<f64>, fresh: Option<f64>) -> String {
+    let side = match (base, fresh) {
+        (None, None) => "both files",
+        (None, Some(_)) => "baseline",
+        _ => "fresh results",
+    };
+    format!("cell {key}: {metric} missing from {side}; skipping (schema skew)")
 }
 
 #[cfg(test)]
@@ -636,6 +680,7 @@ mod tests {
                 threads,
                 monitored: false,
                 strategy: Strategy::IncrementalCollective,
+                aoi: false,
             },
             threads,
             sched_clamped: 0,
@@ -669,11 +714,11 @@ mod tests {
     fn compare_passes_within_tolerance_and_fails_beyond() {
         let base = scale_json(&[fake_cell(4, 100, 1000.0, 50.0)], None);
         let ok = scale_json(&[fake_cell(4, 100, 600.0, 90.0)], None);
-        assert!(compare_bench(&base, &ok, 2.0).is_empty());
+        assert!(compare_bench(&base, &ok, 2.0).problems.is_empty());
         let slow = scale_json(&[fake_cell(4, 100, 400.0, 90.0)], None);
-        assert_eq!(compare_bench(&base, &slow, 2.0).len(), 1);
+        assert_eq!(compare_bench(&base, &slow, 2.0).problems.len(), 1);
         let crawl = scale_json(&[fake_cell(4, 100, 400.0, 150.0)], None);
-        assert_eq!(compare_bench(&base, &crawl, 2.0).len(), 2);
+        assert_eq!(compare_bench(&base, &crawl, 2.0).problems.len(), 2);
     }
 
     #[test]
@@ -686,7 +731,51 @@ mod tests {
             None,
         );
         let fresh = scale_json(&[fake_cell(4, 100, 1000.0, 50.0)], None);
-        assert_eq!(compare_bench(&base, &fresh, 2.0).len(), 1);
+        assert_eq!(compare_bench(&base, &fresh, 2.0).problems.len(), 1);
+    }
+
+    /// Strip a metric key from every cell row of a rendered document,
+    /// simulating a file written by a harness generation without it.
+    fn without_key(doc: &Json, key: &str) -> Json {
+        let mut doc = doc.clone();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "cells" {
+                    if let Json::Arr(rows) = v {
+                        for row in rows {
+                            if let Json::Obj(cols) = row {
+                                cols.retain(|(c, _)| c != key);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn compare_skips_missing_metric_keys_with_warning_both_directions() {
+        let base = scale_json(&[fake_cell(4, 100, 1000.0, 50.0)], None);
+        let fresh = scale_json(&[fake_cell(4, 100, 1000.0, 50.0)], None);
+        // Old baseline predating a newly-added key: skip, warn, pass.
+        let old_base = without_key(&base, "wall_ms_per_sim_s");
+        let out = compare_bench(&old_base, &fresh, 2.0);
+        assert!(out.problems.is_empty(), "{:?}", out.problems);
+        assert_eq!(out.warnings.len(), 1);
+        assert!(out.warnings[0].contains("wall_ms_per_sim_s missing from baseline"));
+        // Fresh file from an older harness: same skip, other side named.
+        let old_fresh = without_key(&fresh, "wall_ms_per_sim_s");
+        let out = compare_bench(&base, &old_fresh, 2.0);
+        assert!(out.problems.is_empty(), "{:?}", out.problems);
+        assert_eq!(out.warnings.len(), 1);
+        assert!(out.warnings[0].contains("wall_ms_per_sim_s missing from fresh results"));
+        // The still-present metric is still gated: a regression on
+        // events_per_sec fails even while the other key skips.
+        let slow = scale_json(&[fake_cell(4, 100, 100.0, 50.0)], None);
+        let out = compare_bench(&old_base, &slow, 2.0);
+        assert_eq!(out.problems.len(), 1);
+        assert!(out.problems[0].contains("events_per_sec"));
     }
 
     #[test]
@@ -708,7 +797,7 @@ mod tests {
             ],
             None,
         );
-        assert!(compare_bench(&base, &ok, 2.0).is_empty());
+        assert!(compare_bench(&base, &ok, 2.0).problems.is_empty());
         let slow4 = scale_json(
             &[
                 fake_cell_threads(64, 1000, 1, 1000.0, 50.0),
@@ -716,11 +805,11 @@ mod tests {
             ],
             None,
         );
-        assert_eq!(compare_bench(&base, &slow4, 2.0).len(), 2);
+        assert_eq!(compare_bench(&base, &slow4, 2.0).problems.len(), 2);
         // A fresh file missing the 4-thread row is flagged even though the
         // 1-thread row with the same cell string is present.
         let only1 = scale_json(&[fake_cell_threads(64, 1000, 1, 1000.0, 50.0)], None);
-        let problems = compare_bench(&base, &only1, 2.0);
+        let problems = compare_bench(&base, &only1, 2.0).problems;
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("threads=4"), "{problems:?}");
     }

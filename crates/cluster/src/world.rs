@@ -15,11 +15,13 @@ use dvelm_migrate::{
 };
 use dvelm_monitor::{InvariantMonitor, InvariantViolation};
 use dvelm_net::{
-    BroadcastRouter, ClusterSwitch, Ip, LossModel, NodeId, Port, RouteError, SockAddr,
+    BroadcastRouter, ClusterSwitch, Ip, LossModel, NodeId, Port, RouteError, SockAddr, ZoneId,
 };
 use dvelm_proc::{Fd, FdEntry, Pid, Process, PAGE_SIZE};
 use dvelm_sim::{DetRng, Mailbox, ShardedScheduler, SimTime, WorkerPool};
-use dvelm_stack::{CaptureBudget, HostStack, PressureKind, Segment, SockId, StackEffect};
+use dvelm_stack::{
+    CaptureBudget, CaptureKey, HostStack, PressureKind, Segment, SockId, StackEffect,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 // The parallel rx phase hands per-host stacks and shared segments to pool
@@ -76,6 +78,12 @@ pub struct WorldConfig {
     /// default honours the `DVELM_SHARDS` environment variable (the CI
     /// matrix knob) and falls back to 1.
     pub threads: usize,
+    /// Interest-managed (AOI) inbound routing. When enabled, inbound WAN
+    /// frames whose destination port is mapped to a zone are delivered only
+    /// to that zone's subscribers instead of broadcast to every node.
+    /// Default off: the legacy broadcast fabric, byte-identical to every
+    /// committed figure and trace.
+    pub aoi: bool,
 }
 
 /// Worker-thread count requested via the `DVELM_SHARDS` environment
@@ -107,6 +115,7 @@ impl Default for WorldConfig {
             xlate_gc_ttl_us: None,
             fence_enabled: true,
             threads: shards_from_env().unwrap_or(1),
+            aoi: false,
         }
     }
 }
@@ -308,6 +317,28 @@ pub struct World {
     /// or departed endpoint raced an in-flight frame). Each one also lands
     /// in the effect log when enabled.
     route_errors: u64,
+    /// Outbound frames dropped because their client host departed
+    /// gracefully while the frame was in flight. A benign race, counted
+    /// separately so tests can assert `route_errors == 0` under churn.
+    benign_route_races: u64,
+    /// Zone interest per process: pid → (inbound port, zone) pairs, one
+    /// per zone the process serves. Source of truth for which zones follow
+    /// a pid through a migration ([`begin_migration`](World::begin_migration)
+    /// copies them into the engine) and for the monitor's
+    /// subscription-leak sweep.
+    zone_interest: BTreeMap<Pid, Vec<(Port, ZoneId)>>,
+    /// Owning pid per zone (a zone is served by exactly one process).
+    zone_owner: BTreeMap<ZoneId, Pid>,
+    /// Which migration installed each capture entry, by (dst host, key).
+    /// Two concurrent migrations into one host can share a capture key —
+    /// `CaptureTable::enable` is idempotent — so pressure events must be
+    /// attributed by this index, not by scanning for any migration whose
+    /// key set contains the key (the first-match scan charged siblings).
+    capture_owner: BTreeMap<(usize, CaptureKey), MigId>,
+    /// Client hosts that departed gracefully ([`detach_client_host`]
+    /// (World::detach_client_host)); outbound frames to them are dropped as
+    /// benign races instead of router errors.
+    departed_clients: BTreeSet<usize>,
     /// Reusable broadcast fan-out buffer: one inbound frame produces one
     /// arrival per node, every tick — pooling the vector keeps the
     /// per-packet hot path allocation-free.
@@ -382,6 +413,11 @@ impl World {
             log_port: None,
             effect_log: None,
             route_errors: 0,
+            benign_route_races: 0,
+            zone_interest: BTreeMap::new(),
+            zone_owner: BTreeMap::new(),
+            capture_owner: BTreeMap::new(),
+            departed_clients: BTreeSet::new(),
             arrival_buf: Vec::new(),
             mig_fx_pool: Vec::new(),
             stack_fx_pool: Vec::new(),
@@ -483,6 +519,24 @@ impl World {
                     stats.peak_queued_bytes,
                     self.cfg.capture_budget.max_bytes as u64,
                 );
+            }
+        }
+        // Interest-table audit: every subscription must point at the host
+        // owning the zone's serving process. Pids mid-migration are
+        // exempt — the destination subscribes during the capture window by
+        // design — as is a subscription whose node no longer maps to any
+        // host (the fabric already dropped it).
+        for (zone, subs) in self.router.interest().iter() {
+            let Some(&pid) = self.zone_owner.get(&zone) else {
+                continue; // zone mapped but ownerless: dark, not leaked
+            };
+            if self.migrating.contains(&pid) {
+                continue;
+            }
+            for &node in subs {
+                if let Some(h) = self.host_by_node(node) {
+                    m.check_subscription(now, pid, zone.0, h);
+                }
             }
         }
         self.monitor = Some(m);
@@ -692,6 +746,80 @@ impl World {
     }
 
     // ------------------------------------------------------------------
+    // interest management (AOI)
+    // ------------------------------------------------------------------
+
+    /// Declare `pid` (running on `host`) the zone server for `zone`,
+    /// reachable on inbound `port`. Maps the port to the zone in the
+    /// router's interest table and subscribes the host's node. A zone has
+    /// exactly one serving process; re-registering a zone under a second
+    /// pid is a caller bug.
+    pub fn register_zone_interest(&mut self, host: usize, pid: Pid, port: Port, zone: ZoneId) {
+        assert!(
+            self.hosts[host].procs.contains_key(&pid),
+            "register_zone_interest: {pid:?} not on host {host}"
+        );
+        let prev = self.zone_owner.insert(zone, pid);
+        assert!(
+            prev.is_none() || prev == Some(pid),
+            "zone {zone} already owned by {prev:?}"
+        );
+        self.zone_interest
+            .entry(pid)
+            .or_default()
+            .push((port, zone));
+        let node = self.hosts[host].stack.node;
+        let interest = self.router.interest_mut();
+        interest.map_port(port, zone);
+        interest.subscribe(zone, node);
+    }
+
+    /// The zones a process serves (empty slice for non-zoned pids).
+    pub fn zones_of(&self, pid: Pid) -> Vec<ZoneId> {
+        self.zone_interest
+            .get(&pid)
+            .map(|pairs| pairs.iter().map(|&(_, z)| z).collect())
+            .unwrap_or_default()
+    }
+
+    /// Current subscriber nodes of a zone (snapshot, for tests).
+    pub fn zone_subscribers(&self, zone: ZoneId) -> Vec<NodeId> {
+        self.router
+            .interest()
+            .subscribers(zone)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Drop a pid's zone registrations: unsubscribe its host, unmap the
+    /// ports and forget the ownership rows. Called when the process exits
+    /// or its image is lost for good.
+    fn forget_zone_interest(&mut self, pid: Pid) {
+        let Some(pairs) = self.zone_interest.remove(&pid) else {
+            return;
+        };
+        for (port, zone) in pairs {
+            let interest = self.router.interest_mut();
+            interest.unmap_port(port);
+            // Clear every subscriber, not just the owner's host: the pid
+            // may die mid-migration with both ends subscribed.
+            if let Some(subs) = interest.subscribers(zone) {
+                let subs: Vec<NodeId> = subs.iter().copied().collect();
+                for node in subs {
+                    self.router.interest_mut().unsubscribe(zone, node);
+                }
+            }
+            self.zone_owner.remove(&zone);
+        }
+    }
+
+    /// Outbound frames dropped as benign departed-client races (never
+    /// counted in `route_errors`).
+    pub fn benign_route_races(&self) -> u64 {
+        self.benign_route_races
+    }
+
+    // ------------------------------------------------------------------
     // migration
     // ------------------------------------------------------------------
 
@@ -736,6 +864,13 @@ impl World {
         }
         let mut engine = MigrationEngine::new(pid, src_node, dst_node, strategy, self.cfg.cost);
         engine.guard = self.cfg.overload_guard;
+        // Zone subscriptions travel with the sockets: the engine emits
+        // Subscribe/Unsubscribe effects at the same phase boundaries that
+        // move the capture hooks, so the interest table stays consistent on
+        // every abort row. Empty for non-zoned pids — zero new effects.
+        if let Some(pairs) = self.zone_interest.get(&pid) {
+            engine.zones = pairs.iter().map(|&(_, z)| z).collect();
+        }
         self.next_mig += 1;
         self.migrations.insert(
             mig,
@@ -846,6 +981,34 @@ impl World {
         self.hosts[host].conductor = None;
     }
 
+    /// A client host leaves gracefully (the player logs off): its
+    /// processes exit, its WAN links are released, and the host goes dark.
+    /// Frames already scheduled toward it — outbound unicasts in flight,
+    /// or its membership in an already-batched broadcast — die silently:
+    /// membership was snapshotted when the frame was scheduled, and a
+    /// departure racing those deliveries is expected churn, counted in
+    /// [`benign_route_races`](World::benign_route_races), never in the
+    /// route-error tally.
+    pub fn detach_client_host(&mut self, host: usize) {
+        assert_eq!(self.hosts[host].kind, HostKind::Client, "not a client host");
+        if !self.hosts[host].alive {
+            return;
+        }
+        let now = self.now();
+        let pids: Vec<Pid> = self.hosts[host].procs.keys().copied().collect();
+        if let Some(m) = &mut self.monitor {
+            for &pid in &pids {
+                m.on_exit(now, pid, host);
+            }
+        }
+        self.hosts[host].procs.clear();
+        self.hosts[host].sock_owner.clear();
+        self.hosts[host].alive = false;
+        self.departed_clients.insert(host);
+        let node = self.hosts[host].stack.node;
+        self.router.detach_client(node);
+    }
+
     // ------------------------------------------------------------------
     // fault tolerance (checkpoint / crash / cold restart) — the other use
     // case the paper's conclusion names for connection-preserving C/R
@@ -885,6 +1048,9 @@ impl World {
             self.hosts[h].stack.release(s);
         }
         self.hosts[h].unindex_proc_sockets(pid);
+        // A dead zone server serves nobody: its zones go dark (delivered to
+        // no subscriber) until a new process registers them.
+        self.forget_zone_interest(pid);
         true
     }
 
@@ -1134,6 +1300,13 @@ impl World {
         for (m, reason) in migs {
             self.abort_migration(m, reason);
         }
+        // Zone registrations of the casualties die with them; capture
+        // entries installed on the dead host can no longer fire pressure.
+        let dead_pids: Vec<Pid> = self.hosts[host].procs.keys().copied().collect();
+        for pid in dead_pids {
+            self.forget_zone_interest(pid);
+        }
+        self.capture_owner.retain(|(h, _), _| *h != host);
         self.hosts[host].procs.clear();
         self.hosts[host].sock_owner.clear();
         self.hosts[host].conductor = None;
@@ -1221,6 +1394,7 @@ impl World {
         self.stalled_migs.remove(&mig);
         self.migrating.remove(&pid);
         self.admission.release(mig);
+        self.capture_owner.retain(|_, m| *m != mig);
         let dst = task.dst;
         let now = self.now();
         let recovery_tag = Recovery::from(&recovery);
@@ -1306,11 +1480,15 @@ impl World {
                     m.on_lost(now, pid, self.hosts[src].alive);
                 }
                 self.lost_images.push(process);
+                // No live copy remains: the pid's zones go dark rather
+                // than point at a host that no longer runs it.
+                self.forget_zone_interest(pid);
             }
             AbortRecovery::Lost => {
                 if let Some(m) = &mut self.monitor {
                     m.on_lost(now, pid, self.hosts[src].alive);
                 }
+                self.forget_zone_interest(pid);
             }
         }
         self.reports.push(task.recorder.into_report());
@@ -1637,16 +1815,16 @@ impl World {
         }
         let now = self.now();
         for ev in events {
-            // The owning migration is the one that enabled this event's
-            // capture key on the destination stack — with several in flight
-            // toward the same host, matching the key charges pressure (and
-            // a HardFail abort) to the right one, never a bystander.
-            let owner = self
-                .migrations
-                .iter()
-                .filter(|(_, t)| t.dst == host && t.engine.capture_keys().contains(&ev.key))
-                .map(|(m, _)| *m)
-                .min();
+            // The owning migration is the one that *installed* this event's
+            // capture entry on the destination stack, per the
+            // `capture_owner` index maintained from InstallCapture /
+            // RemoveCapture effects. Two concurrent migrations into one
+            // host can carry the same capture key (`CaptureTable::enable`
+            // is idempotent, so they silently share one entry); scanning
+            // for any engine whose key set contains the key picked
+            // whichever sorted first and could charge — and HardFail-abort
+            // — the wrong sibling.
+            let owner = self.capture_owner.get(&(host, ev.key)).copied();
             // No engine claims the key (it was already drained by an abort
             // in this same batch): record the pressure on the earliest
             // migration into this host for observability, but never abort
@@ -1788,7 +1966,8 @@ impl World {
     fn local_load(&self, host: usize, now: SimTime) -> LoadInfo {
         let h = &self.hosts[host];
         let cpu = h.load_monitor.current().unwrap_or_else(|| h.cpu_pct());
-        LoadInfo::new(h.stack.node, cpu, h.procs.len() as u32, now)
+        let zones = self.router.interest().node_subscriptions(h.stack.node);
+        LoadInfo::new(h.stack.node, cpu, h.procs.len() as u32, now).with_zones(zones)
     }
 
     fn on_conductor_tick(&mut self, host: usize) {
@@ -2202,10 +2381,37 @@ impl World {
             }
             Effect::Complete(complete) => self.finish_migration(mig, complete.process),
             Effect::Aborted(aborted) => self.finish_abort(mig, src, pid, aborted),
+            // Interest handoff: subscriptions move with the sockets. The
+            // engine emits these at the same phase boundaries as the
+            // capture hooks, so the destination hears the zone's traffic
+            // for the whole capture window and every abort row compensates
+            // back to exactly one subscriber.
+            Effect::Subscribe { zone, side } => {
+                let host = if side == Side::Src { src } else { dst };
+                let node = self.hosts[host].stack.node;
+                self.router.interest_mut().subscribe(zone, node);
+            }
+            Effect::Unsubscribe { zone, side } => {
+                let host = if side == Side::Src { src } else { dst };
+                let node = self.hosts[host].stack.node;
+                self.router.interest_mut().unsubscribe(zone, node);
+            }
+            // Capture entries are installed/removed by the engine directly
+            // (it owns the destination stack during a step); the world only
+            // indexes which migration did it, so pressure events can be
+            // attributed exactly. `or_insert` mirrors the table's idempotent
+            // `enable`: when two migrations share a key, the first installer
+            // owns the entry until it removes it.
+            Effect::InstallCapture { key } => {
+                self.capture_owner.entry((dst, key)).or_insert(mig);
+            }
+            Effect::RemoveCapture { key } => {
+                if self.capture_owner.get(&(dst, key)) == Some(&mig) {
+                    self.capture_owner.remove(&(dst, key));
+                }
+            }
             // Trace-only effects: the recorder already folded them.
             Effect::PhaseEntered(_)
-            | Effect::InstallCapture { .. }
-            | Effect::RemoveCapture { .. }
             | Effect::SocketDetached { .. }
             | Effect::Shipped { .. }
             | Effect::QueuePressure { .. }
@@ -2228,6 +2434,7 @@ impl World {
         self.migrating.remove(&pid);
         self.stalled_migs.remove(&mig);
         self.admission.release(mig);
+        self.capture_owner.retain(|_, m| *m != mig);
         if let Some(m) = &mut self.monitor {
             m.on_transfer(self.sched.now(), pid, src, dst);
         }
@@ -2351,14 +2558,26 @@ impl World {
         }
         let bytes = seg.wire_size();
         if route == Ip::CLUSTER_PUBLIC {
-            // Client → cluster: the router broadcasts to every node. The
-            // arrival buffer is pooled — the fan-out is the hottest loop in
-            // the world (every client frame × every node).
+            // Client → cluster. Legacy: the router broadcasts to every
+            // node. AOI: a frame for a zone-mapped port fans out only to
+            // that zone's subscribers (unmapped ports still broadcast).
+            // The arrival buffer is pooled — the fan-out is the hottest
+            // loop in the world (every client frame × every recipient).
             let mut arrivals = std::mem::take(&mut self.arrival_buf);
-            match self
-                .router
-                .inbound_into(now, from, bytes, &mut self.rng, &mut arrivals)
-            {
+            let routed = if self.cfg.aoi {
+                self.router.inbound_zoned_into(
+                    now,
+                    from,
+                    bytes,
+                    seg.dst.port,
+                    &mut self.rng,
+                    &mut arrivals,
+                )
+            } else {
+                self.router
+                    .inbound_into(now, from, bytes, &mut self.rng, &mut arrivals)
+            };
+            match routed {
                 Ok(()) => {
                     // A partition cuts the fan-out at the cut: recipients on
                     // the far side never hear the frame (TCP retransmits
@@ -2376,11 +2595,18 @@ impl World {
             self.arrival_buf = arrivals;
         } else if let Some(client) = route.client_host() {
             // Server → client, unicast through the router.
-            let cut = self
-                .host_by_node(client)
-                .is_some_and(|h| self.partitioned(host, h));
-            if cut {
-                return;
+            if let Some(h) = self.host_by_node(client) {
+                if self.partitioned(host, h) {
+                    return;
+                }
+                // A gracefully departed client racing an in-flight frame is
+                // expected churn, not a routing fault: drop the frame as a
+                // benign race instead of counting a route error against the
+                // run.
+                if self.departed_clients.contains(&h) {
+                    self.benign_route_races += 1;
+                    return;
+                }
             }
             match self
                 .router

@@ -47,7 +47,7 @@
 //! the trace spine.
 
 use crate::engine::MigrationComplete;
-use dvelm_net::NodeId;
+use dvelm_net::{NodeId, ZoneId};
 use dvelm_proc::Process;
 use dvelm_sim::SimTime;
 use dvelm_stack::capture::CaptureKey;
@@ -307,6 +307,19 @@ pub enum Effect {
     /// timestamp closes the trace. The owner acts on
     /// [`MigrationAborted::recovery`].
     Aborted(MigrationAborted),
+    /// `side`'s node must be added to `zone`'s interest set: under AOI
+    /// routing the destination subscribes at capture setup, so it hears
+    /// (and captures) the client's frames exactly as it did under full
+    /// broadcast — the subscription is the multicast-era form of the
+    /// paper's loss-prevention property. Emitted only for processes with
+    /// registered zone interest; legacy streams are unchanged.
+    Subscribe { zone: ZoneId, side: Side },
+    /// Rollback/handover: `side`'s node must be dropped from `zone`'s
+    /// interest set (the counterpart of [`Effect::Subscribe`]). The source
+    /// unsubscribes at switch-over; an aborted migration unsubscribes the
+    /// destination (and, when nothing survives, the source too) so no
+    /// abort row can leak a subscription.
+    Unsubscribe { zone: ZoneId, side: Side },
 }
 
 /// Consumer of the ordered, timestamped effect stream of one migration.

@@ -80,7 +80,7 @@ use dvelm_ckpt::{
     apply_update, full_checkpoint, incremental_update, restore_process, IncrementalTracker,
     IncrementalUpdate, PageRecord, VmaDiff, PAGE_RECORD_OVERHEAD,
 };
-use dvelm_net::NodeId;
+use dvelm_net::{NodeId, ZoneId};
 use dvelm_proc::{Fd, Pid, Process, PAGE_SIZE};
 use dvelm_sim::{Jiffies, SimTime};
 use dvelm_stack::capture::CaptureKey;
@@ -234,6 +234,14 @@ pub struct MigrationEngine {
     /// migration; `0` means manually initiated (no negotiation, so restore
     /// fencing does not apply). See `dvelm-lb`'s epoch/lease protocol.
     pub epoch: u64,
+    /// Zones the process holds interest subscriptions for (set by the
+    /// owner before the first step, like `epoch`). The engine moves them
+    /// with the sockets: the destination subscribes at capture setup, the
+    /// source unsubscribes at switch-over, and every abort row emits the
+    /// compensating [`Effect::Unsubscribe`]/[`Effect::Subscribe`] pair so
+    /// no recovery outcome can leak a subscription. Empty (the default)
+    /// for processes without registered zone interest — zero new effects.
+    pub zones: Vec<ZoneId>,
     /// When the first step ran (the deadline's epoch).
     started_at: Option<SimTime>,
     /// Consecutive precopy rounds whose dirty diff did not shrink.
@@ -283,6 +291,7 @@ impl MigrationEngine {
             src_jiffies_at_detach: Jiffies(0),
             guard: OverloadGuard::DISABLED,
             epoch: 0,
+            zones: Vec::new(),
             started_at: None,
             stagnant_rounds: 0,
             last_round_bytes: None,
@@ -441,6 +450,18 @@ impl MigrationEngine {
         } else {
             self.capture_keys.clear();
         }
+        // The destination subscribed at capture setup; with the captures
+        // gone its interest seats go too (the source never unsubscribed —
+        // pre-detach rows leave it the sole subscriber).
+        for &zone in &self.zones {
+            sink.emit(
+                now,
+                Effect::Unsubscribe {
+                    zone,
+                    side: Side::Dst,
+                },
+            );
+        }
     }
 
     /// Post-detach abort: reinstall the in-flight sockets on the source,
@@ -456,6 +477,19 @@ impl MigrationEngine {
             sink.emit(now, Effect::RevokeXlate { peer, rule });
         }
         self.self_rules.clear();
+        // Whatever the recovery row, the destination stops receiving for
+        // this process: its capture-setup subscriptions are rolled back.
+        // The source kept its seat (switch-over never ran), so the
+        // RestoredOnSource row ends with exactly one subscriber.
+        for &zone in &self.zones {
+            sink.emit(
+                now,
+                Effect::Unsubscribe {
+                    zone,
+                    side: Side::Dst,
+                },
+            );
+        }
         let Some(src) = src_stack else {
             // Source gone too: discard the remote residue; only the image
             // survives (its sockets are lost — BLCR semantics).
@@ -468,6 +502,17 @@ impl MigrationEngine {
                 self.capture_keys.clear();
             }
             self.in_flight.clear();
+            // Nothing live is left anywhere: clear the source's seat too
+            // (idempotent when the owner already purged the dead node).
+            for &zone in &self.zones {
+                sink.emit(
+                    now,
+                    Effect::Unsubscribe {
+                        zone,
+                        side: Side::Src,
+                    },
+                );
+            }
             return match self.staged.take() {
                 Some(img) => AbortRecovery::ImageOnly(img),
                 None => AbortRecovery::Lost,
@@ -581,6 +626,19 @@ impl MigrationEngine {
             staged.fds.close(fd);
         }
 
+        // The source already gave its interest seats up at switch-over, so
+        // unlike the pre-switch-over rows the compensation must *restore*
+        // them when the process falls back home — and in every row the
+        // destination's seats end with its torn-down copy.
+        for &zone in &self.zones {
+            sink.emit(
+                now,
+                Effect::Unsubscribe {
+                    zone,
+                    side: Side::Dst,
+                },
+            );
+        }
         match src_stack {
             Some(_) => {
                 // Ledger intact: reassemble the image on the source. Pages
@@ -596,6 +654,15 @@ impl MigrationEngine {
                         pages,
                     },
                 );
+                for &zone in &self.zones {
+                    sink.emit(
+                        now,
+                        Effect::Subscribe {
+                            zone,
+                            side: Side::Src,
+                        },
+                    );
+                }
                 AbortRecovery::RestoredOnSource(staged)
             }
             None if self.residual.is_empty() => AbortRecovery::ImageOnly(staged),
@@ -923,6 +990,22 @@ impl MigrationEngine {
             };
         }
 
+        // Zone interest moves with the sockets: the destination subscribes
+        // the moment its capture hooks are armed, so under AOI routing it
+        // hears (and captures) the client's frames during transit exactly
+        // as it would under full broadcast. Emitted only after the capture
+        // install succeeded — the inline rollback above owes no
+        // compensation.
+        for &zone in &self.zones {
+            sink.emit(
+                io.now,
+                Effect::Subscribe {
+                    zone,
+                    side: Side::Dst,
+                },
+            );
+        }
+
         let n = self.capture_keys.len() as u64;
         let setup = match self.strategy {
             // One aggregated capture message for all connections (the
@@ -1226,6 +1309,19 @@ impl MigrationEngine {
         }
         staged.resume_all();
         staged.cpu_share = io.proc.cpu_share;
+
+        // Switch-over: the destination copy runs from this instant, so the
+        // source's zone subscriptions end here (the destination subscribed
+        // at capture setup and simply keeps its seat).
+        for &zone in &self.zones {
+            sink.emit(
+                io.now,
+                Effect::Unsubscribe {
+                    zone,
+                    side: Side::Src,
+                },
+            );
+        }
 
         if self.strategy.has_demand_resolve() && !self.residual.is_empty() {
             // Switch-over complete: the destination runs the process from

@@ -192,7 +192,12 @@ fn run_migration(
                 | Effect::PacketReinjected
                 | Effect::ResumeApp
                 | Effect::QueuePressure { .. }
-                | Effect::RevokeXlate { .. } => {}
+                | Effect::RevokeXlate { .. }
+                // The harness zone-less engine never emits these; the
+                // zoned lifecycle is covered by the cluster-level
+                // zone-handoff matrix.
+                | Effect::Subscribe { .. }
+                | Effect::Unsubscribe { .. } => {}
             }
         }
         if let Some(process) = restored {

@@ -103,6 +103,8 @@ fn parser_round_trips_the_real_effect_enums() {
                 "RemoveCapture",
                 "RevokeXlate",
                 "Aborted",
+                "Subscribe",
+                "Unsubscribe",
             ],
         ),
         (

@@ -173,6 +173,10 @@ impl TraceRecorder {
                 }
             }
             Effect::Stack { .. } => {}
+            // Interest handoff rides the stream for ordering/observability;
+            // the table itself lives in the router, so the trace only needs
+            // the timestamps already carried by the effect log.
+            Effect::Subscribe { .. } | Effect::Unsubscribe { .. } => {}
             Effect::QueuePressure {
                 queued_packets,
                 queued_bytes,

@@ -78,6 +78,18 @@ pub enum InvariantViolation {
     /// residual-dependency ledger silently diverges the two copies — the
     /// stale-source hazard the ledger protocol exists to prevent.
     StaleSourceWrite { pid: Pid, at: SimTime },
+    /// An interest-table subscription for `pid`'s zone points at a host
+    /// that does not own the process (and the pid is not mid-migration,
+    /// when both ends legitimately subscribe). A leaked subscription turns
+    /// the zoned fast path back into a partial broadcast — or worse,
+    /// delivers a zone's traffic to a node with no server for it. `zone`
+    /// is the raw zone id (this crate doesn't depend on the net crate).
+    SubscriptionLeak {
+        pid: Pid,
+        zone: u32,
+        host: usize,
+        at: SimTime,
+    },
 }
 
 impl InvariantViolation {
@@ -93,6 +105,7 @@ impl InvariantViolation {
             InvariantViolation::UnknownOwner { .. } => "unknown owner",
             InvariantViolation::ResidualDependencyLeak { .. } => "residual dependency leak",
             InvariantViolation::StaleSourceWrite { .. } => "stale source write",
+            InvariantViolation::SubscriptionLeak { .. } => "subscription leak",
         }
     }
 }
@@ -311,6 +324,23 @@ impl InvariantMonitor {
         }
     }
 
+    /// Check one interest-table subscription against the ownership model.
+    /// `subscriber` is the host a router subscription for `pid`'s `zone`
+    /// points at; it must be the pid's owner. Callers skip pids that are
+    /// mid-migration — the loss-prevention mechanism subscribes the
+    /// destination while the source still owns the process, and that
+    /// transient double subscription is the design, not a leak.
+    pub fn check_subscription(&mut self, now: SimTime, pid: Pid, zone: u32, subscriber: usize) {
+        if self.owner_of(pid) != Some(subscriber) {
+            self.record(InvariantViolation::SubscriptionLeak {
+                pid,
+                zone,
+                host: subscriber,
+                at: now,
+            });
+        }
+    }
+
     /// Reconcile the shadow model against the world's actual live set:
     /// every `(pid, host)` pair currently runnable or frozen-in-place.
     /// Catches drift in either direction — a live copy the model doesn't
@@ -468,6 +498,18 @@ mod tests {
             labels,
             vec!["residual dependency leak", "stale source write"]
         );
+    }
+
+    #[test]
+    fn subscription_must_point_at_owner() {
+        let mut m = InvariantMonitor::new();
+        m.on_spawn(T, Pid(4), 2);
+        m.check_subscription(T, Pid(4), 9, 2);
+        assert!(m.is_clean());
+        m.check_subscription(T, Pid(4), 9, 5);
+        m.check_subscription(T, Pid(4), 9, 5); // persisting condition: once
+        assert_eq!(m.violations().len(), 1);
+        assert_eq!(m.violations()[0].label(), "subscription leak");
     }
 
     #[test]

@@ -15,11 +15,13 @@
 //! schedules delivery events.
 
 pub mod addr;
+pub mod interest;
 pub mod link;
 pub mod router;
 pub mod switch;
 
 pub use addr::{Ip, NodeId, Port, SockAddr};
+pub use interest::{InterestTable, ZoneId};
 pub use link::{Link, LinkStats, LossModel};
 pub use router::{BroadcastRouter, RouteError};
 pub use switch::ClusterSwitch;

@@ -9,7 +9,8 @@
 //! the *destination* node already receives (and captures) the client's
 //! packets.
 
-use crate::addr::NodeId;
+use crate::addr::{NodeId, Port};
+use crate::interest::InterestTable;
 use crate::link::Link;
 use dvelm_sim::{DetRng, SimTime};
 use std::collections::BTreeMap;
@@ -53,6 +54,10 @@ pub struct BroadcastRouter {
     client_uplinks: BTreeMap<NodeId, Link>,
     link_template: Link,
     client_template: Link,
+    /// Zone subscriptions for the interest-managed (AOI) inbound path.
+    /// Empty by default: the legacy [`inbound_into`](Self::inbound_into)
+    /// broadcast never consults it.
+    interest: InterestTable,
 }
 
 impl BroadcastRouter {
@@ -66,6 +71,7 @@ impl BroadcastRouter {
             client_uplinks: BTreeMap::new(),
             link_template: cluster_link,
             client_template: client_link,
+            interest: InterestTable::new(),
         }
     }
 
@@ -80,10 +86,25 @@ impl BroadcastRouter {
         self.uplinks.insert(node, self.link_template.clone());
     }
 
-    /// Detach a server node (node leave).
+    /// Detach a server node (node leave). Its zone subscriptions are purged
+    /// with its links — a gone node must not linger in any fan-out set.
     pub fn detach_node(&mut self, node: NodeId) {
         self.downlinks.remove(&node);
         self.uplinks.remove(&node);
+        self.interest.purge_node(node);
+    }
+
+    /// The router's zone-interest table (read side: monitor sweeps, load
+    /// reporting).
+    pub fn interest(&self) -> &InterestTable {
+        &self.interest
+    }
+
+    /// Mutable access to the zone-interest table. The cluster runtime is
+    /// the only writer, and it writes through the effect pipeline so every
+    /// subscription change is ordered and observable.
+    pub fn interest_mut(&mut self) -> &mut InterestTable {
+        &mut self.interest
     }
 
     /// Attach a client host on the WAN side.
@@ -167,6 +188,52 @@ impl BroadcastRouter {
         out.extend(self.downlinks.iter_mut().filter_map(|(node, link)| {
             link.transmit(at_router, bytes, rng).map(|arr| (*node, arr))
         }));
+        Ok(())
+    }
+
+    /// The interest-managed variant of [`inbound_into`](Self::inbound_into):
+    /// a frame whose destination port is bound to a zone fans out only to
+    /// that zone's subscribers — O(subscribers) instead of O(nodes) — while
+    /// frames for unmapped ports keep the legacy full broadcast. Subscriber
+    /// order is node order (the subscriber set is ordered), matching the
+    /// deterministic fan-out order of the broadcast path.
+    pub fn inbound_zoned_into(
+        &mut self,
+        now: SimTime,
+        from_client: NodeId,
+        bytes: u64,
+        dst_port: Port,
+        rng: &mut DetRng,
+        out: &mut Vec<(NodeId, SimTime)>,
+    ) -> Result<(), RouteError> {
+        out.clear();
+        let up = self
+            .client_uplinks
+            .get_mut(&from_client)
+            .ok_or(RouteError::UnknownClientSource(from_client))?;
+        let Some(at_router) = up.transmit(now, bytes, rng) else {
+            return Ok(());
+        };
+        let Some(zone) = self.interest.zone_of_port(dst_port) else {
+            // Unmapped port: legacy broadcast, same fan-out as inbound_into.
+            out.extend(self.downlinks.iter_mut().filter_map(|(node, link)| {
+                link.transmit(at_router, bytes, rng).map(|arr| (*node, arr))
+            }));
+            return Ok(());
+        };
+        if let Some(subs) = self.interest.subscribers(zone) {
+            for &node in subs {
+                // A subscriber with no downlink is a node that crashed
+                // before its subscriptions were purged — skip, don't panic.
+                if let Some(link) = self.downlinks.get_mut(&node) {
+                    if let Some(arr) = link.transmit(at_router, bytes, rng) {
+                        out.push((node, arr));
+                    }
+                }
+            }
+        }
+        // A mapped zone with zero subscribers delivers to nobody: the
+        // owning process is gone, exactly like a frame to a dark address.
         Ok(())
     }
 
@@ -328,6 +395,105 @@ mod tests {
             r.outbound(SimTime::ZERO, NodeId(0), NodeId(101), 1, &mut rng()),
             Err(RouteError::UnknownClientDest(NodeId(101)))
         );
+    }
+
+    #[test]
+    fn zoned_inbound_reaches_only_subscribers() {
+        use crate::interest::ZoneId;
+        let mut r = router_with(5);
+        r.interest_mut().map_port(Port(27960), ZoneId(0));
+        r.interest_mut().subscribe(ZoneId(0), NodeId(2));
+        let mut out = Vec::new();
+        r.inbound_zoned_into(
+            SimTime::ZERO,
+            NodeId(100),
+            256,
+            Port(27960),
+            &mut rng(),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, NodeId(2));
+    }
+
+    #[test]
+    fn zoned_inbound_unmapped_port_falls_back_to_broadcast() {
+        let mut r = router_with(4);
+        let mut out = Vec::new();
+        r.inbound_zoned_into(
+            SimTime::ZERO,
+            NodeId(100),
+            256,
+            Port(9999),
+            &mut rng(),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 4, "unmapped port keeps the legacy broadcast");
+    }
+
+    #[test]
+    fn zoned_inbound_during_handoff_reaches_both_subscribers() {
+        use crate::interest::ZoneId;
+        // Mid-migration both the source and the destination subscribe: the
+        // destination must hear (and capture) the client's frames exactly
+        // like it did under full broadcast.
+        let mut r = router_with(4);
+        r.interest_mut().map_port(Port(27960), ZoneId(7));
+        r.interest_mut().subscribe(ZoneId(7), NodeId(1));
+        r.interest_mut().subscribe(ZoneId(7), NodeId(3));
+        let mut out = Vec::new();
+        r.inbound_zoned_into(
+            SimTime::ZERO,
+            NodeId(100),
+            256,
+            Port(27960),
+            &mut rng(),
+            &mut out,
+        )
+        .unwrap();
+        let nodes: Vec<u32> = out.iter().map(|(n, _)| n.0).collect();
+        assert_eq!(nodes, vec![1, 3]);
+    }
+
+    #[test]
+    fn zoned_inbound_empty_zone_delivers_to_nobody() {
+        use crate::interest::ZoneId;
+        let mut r = router_with(3);
+        r.interest_mut().map_port(Port(27960), ZoneId(0));
+        let mut out = vec![(NodeId(77), SimTime::from_secs(9))]; // stale junk
+        r.inbound_zoned_into(
+            SimTime::ZERO,
+            NodeId(100),
+            256,
+            Port(27960),
+            &mut rng(),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.is_empty(), "mapped zone with no subscribers goes dark");
+    }
+
+    #[test]
+    fn detach_node_purges_its_subscriptions() {
+        use crate::interest::ZoneId;
+        let mut r = router_with(3);
+        r.interest_mut().map_port(Port(27960), ZoneId(0));
+        r.interest_mut().subscribe(ZoneId(0), NodeId(1));
+        r.detach_node(NodeId(1));
+        assert!(r.interest().subscribers(ZoneId(0)).is_none());
+        let mut out = Vec::new();
+        r.inbound_zoned_into(
+            SimTime::ZERO,
+            NodeId(100),
+            256,
+            Port(27960),
+            &mut rng(),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -421,3 +421,73 @@ fn parallel_rounds_replay_byte_identical() {
         assert_logs_identical("1-thread", &log_1, &format!("{threads}-thread"), &log_n);
     }
 }
+
+/// The same contract over the interest-managed routing path: an AOI world
+/// (each server's inbound port mapped to its zone, subscriptions moving
+/// with the two in-flight migrations through Subscribe/Unsubscribe
+/// effects) must replay byte-identically at 1, 2 and 8 shards. This is
+/// the zoned counterpart of `parallel_rounds_replay_byte_identical` —
+/// multicast delivery sets, not just broadcast fan-out, must be stable
+/// under resharding.
+#[test]
+fn aoi_rounds_replay_byte_identical() {
+    fn aoi_replay(threads: usize) -> (Vec<String>, SimTime) {
+        let mut w = World::new(WorldConfig {
+            seed: SOAK_SEED ^ 0xa01,
+            threads,
+            aoi: true,
+            ..WorldConfig::default()
+        });
+        w.enable_effect_log();
+
+        let mut nodes = Vec::new();
+        let mut pids = Vec::new();
+        let mut addrs = Vec::new();
+        let usercmds = Rc::new(RefCell::new(0u64));
+        for n in 0..4 {
+            let node = w.add_server_node();
+            let pid = w.spawn_process(
+                node,
+                &format!("oa{n}"),
+                128,
+                1024,
+                Box::new(OaServer::new(usercmds.clone())),
+            );
+            let addr = SockAddr::new(Ip::CLUSTER_PUBLIC, OA_PORT + n as u16);
+            w.app_udp_bind(node, pid, addr);
+            w.register_zone_interest(node, pid, addr.port, dvelm::net::ZoneId(n as u32));
+            nodes.push(node);
+            pids.push(pid);
+            addrs.push(addr);
+        }
+        for c in 0..48 {
+            let ch = w.add_client_host();
+            let addr = addrs[c % addrs.len()];
+            let arrivals = Rc::new(RefCell::new(Vec::new()));
+            let pid = w.spawn_process(ch, "cl", 16, 64, Box::new(OaClient::new(addr, arrivals)));
+            w.app_udp_socket(ch, pid, Some(addr));
+        }
+
+        w.enable_load_balancing();
+        w.run_for(SECOND);
+        // Two concurrent migrations drag their zone subscriptions across
+        // the interest table while zoned rounds stay active.
+        w.begin_migration(pids[0], nodes[2], Strategy::IncrementalCollective)
+            .expect("migration 0 admitted");
+        w.begin_migration(pids[1], nodes[3], Strategy::IncrementalCollective)
+            .expect("migration 1 admitted");
+        w.run_for(3 * SECOND);
+        (w.effect_log().to_vec(), w.now())
+    }
+
+    let (log_1, end_1) = aoi_replay(1);
+    assert!(
+        log_1.iter().any(|l| l.contains("Subscribe")),
+        "the zoned scenario must route subscriptions through the effect stream"
+    );
+    for threads in [2usize, 8] {
+        let (log_n, end_n) = aoi_replay(threads);
+        assert_eq!(end_1, end_n, "replays must end at the same instant");
+        assert_logs_identical("1-shard", &log_1, &format!("{threads}-shard"), &log_n);
+    }
+}

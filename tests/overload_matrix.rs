@@ -718,6 +718,131 @@ fn capture_pressure_charges_the_owning_migration() {
 }
 
 #[test]
+fn shared_capture_key_pressure_charges_the_installer() {
+    // The harder attribution case: two concurrent migrations into `n2`
+    // whose processes listen on the *same* public port on different source
+    // hosts. Both engines then carry the identical wildcard capture key
+    // `any_remote(ZONE_BASE_PORT)`, and because `CaptureTable::enable` is
+    // idempotent they silently share one queue on the destination stack.
+    // A SYN burst overflowing that shared queue must abort the migration
+    // that *installed* the entry (B, which froze first), not whichever
+    // sibling sorts first by id (A, which started earlier and is still
+    // mid-freeze holding the very same key).
+    let mut w = World::new(WorldConfig {
+        seed: 0x0b0b,
+        capture_budget: CaptureBudget {
+            max_packets: 2,
+            max_bytes: 64 * 1024,
+            tcp_policy: TcpShedPolicy::HardFail,
+        },
+        ..WorldConfig::default()
+    });
+    let n0 = w.add_server_node();
+    let n1 = w.add_server_node();
+    let n2 = w.add_server_node();
+    let ch = w.add_client_host();
+
+    // Both servers are idle (no established connections), so the shared
+    // wildcard listener key is the only capture entry either migration
+    // installs — every byte of queue pressure lands on the shared queue.
+    let addr = SockAddr::new(Ip::CLUSTER_PUBLIC, ZONE_BASE_PORT);
+    let zone_a = w.spawn_process(n0, "zoneA", 64, 16384, Box::new(ZoneServer::new()));
+    w.app_tcp_listen(n0, zone_a, addr);
+    let zone_b = w.spawn_process(n1, "zoneB", 64, 512, Box::new(ZoneServer::new()));
+    w.app_tcp_listen(n1, zone_b, addr);
+    w.run_for(SECOND);
+
+    // A starts first (lower id) but carries a 64 MiB image; B's 2 MiB
+    // image freezes within tens of milliseconds, so B reaches the capture
+    // step — and claims the shared entry — long before A does.
+    let mig_a = w
+        .begin_migration(zone_a, n2, Strategy::IncrementalCollective)
+        .unwrap();
+    let mig_b = w
+        .begin_migration(zone_b, n2, Strategy::IncrementalCollective)
+        .unwrap();
+    assert!(mig_a < mig_b, "A must be the lower-id migration");
+
+    // Step an *absolute* deadline forward (the clock only advances when
+    // events are popped, so a relative slice can spin in place).
+    let stop = w.now() + 4 * SECOND;
+    let mut deadline = w.now();
+    while w.migration_past_detach(mig_b) == Some(false) {
+        assert!(deadline < stop, "B never reached its detach");
+        deadline += 200;
+        w.run_until(deadline);
+    }
+    assert_eq!(
+        w.migration_past_detach(mig_b),
+        Some(true),
+        "B finished before it could be parked"
+    );
+    // Park B mid-transfer so its capture entry outlives A's freeze.
+    w.inject_fault(Fault::Partition {
+        groups: [HostSet::of(&[n1]), HostSet::of(&[n0, n2, ch])],
+        for_us: 10 * SECOND,
+    });
+
+    let stop = w.now() + 4 * SECOND;
+    let mut deadline = w.now();
+    while w.migration_past_detach(mig_a) == Some(false) {
+        assert!(deadline < stop, "A never reached its detach");
+        deadline += 200;
+        w.run_until(deadline);
+    }
+    // Park A as well (partitions compose: n0 and n1 are now each cut off,
+    // while `ch` can still reach `n2`). Both engines now hold the shared
+    // key, and neither can finish and tear the entry down under us.
+    w.inject_fault(Fault::Partition {
+        groups: [HostSet::of(&[n0]), HostSet::of(&[n1, n2, ch])],
+        for_us: 10 * SECOND,
+    });
+    assert!(
+        w.migration_outcome(mig_a).is_none(),
+        "A must still be in flight when the burst lands: {:?}",
+        w.migration_outcome(mig_a)
+    );
+    assert!(
+        w.migration_outcome(mig_b).is_none(),
+        "B must still be parked when A freezes: {:?}",
+        w.migration_outcome(mig_b)
+    );
+
+    // Eight fresh SYNs into the shared wildcard queue (budget: 2 packets).
+    let swarm = w.spawn_process(ch, "burst", 64, 256, Box::new(SwarmClient::new()));
+    for _ in 0..8 {
+        w.app_tcp_connect(ch, swarm, addr, false);
+    }
+    w.run_for(200 * MILLISECOND);
+
+    match w.migration_outcome(mig_b) {
+        Some(MigrationOutcome::Aborted { reason, .. }) => {
+            assert_eq!(reason, AbortReason::Overloaded);
+        }
+        other => panic!("expected the shared-queue overflow to abort B, got {other:?}"),
+    }
+    assert!(w.hosts[n2].stack.capture.stats().hard_failures > 0);
+
+    // A held the same key the whole time and must be unharmed: after the
+    // partitions heal, it completes and both zones end up where the
+    // attribution says they should.
+    assert!(
+        w.migration_outcome(mig_a).is_none(),
+        "the abort must not have touched parked A: {:?}",
+        w.migration_outcome(mig_a)
+    );
+    w.run_for(15 * SECOND);
+    assert!(
+        w.migration_outcome(mig_a).is_some_and(|o| o.is_completed()),
+        "pressure on the shared key must not be charged to A: {:?}",
+        w.migration_outcome(mig_a)
+    );
+    assert_eq!(w.active_migrations(), 0);
+    assert_eq!(w.host_of(zone_a), Some(n2));
+    assert_eq!(w.host_of(zone_b), Some(n1), "B rolled back to its source");
+}
+
+#[test]
 fn xlate_gc_reclaims_idle_rules() {
     let mut w = World::new(WorldConfig {
         seed: 0x0b06,
